@@ -1,0 +1,127 @@
+//! Criterion microbenchmarks for the hot paths of the allocation stack:
+//!
+//! * the eq.-4 supply solvers (greedy vs exact DP),
+//! * the non-tâtonnement price adjustment,
+//! * the per-query allocation decision of each mechanism (end-to-end
+//!   simulator arrival handling),
+//! * minidb: parse/plan/execute of a representative star query.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qa_core::MechanismKind;
+use qa_economics::{
+    solve_supply_greedy, solve_supply_optimal, LinearCapacitySet, NonTatonnementPricer,
+    PriceVector, PricerConfig, QuantityVector,
+};
+use qa_sim::config::SimConfig;
+use qa_sim::experiments::two_class_trace;
+use qa_sim::federation::Federation;
+use qa_sim::scenario::{Scenario, TwoClassParams};
+
+fn bench_supply_solvers(c: &mut Criterion) {
+    // 100 classes, realistic cost spread.
+    let costs: Vec<Option<f64>> = (0..100)
+        .map(|i| {
+            if i % 10 == 0 {
+                None
+            } else {
+                Some(50.0 + (i as f64 * 37.0) % 2_000.0)
+            }
+        })
+        .collect();
+    let set = LinearCapacitySet::new(costs, 500.0);
+    let prices = PriceVector::from_prices((0..100).map(|i| 0.5 + (i as f64 % 7.0)).collect());
+
+    c.bench_function("supply/greedy_100_classes", |b| {
+        b.iter(|| solve_supply_greedy(black_box(&prices), black_box(&set), None))
+    });
+    c.bench_function("supply/optimal_dp_100_classes", |b| {
+        b.iter(|| solve_supply_optimal(black_box(&prices), black_box(&set), None, 500))
+    });
+}
+
+fn bench_price_adjustment(c: &mut Criterion) {
+    c.bench_function("pricer/reject_and_period_end_100_classes", |b| {
+        let leftover = QuantityVector::from_counts((0..100).map(|i| i % 3).collect());
+        b.iter_batched(
+            || NonTatonnementPricer::new(100, PricerConfig::default()),
+            |mut p| {
+                for k in 0..100 {
+                    if k % 2 == 0 {
+                        p.on_rejection(k);
+                    }
+                }
+                p.on_period_end(black_box(&leftover));
+                p
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut cfg = SimConfig::small_test(42);
+    cfg.num_nodes = 50;
+    let scenario = Scenario::two_class(cfg, TwoClassParams::default());
+    let trace = two_class_trace(&scenario, 0.05, 0.6, 10);
+    let mut group = c.benchmark_group("allocate_run_10s_50_nodes");
+    group.sample_size(10);
+    for m in [
+        MechanismKind::QaNt,
+        MechanismKind::Greedy,
+        MechanismKind::Random,
+    ] {
+        group.bench_function(m.to_string(), |b| {
+            b.iter(|| {
+                Federation::new(black_box(&scenario), m, black_box(&trace)).run(&trace)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_minidb(c: &mut Criterion) {
+    use qa_minidb::{Database, Value};
+    let mut db = Database::new();
+    db.execute("CREATE TABLE fact (id INT, a INT, b FLOAT, g INT)").unwrap();
+    db.execute("CREATE TABLE dim (id INT, v FLOAT)").unwrap();
+    db.load_rows(
+        "fact",
+        (0..2_000)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 997),
+                    Value::Float(i as f64),
+                    Value::Int(i % 20),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    db.load_rows(
+        "dim",
+        (0..500).map(|i| vec![Value::Int(i * 4), Value::Float(i as f64)]).collect(),
+    )
+    .unwrap();
+    let sql = "SELECT f.g, COUNT(*), SUM(d.v) FROM fact AS f JOIN dim AS d ON f.id = d.id \
+               WHERE f.a > 100 GROUP BY f.g ORDER BY f.g";
+
+    c.bench_function("minidb/plan_star_query", |b| {
+        b.iter(|| db.plan(black_box(sql)).unwrap())
+    });
+    c.bench_function("minidb/explain_star_query", |b| {
+        b.iter(|| db.explain(black_box(sql)).unwrap())
+    });
+    c.bench_function("minidb/execute_star_query_2k_rows", |b| {
+        b.iter(|| db.query(black_box(sql)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_supply_solvers,
+    bench_price_adjustment,
+    bench_allocation,
+    bench_minidb
+);
+criterion_main!(benches);

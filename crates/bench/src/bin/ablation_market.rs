@@ -1,0 +1,114 @@
+//! Ablation bench for the market design choices DESIGN.md calls out:
+//!
+//! * per-node initial price **jitter** (σ = 0 vs default 1.5) — without it
+//!   identical sellers flip their supply priorities in lockstep,
+//! * period-end price **renormalization** — without it long overloads
+//!   saturate the floor/ceiling clamps and erase relative prices,
+//! * adjustment speed **λ**,
+//! * the §5.1 **price-threshold** deployment mode.
+//!
+//! Each variant runs the near-capacity and 2× overload sinusoid scenarios;
+//! lower mean response is better.
+
+use qa_bench::{fmt_ms, render_table, scale, write_json, Scale};
+use qa_core::MechanismKind;
+use qa_sim::config::SimConfig;
+use qa_sim::experiments::two_class_trace;
+use qa_sim::federation::Federation;
+use qa_sim::scenario::{Scenario, TwoClassParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    variant: String,
+    mean_ms_at_0_9: f64,
+    mean_ms_at_2_0: f64,
+    retries_at_2_0: u64,
+}
+
+fn run_variant(base: &SimConfig, secs: u64) -> (f64, f64, u64) {
+    let scenario = Scenario::two_class(base.clone(), TwoClassParams::default());
+    let mut out = [f64::NAN; 2];
+    let mut retries = 0;
+    for (i, frac) in [0.9, 2.0].into_iter().enumerate() {
+        let trace = two_class_trace(&scenario, 0.05, frac, secs);
+        let r = Federation::new(&scenario, MechanismKind::QaNt, &trace).run(&trace);
+        out[i] = r.metrics.mean_response_ms().unwrap_or(f64::NAN);
+        if i == 1 {
+            retries = r.metrics.retries;
+        }
+    }
+    (out[0], out[1], retries)
+}
+
+fn main() {
+    let (base, secs) = match scale() {
+        Scale::Ci => {
+            let mut c = SimConfig::small_test(2007);
+            c.num_nodes = 20;
+            (c, 20)
+        }
+        Scale::Full => (SimConfig::paper_defaults(), 60),
+    };
+
+    let mut variants: Vec<(String, SimConfig)> = Vec::new();
+    variants.push(("default (jitter 1.5, renorm, λ=0.1)".into(), base.clone()));
+    {
+        let mut c = base.clone();
+        c.qant.initial_price_jitter = 0.0;
+        variants.push(("no price jitter".into(), c));
+    }
+    {
+        let mut c = base.clone();
+        c.qant.renormalize_prices = false;
+        variants.push(("no renormalization".into(), c));
+    }
+    {
+        let mut c = base.clone();
+        c.qant.pricer.lambda = 0.02;
+        variants.push(("λ = 0.02 (slow)".into(), c));
+    }
+    {
+        let mut c = base.clone();
+        c.qant.pricer.lambda = 0.3;
+        variants.push(("λ = 0.30 (fast)".into(), c));
+    }
+    {
+        let mut c = base.clone();
+        c.qant.price_threshold = Some(5.0);
+        variants.push(("price threshold = 5 (§5.1 mode)".into(), c));
+    }
+
+    println!("Market-design ablation — QA-NT mean response (ms)\n");
+    let mut results = Vec::new();
+    for (name, cfg) in variants {
+        let (a, b, r) = run_variant(&cfg, secs);
+        results.push(AblationRow {
+            variant: name,
+            mean_ms_at_0_9: a,
+            mean_ms_at_2_0: b,
+            retries_at_2_0: r,
+        });
+    }
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                fmt_ms(r.mean_ms_at_0_9),
+                fmt_ms(r.mean_ms_at_2_0),
+                r.retries_at_2_0.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["variant", "@90% load", "@200% load", "retries @200%"],
+            &rows
+        )
+    );
+
+    let path = write_json("ablation_market", &results).expect("write result");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,37 @@
+//! Figure 3: an example sinusoid workload.
+//!
+//! Prints Q1/Q2 arrivals per half-second for the canonical two-class
+//! workload (0.05 Hz, 90° phase offset, peak Q1 = 2 × peak Q2).
+
+use qa_bench::{render_table, scale, write_json, Scale};
+use qa_sim::config::SimConfig;
+use qa_sim::experiments::fig3_sinusoid_workload;
+
+fn main() {
+    let (config, secs) = match scale() {
+        Scale::Ci => (SimConfig::small_test(2007), 40),
+        Scale::Full => (SimConfig::paper_defaults(), 60),
+    };
+    let r = fig3_sinusoid_workload(&config, 0.05, 0.6, secs);
+
+    println!("Figure 3 — example sinusoid workload (arrivals per {} ms)\n", r.period_ms);
+    let rows: Vec<Vec<String>> = r
+        .q1_per_period
+        .iter()
+        .enumerate()
+        .map(|(i, &q1)| {
+            let t = i as u64 * r.period_ms;
+            let q2 = r.q2_per_period.get(i).copied().unwrap_or(0);
+            let bar = "#".repeat((q1 + q2) as usize / 2);
+            vec![format!("{t} ms"), q1.to_string(), q2.to_string(), bar]
+        })
+        .collect();
+    println!("{}", render_table(&["t", "Q1", "Q2", "total"], &rows));
+
+    let q1: u64 = r.q1_per_period.iter().sum();
+    let q2: u64 = r.q2_per_period.iter().sum();
+    println!("total Q1 = {q1}, total Q2 = {q2} (target ratio 2:1 ≈ {:.2})", q1 as f64 / q2.max(1) as f64);
+
+    let path = write_json("fig3_sinusoid_workload", &r).expect("write result");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,44 @@
+//! Figure 4: normalized average query response time of all algorithms.
+//!
+//! 0.05 Hz sinusoid with peak load slightly below total system capacity;
+//! every dynamic mechanism runs the same trace; responses are normalized by
+//! QA-NT's (the paper's y-axis).
+
+use qa_bench::{fmt_ms, render_table, scale, write_json, Scale};
+use qa_sim::config::SimConfig;
+use qa_sim::experiments::fig4_all_algorithms;
+
+fn main() {
+    let (config, secs) = match scale() {
+        Scale::Ci => (SimConfig::small_test(2007), 30),
+        Scale::Full => (SimConfig::paper_defaults(), 120),
+    };
+    let r = fig4_all_algorithms(&config, secs);
+
+    println!("Figure 4 — normalized average query response time (0.05 Hz sinusoid, peak ≈ capacity)\n");
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|m| {
+            vec![
+                m.mechanism.clone(),
+                fmt_ms(m.mean_response_ms),
+                format!("{:.2}", m.normalized_response),
+                m.completed.to_string(),
+                m.unserved.to_string(),
+                format!("{:.1}", m.messages_per_query),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["mechanism", "mean (ms)", "normalized", "completed", "unserved", "msgs/query"],
+            &rows
+        )
+    );
+    println!("paper shape: QA-NT & Greedy far ahead; BNQRD mid; two-probes, round-robin, random worst");
+
+    let path = write_json("fig4_all_algorithms", &r).expect("write result");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,55 @@
+//! Figure 5c: Q1 arrivals vs Q1 executions per half-second, near system
+//! capacity — QA-NT tracks the load curve, Greedy falls behind.
+
+use qa_bench::{render_table, scale, write_json, Scale};
+use qa_sim::config::SimConfig;
+use qa_sim::experiments::fig5c_tracking;
+
+fn main() {
+    let (config, secs) = match scale() {
+        Scale::Ci => (SimConfig::small_test(2007), 15),
+        Scale::Full => (SimConfig::paper_defaults(), 30),
+    };
+    let r = fig5c_tracking(&config, secs);
+
+    println!("Figure 5c — Q1 arrivals vs executions per {} ms window\n", r.period_ms);
+    let bins = r
+        .arrivals_q1
+        .len()
+        .max(r.executed_q1_qant.len())
+        .max(r.executed_q1_greedy.len());
+    let get = |v: &Vec<u64>, i: usize| v.get(i).copied().unwrap_or(0).to_string();
+    let rows: Vec<Vec<String>> = (0..bins)
+        .map(|i| {
+            vec![
+                format!("{} ms", i as u64 * r.period_ms),
+                get(&r.arrivals_q1, i),
+                get(&r.executed_q1_qant, i),
+                get(&r.executed_q1_greedy, i),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["t", "Q1 arrivals", "QA-NT exec", "Greedy exec"], &rows)
+    );
+
+    // Tracking error: total absolute deviation from the arrival curve.
+    let err = |ex: &Vec<u64>| -> u64 {
+        (0..bins)
+            .map(|i| {
+                let a = r.arrivals_q1.get(i).copied().unwrap_or(0);
+                let e = ex.get(i).copied().unwrap_or(0);
+                a.abs_diff(e)
+            })
+            .sum()
+    };
+    println!(
+        "tracking error (Σ|arrivals−executed|): QA-NT {}, Greedy {} (paper: QA-NT tracks closely)",
+        err(&r.executed_q1_qant),
+        err(&r.executed_q1_greedy)
+    );
+
+    let path = write_json("fig5c_tracking", &r).expect("write result");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,86 @@
+//! Table 2: qualitative comparison of query-allocation mechanisms, with
+//! the measurable columns backed by an actual run (messages per query and
+//! relative performance under a near-capacity sinusoid).
+
+use qa_bench::{render_table, scale, write_json, Scale};
+use qa_core::MechanismKind;
+use qa_sim::config::SimConfig;
+use qa_sim::experiments::fig4_all_algorithms;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table2Row {
+    mechanism: String,
+    distributed: bool,
+    workload_type: &'static str,
+    conflicts_with_dqo: bool,
+    autonomy: bool,
+    measured_normalized_response: Option<f64>,
+    measured_messages_per_query: Option<f64>,
+}
+
+fn main() {
+    let (config, secs) = match scale() {
+        Scale::Ci => (SimConfig::small_test(2007), 25),
+        Scale::Full => (SimConfig::paper_defaults(), 90),
+    };
+    let measured = fig4_all_algorithms(&config, secs);
+
+    let rows_data: Vec<Table2Row> = MechanismKind::ALL
+        .iter()
+        .map(|&m| {
+            let meas = measured.rows.iter().find(|r| r.mechanism == m.to_string());
+            Table2Row {
+                mechanism: m.to_string(),
+                distributed: m.is_distributed(),
+                workload_type: if m.handles_dynamic_workload() {
+                    "Dynamic"
+                } else {
+                    "Static"
+                },
+                conflicts_with_dqo: m.conflicts_with_distributed_query_optimization(),
+                autonomy: m.respects_autonomy(),
+                measured_normalized_response: meas.map(|r| r.normalized_response),
+                measured_messages_per_query: meas.map(|r| r.messages_per_query),
+            }
+        })
+        .collect();
+
+    println!("Table 2 — comparison of query allocation mechanisms\n");
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            let check = |b: bool| if b { "X" } else { "-" }.to_string();
+            vec![
+                r.mechanism.clone(),
+                check(r.distributed),
+                r.workload_type.to_string(),
+                check(r.conflicts_with_dqo),
+                check(r.autonomy),
+                r.measured_normalized_response
+                    .map_or("n/a".into(), |v| format!("{v:.2}")),
+                r.measured_messages_per_query
+                    .map_or("n/a".into(), |v| format!("{v:.1}")),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "mechanism",
+                "distributed",
+                "workload",
+                "conflicts DQO",
+                "autonomy",
+                "norm. resp.",
+                "msgs/query"
+            ],
+            &rows
+        )
+    );
+    println!("(Markov runs only on static workloads, hence no measured row in the dynamic experiment)");
+
+    let path = write_json("table2_comparison", &rows_data).expect("write result");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,121 @@
+//! # qa-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus
+//! criterion microbenchmarks (`benches/micro.rs`). Each binary prints the
+//! figure's rows/series as a text table and writes a JSON copy under
+//! `bench_results/`.
+//!
+//! Scale control: every binary honours `QA_SCALE`:
+//!
+//! * `ci` (default) — small federation / short horizon, finishes in
+//!   seconds; shapes hold, absolute numbers are noisier,
+//! * `full` — the paper-scale configuration (100 nodes, full sweeps);
+//!   minutes of runtime.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Experiment scale selected via the `QA_SCALE` env var.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small and fast.
+    Ci,
+    /// Paper-scale.
+    Full,
+}
+
+/// Reads `QA_SCALE` (default [`Scale::Ci`]).
+pub fn scale() -> Scale {
+    match std::env::var("QA_SCALE").as_deref() {
+        Ok("full") | Ok("FULL") => Scale::Full,
+        _ => Scale::Ci,
+    }
+}
+
+/// Writes a JSON result file under `bench_results/` (created on demand)
+/// and returns its path.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("bench_results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let data = serde_json::to_string_pretty(value).expect("serializable result");
+    std::fs::write(&path, data)?;
+    Ok(path)
+}
+
+/// Renders a simple aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt_ms(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        assert!(t.contains("name"));
+        assert!(t.contains("longer"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn fmt_ms_precision() {
+        assert_eq!(fmt_ms(1234.6), "1235");
+        assert_eq!(fmt_ms(12.345), "12.35");
+        assert_eq!(fmt_ms(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn scale_defaults_to_ci() {
+        // Unless the caller's environment says otherwise.
+        if std::env::var("QA_SCALE").is_err() {
+            assert_eq!(scale(), Scale::Ci);
+        }
+    }
+}

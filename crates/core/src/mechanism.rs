@@ -1,0 +1,124 @@
+//! Mechanism taxonomy (Table 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The allocation mechanisms compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MechanismKind {
+    /// The paper's contribution: query markets with non-tâtonnement
+    /// pricing.
+    QaNt,
+    /// Greedy least-completion-time assignment.
+    Greedy,
+    /// Uniform random server choice.
+    Random,
+    /// Round-robin server choice.
+    RoundRobin,
+    /// Two-random-probes (Mitzenmacher).
+    TwoProbes,
+    /// BNQRD centralized unbalance-factor balancing (Carey et al.).
+    Bnqrd,
+    /// Markov/stochastic optimal for static workloads (Drenick & Smith).
+    Markov,
+}
+
+impl MechanismKind {
+    /// All mechanisms, in Table 2 order.
+    pub const ALL: [MechanismKind; 7] = [
+        MechanismKind::QaNt,
+        MechanismKind::Greedy,
+        MechanismKind::Random,
+        MechanismKind::RoundRobin,
+        MechanismKind::Bnqrd,
+        MechanismKind::TwoProbes,
+        MechanismKind::Markov,
+    ];
+
+    /// The dynamic mechanisms the paper simulates (§5.1 implements "all
+    /// algorithms presented in Section 4 except for the Markov-based one").
+    pub const DYNAMIC: [MechanismKind; 6] = [
+        MechanismKind::QaNt,
+        MechanismKind::Greedy,
+        MechanismKind::Random,
+        MechanismKind::RoundRobin,
+        MechanismKind::Bnqrd,
+        MechanismKind::TwoProbes,
+    ];
+
+    /// Table 2 column: fully distributed (no central coordinator)?
+    pub fn is_distributed(self) -> bool {
+        !matches!(self, MechanismKind::Bnqrd | MechanismKind::Markov)
+    }
+
+    /// Table 2 column: respects node administrative autonomy? Only QA-NT
+    /// lets servers decide what they will offer to evaluate.
+    pub fn respects_autonomy(self) -> bool {
+        matches!(self, MechanismKind::QaNt)
+    }
+
+    /// Table 2 column: handles dynamic workloads?
+    pub fn handles_dynamic_workload(self) -> bool {
+        !matches!(self, MechanismKind::Markov)
+    }
+
+    /// Table 2 column: conflicts with distributed query optimization?
+    /// Mechanisms that physically pick a single node per query conflict;
+    /// QA-NT only *restricts the set of offering nodes*, staying compatible
+    /// with Mariposa/SQPT-style optimizers.
+    pub fn conflicts_with_distributed_query_optimization(self) -> bool {
+        !matches!(self, MechanismKind::QaNt)
+    }
+}
+
+impl fmt::Display for MechanismKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MechanismKind::QaNt => "QA-NT",
+            MechanismKind::Greedy => "Greedy",
+            MechanismKind::Random => "Random",
+            MechanismKind::RoundRobin => "Round-robin",
+            MechanismKind::TwoProbes => "Two-probes",
+            MechanismKind::Bnqrd => "BNQRD",
+            MechanismKind::Markov => "Markov",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_properties() {
+        use MechanismKind::*;
+        assert!(QaNt.is_distributed() && QaNt.respects_autonomy());
+        assert!(!QaNt.conflicts_with_distributed_query_optimization());
+        assert!(Greedy.is_distributed() && !Greedy.respects_autonomy());
+        assert!(!Bnqrd.is_distributed());
+        assert!(!Markov.is_distributed());
+        assert!(!Markov.handles_dynamic_workload());
+        assert!(Random.handles_dynamic_workload());
+        // Every non-QA-NT mechanism conflicts with distributed query
+        // optimization (Table 2's "Conflict" column).
+        for m in MechanismKind::ALL {
+            assert_eq!(
+                m.conflicts_with_distributed_query_optimization(),
+                m != QaNt
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_set_excludes_markov() {
+        assert!(!MechanismKind::DYNAMIC.contains(&MechanismKind::Markov));
+        assert_eq!(MechanismKind::DYNAMIC.len(), 6);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MechanismKind::QaNt.to_string(), "QA-NT");
+        assert_eq!(MechanismKind::TwoProbes.to_string(), "Two-probes");
+    }
+}

@@ -1,0 +1,170 @@
+//! Preference relations over consumption vectors.
+//!
+//! §2.2: when aggregate demand exceeds what the system can supply, each node
+//! ranks possible consumption vectors by a preference relation `⪰ᵢ`. The
+//! paper assumes throughput preference — "all nodes prefer to evaluate as
+//! many queries as possible, independent of what these queries are":
+//! `c⃗ ⪰ᵢ c⃗′ iff Σₖ cₖ ≥ Σₖ c′ₖ`. We expose preferences as utility
+//! functions (a standard representation of complete, transitive
+//! preferences), plus the weighted and equitable variants mentioned in the
+//! related/future-work sections.
+
+use crate::vectors::QuantityVector;
+
+/// A complete, transitive preference relation represented by a utility
+/// function: `a ⪰ b iff utility(a) ≥ utility(b)`.
+pub trait Preference {
+    /// Utility of a consumption vector. Higher is better.
+    fn utility(&self, c: &QuantityVector) -> f64;
+
+    /// Weak preference `a ⪰ b`.
+    fn prefers(&self, a: &QuantityVector, b: &QuantityVector) -> bool {
+        self.utility(a) >= self.utility(b) - 1e-12
+    }
+
+    /// Strict preference `a ≻ b`.
+    fn strictly_prefers(&self, a: &QuantityVector, b: &QuantityVector) -> bool {
+        self.utility(a) > self.utility(b) + 1e-12
+    }
+
+    /// Indifference `a ~ b`.
+    fn indifferent(&self, a: &QuantityVector, b: &QuantityVector) -> bool {
+        (self.utility(a) - self.utility(b)).abs() <= 1e-12
+    }
+}
+
+/// The paper's preference: maximize the total number of queries consumed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThroughputPreference;
+
+impl Preference for ThroughputPreference {
+    fn utility(&self, c: &QuantityVector) -> f64 {
+        c.total() as f64
+    }
+}
+
+/// A weighted variant: classes may matter differently (e.g. interactive
+/// queries weigh more than batch reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedPreference {
+    weights: Vec<f64>,
+}
+
+impl WeightedPreference {
+    /// Builds from per-class weights.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or not finite.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be non-negative and finite"
+        );
+        WeightedPreference { weights }
+    }
+}
+
+impl Preference for WeightedPreference {
+    fn utility(&self, c: &QuantityVector) -> f64 {
+        assert_eq!(c.num_classes(), self.weights.len(), "class count mismatch");
+        c.iter().map(|(k, n)| self.weights[k] * n as f64).sum()
+    }
+}
+
+/// Equitable preference (§6 future work: "the constraint of equitable
+/// allocation, in which the utility of all nodes is equalized").
+///
+/// Utility is concave in the total — `sqrt(Σc)` — so that, when comparing
+/// *system-wide* allocations by summed utilities, spreading consumption
+/// across nodes beats concentrating it. Used by the equitable-allocation
+/// extension experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EquitablePreference;
+
+impl Preference for EquitablePreference {
+    fn utility(&self, c: &QuantityVector) -> f64 {
+        (c.total() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qv(v: &[u64]) -> QuantityVector {
+        QuantityVector::from_counts(v.to_vec())
+    }
+
+    #[test]
+    fn throughput_compares_totals_only() {
+        let p = ThroughputPreference;
+        // (5,0) ~ (0,5): same total, mutually weakly preferred.
+        assert!(p.prefers(&qv(&[5, 0]), &qv(&[0, 5])));
+        assert!(p.prefers(&qv(&[0, 5]), &qv(&[5, 0])));
+        assert!(p.indifferent(&qv(&[5, 0]), &qv(&[0, 5])));
+        assert!(p.strictly_prefers(&qv(&[3, 3]), &qv(&[5, 0])));
+        assert!(!p.strictly_prefers(&qv(&[5, 0]), &qv(&[5, 0])));
+    }
+
+    #[test]
+    fn paper_example_preference() {
+        // §2.2: QA gives N1 consumption 5, LB gives 2 — N1 strictly
+        // prefers the QA vector.
+        let p = ThroughputPreference;
+        assert!(p.strictly_prefers(&qv(&[1, 4]), &qv(&[1, 1])));
+    }
+
+    #[test]
+    fn weighted_orders_by_weights() {
+        let p = WeightedPreference::new(vec![10.0, 1.0]);
+        assert!(p.strictly_prefers(&qv(&[1, 0]), &qv(&[0, 5])));
+        assert!(p.indifferent(&qv(&[1, 0]), &qv(&[0, 10])));
+    }
+
+    #[test]
+    fn weighted_with_unit_weights_equals_throughput() {
+        let w = WeightedPreference::new(vec![1.0, 1.0, 1.0]);
+        let t = ThroughputPreference;
+        for a in [[0, 1, 2], [3, 0, 0], [1, 1, 1]] {
+            for b in [[2, 2, 2], [0, 0, 1], [1, 0, 3]] {
+                let (a, b) = (qv(&a), qv(&b));
+                assert_eq!(w.prefers(&a, &b), t.prefers(&a, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn equitable_is_concave() {
+        let p = EquitablePreference;
+        // Marginal utility of consumption decreases: 0→4 gains 2,
+        // 4→8 gains less.
+        let gain_low = p.utility(&qv(&[4])) - p.utility(&qv(&[0]));
+        let gain_high = p.utility(&qv(&[8])) - p.utility(&qv(&[4]));
+        assert!(gain_low > gain_high);
+        // Summed over two nodes, an even split dominates a skewed one.
+        let even = p.utility(&qv(&[4])) + p.utility(&qv(&[4]));
+        let skew = p.utility(&qv(&[8])) + p.utility(&qv(&[0]));
+        assert!(even > skew);
+    }
+
+    #[test]
+    fn preference_is_transitive_on_samples() {
+        let p = ThroughputPreference;
+        let vs = [qv(&[0, 0]), qv(&[1, 0]), qv(&[1, 1]), qv(&[3, 0]), qv(&[2, 2])];
+        for a in &vs {
+            for b in &vs {
+                for c in &vs {
+                    if p.prefers(a, b) && p.prefers(b, c) {
+                        assert!(p.prefers(a, c), "transitivity violated");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn weighted_rejects_negative() {
+        let _ = WeightedPreference::new(vec![-1.0]);
+    }
+}

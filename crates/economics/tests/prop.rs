@@ -1,0 +1,157 @@
+//! Property tests for the economics substrate.
+
+use proptest::prelude::*;
+use qa_economics::{
+    dominates, solve_supply_fractional, solve_supply_greedy, solve_supply_optimal,
+    LinearCapacitySet, NonTatonnementPricer, PriceVector, PricerConfig, QuantityVector, Solution,
+    SupplySet, ThroughputPreference,
+};
+
+/// Strategy: a small capacity set with 2–4 classes.
+fn capacity_set() -> impl Strategy<Value = LinearCapacitySet> {
+    (2usize..=4)
+        .prop_flat_map(|k| {
+            (
+                proptest::collection::vec(
+                    prop_oneof![
+                        Just(None),
+                        (10.0f64..500.0).prop_map(Some),
+                    ],
+                    k,
+                ),
+                50.0f64..1_000.0,
+            )
+        })
+        .prop_map(|(costs, cap)| LinearCapacitySet::new(costs, cap))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Greedy supply is always feasible.
+    #[test]
+    fn greedy_supply_feasible(set in capacity_set(), seed in 0u64..1_000) {
+        let k = set.num_classes();
+        let prices = PriceVector::from_prices(
+            (0..k).map(|i| 0.1 + ((seed + i as u64) % 17) as f64).collect(),
+        );
+        let s = solve_supply_greedy(&prices, &set, None);
+        prop_assert!(set.contains(&s));
+    }
+
+    /// The DP solver matches or beats the greedy one up to its capacity
+    /// discretization (costs round *up* in the DP, which can shave at most
+    /// a few units near full capacity), and its solution is feasible.
+    #[test]
+    fn optimal_dominates_greedy((set, seed) in (capacity_set(), 0u64..1_000)) {
+        let k = set.num_classes();
+        let prices = PriceVector::from_prices(
+            (0..k).map(|i| 0.1 + ((seed * 7 + i as u64) % 13) as f64).collect(),
+        );
+        let g = solve_supply_greedy(&prices, &set, None);
+        let o = solve_supply_optimal(&prices, &set, None, 20_000);
+        prop_assert!(set.contains(&o));
+        // Tolerance: one whole unit at the highest price covers the
+        // worst-case discretization loss at this resolution.
+        let slack = prices.max_price();
+        prop_assert!(
+            prices.value_of(&o) >= prices.value_of(&g) - slack,
+            "optimal {} << greedy {}",
+            prices.value_of(&o),
+            prices.value_of(&g)
+        );
+    }
+
+    /// The fractional relaxation upper-bounds both integer solvers.
+    #[test]
+    fn fractional_upper_bounds_integer(set in capacity_set()) {
+        let k = set.num_classes();
+        let prices = PriceVector::uniform(k, 1.0);
+        let frac = solve_supply_fractional(&prices, &set, None);
+        let frac_value: f64 = frac.iter().enumerate().map(|(i, x)| prices.get(i) * x).sum();
+        let o = solve_supply_optimal(&prices, &set, None, 2_000);
+        prop_assert!(frac_value >= prices.value_of(&o) - 1e-6);
+    }
+
+    /// Pareto dominance is irreflexive and asymmetric.
+    #[test]
+    fn dominance_strict_partial_order(
+        a in proptest::collection::vec(0u64..5, 4),
+        b in proptest::collection::vec(0u64..5, 4),
+    ) {
+        let mk = |v: &[u64]| Solution {
+            supplies: vec![
+                QuantityVector::from_counts(v[..2].to_vec()),
+                QuantityVector::from_counts(v[2..].to_vec()),
+            ],
+            consumptions: vec![
+                QuantityVector::from_counts(v[..2].to_vec()),
+                QuantityVector::from_counts(v[2..].to_vec()),
+            ],
+        };
+        let (sa, sb) = (mk(&a), mk(&b));
+        let prefs = vec![ThroughputPreference, ThroughputPreference];
+        prop_assert!(!dominates(&sa, &sa, &prefs), "irreflexive");
+        if dominates(&sa, &sb, &prefs) {
+            prop_assert!(!dominates(&sb, &sa, &prefs), "asymmetric");
+        }
+    }
+
+    /// Prices always stay within [floor, ceiling] whatever the event
+    /// sequence, and rejections/leftovers move them in the right
+    /// direction.
+    #[test]
+    fn pricer_bounds_hold(events in proptest::collection::vec((0usize..3, 0u64..10), 0..200)) {
+        let cfg = PricerConfig::default();
+        let mut p = NonTatonnementPricer::new(3, cfg);
+        for (k, leftover) in events {
+            let before = p.prices().get(k);
+            if leftover == 0 {
+                p.on_rejection(k);
+                prop_assert!(p.prices().get(k) >= before);
+            } else {
+                let mut l = QuantityVector::zeros(3);
+                l.set(k, leftover);
+                p.on_period_end(&l);
+                prop_assert!(p.prices().get(k) <= before);
+            }
+            for kk in 0..3 {
+                let v = p.prices().get(kk);
+                prop_assert!(v >= cfg.price_floor && v <= cfg.price_ceiling);
+            }
+        }
+    }
+
+    /// Renormalization preserves relative prices (up to clamping).
+    #[test]
+    fn renormalize_preserves_ratios(
+        raw in proptest::collection::vec(0.01f64..100.0, 2..=4),
+    ) {
+        let mut p = NonTatonnementPricer::with_prices(
+            PriceVector::from_prices(raw.clone()),
+            PricerConfig::default(),
+        );
+        let ratio_before = p.prices().get(0) / p.prices().get(1);
+        p.renormalize();
+        let ratio_after = p.prices().get(0) / p.prices().get(1);
+        prop_assert!((ratio_before / ratio_after - 1.0).abs() < 1e-9);
+        // Geometric mean is ~1 afterwards.
+        let k = p.num_classes();
+        let log_mean: f64 = p.prices().iter().map(|(_, v)| v.ln()).sum::<f64>() / k as f64;
+        prop_assert!(log_mean.abs() < 1e-9);
+    }
+
+    /// Aggregation (eq. 1) is order-independent.
+    #[test]
+    fn aggregation_is_commutative(
+        vs in proptest::collection::vec(proptest::collection::vec(0u64..20, 3), 1..6),
+    ) {
+        let vecs: Vec<QuantityVector> =
+            vs.iter().cloned().map(QuantityVector::from_counts).collect();
+        let forward = QuantityVector::aggregate(&vecs);
+        let mut rev = vecs.clone();
+        rev.reverse();
+        let backward = QuantityVector::aggregate(&rev);
+        prop_assert_eq!(forward, backward);
+    }
+}

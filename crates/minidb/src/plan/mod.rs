@@ -1,0 +1,17 @@
+//! Planning: logical plans, binding, optimization, costing, EXPLAIN.
+//!
+//! Pipeline: `ast::SelectStmt` → [`binder::bind_select`] → [`LogicalPlan`]
+//! → [`optimizer::optimize`] → costed/explained ([`cost`], [`explain`]) →
+//! executed (`crate::exec`).
+
+pub mod binder;
+pub mod cost;
+pub mod explain;
+pub mod logical;
+pub mod optimizer;
+
+pub use binder::bind_select;
+pub use cost::{estimate, PlanEstimate};
+pub use explain::Explain;
+pub use logical::{AggExpr, JoinKeys, LogicalPlan};
+pub use optimizer::optimize;

@@ -1,0 +1,176 @@
+//! Property tests for the relational engine.
+
+use proptest::prelude::*;
+use qa_minidb::exec::basic::{Scan, Sort};
+use qa_minidb::exec::join::{HashJoin, MergeJoin, NestedLoopJoin};
+use qa_minidb::exec::collect;
+use qa_minidb::expr::BoundExpr;
+use qa_minidb::value::{DataType, Row, Value};
+use qa_minidb::Database;
+
+fn rows_strategy(max: usize) -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![Just(Value::Null), (0i64..8).prop_map(Value::Int)],
+            0i64..100,
+        )
+            .prop_map(|(k, v)| vec![k, Value::Int(v)]),
+        0..max,
+    )
+}
+
+fn sorted(mut v: Vec<Row>) -> Vec<Row> {
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// The three join algorithms agree on arbitrary inputs (equi join on
+    /// the first column, NULLs never matching).
+    #[test]
+    fn join_algorithms_agree(left in rows_strategy(30), right in rows_strategy(30)) {
+        let equi = vec![(0usize, 0usize)];
+        let hash = collect(Box::new(HashJoin::new(
+            Box::new(Scan::new(&left)),
+            Box::new(Scan::new(&right)),
+            equi.clone(),
+            None,
+            2,
+        ))).unwrap();
+        let merge = collect(Box::new(MergeJoin::new(
+            Box::new(Scan::new(&left)),
+            Box::new(Scan::new(&right)),
+            equi.clone(),
+            None,
+        ))).unwrap();
+        let nl = collect(Box::new(NestedLoopJoin::new(
+            Box::new(Scan::new(&left)),
+            Box::new(Scan::new(&right)),
+            equi,
+            None,
+            2,
+        ))).unwrap();
+        prop_assert_eq!(sorted(hash.clone()), sorted(merge));
+        prop_assert_eq!(sorted(hash), sorted(nl));
+    }
+
+    /// Join output size equals the sum over keys of |L_k|·|R_k|.
+    #[test]
+    fn join_cardinality_formula(left in rows_strategy(30), right in rows_strategy(30)) {
+        use std::collections::HashMap;
+        let mut lc: HashMap<Value, usize> = HashMap::new();
+        for r in &left {
+            if !r[0].is_null() {
+                *lc.entry(r[0].clone()).or_default() += 1;
+            }
+        }
+        let mut expected = 0usize;
+        for r in &right {
+            if !r[0].is_null() {
+                expected += lc.get(&r[0]).copied().unwrap_or(0);
+            }
+        }
+        let out = collect(Box::new(HashJoin::new(
+            Box::new(Scan::new(&left)),
+            Box::new(Scan::new(&right)),
+            vec![(0, 0)],
+            None,
+            2,
+        ))).unwrap();
+        prop_assert_eq!(out.len(), expected);
+    }
+
+    /// Sort emits a permutation of its input, ordered by the key.
+    #[test]
+    fn sort_is_an_ordered_permutation(rows in rows_strategy(50)) {
+        let key = BoundExpr::Column { index: 1, ty: DataType::Int, name: "v".into() };
+        let out = collect(Box::new(Sort::new(
+            Box::new(Scan::new(&rows)),
+            vec![(key, true)],
+        ))).unwrap();
+        prop_assert_eq!(out.len(), rows.len());
+        prop_assert_eq!(sorted(out.clone()), sorted(rows));
+        for w in out.windows(2) {
+            prop_assert!(w[0][1] <= w[1][1]);
+        }
+    }
+
+    /// Value ordering is a total order: transitive and antisymmetric on
+    /// random triples.
+    #[test]
+    fn value_order_is_total(
+        a in value_strategy(),
+        b in value_strategy(),
+        c in value_strategy(),
+    ) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        if a.cmp(&b) == Ordering::Less {
+            prop_assert_eq!(b.cmp(&a), Ordering::Greater);
+        }
+        // Transitivity.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        // Hash consistency.
+        if a == b {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let h = |v: &Value| {
+                let mut s = DefaultHasher::new();
+                v.hash(&mut s);
+                s.finish()
+            };
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    /// Aggregates computed by the engine equal a direct computation.
+    #[test]
+    fn sql_aggregates_match_reference(values in proptest::collection::vec(0i64..1_000, 1..60)) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (v INT)").unwrap();
+        db.load_rows("t", values.iter().map(|&v| vec![Value::Int(v)]).collect()).unwrap();
+        let r = db.query("SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t").unwrap();
+        let row = &r.rows[0];
+        prop_assert_eq!(&row[0], &Value::Int(values.len() as i64));
+        prop_assert_eq!(&row[1], &Value::Int(values.iter().sum::<i64>()));
+        prop_assert_eq!(&row[2], &Value::Int(*values.iter().min().unwrap()));
+        prop_assert_eq!(&row[3], &Value::Int(*values.iter().max().unwrap()));
+    }
+
+    /// WHERE filters match a direct predicate evaluation.
+    #[test]
+    fn sql_filter_matches_reference(
+        values in proptest::collection::vec(0i64..100, 0..60),
+        cutoff in 0i64..100,
+    ) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (v INT)").unwrap();
+        db.load_rows("t", values.iter().map(|&v| vec![Value::Int(v)]).collect()).unwrap();
+        let r = db
+            .query(&format!("SELECT v FROM t WHERE v > {cutoff} ORDER BY v"))
+            .unwrap();
+        let mut expected: Vec<i64> = values.iter().copied().filter(|&v| v > cutoff).collect();
+        expected.sort_unstable();
+        let got: Vec<i64> = r.rows.iter().map(|row| match row[0] {
+            Value::Int(v) => v,
+            _ => unreachable!(),
+        }).collect();
+        prop_assert_eq!(got, expected);
+    }
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-100i64..100).prop_map(Value::Int),
+        (-100.0f64..100.0).prop_map(Value::Float),
+        Just(Value::Float(0.0)),
+        Just(Value::Float(-0.0)),
+        "[a-c]{0,3}".prop_map(Value::Str),
+    ]
+}

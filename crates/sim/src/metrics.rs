@@ -1,0 +1,271 @@
+//! Per-run measurements.
+//!
+//! Matches the paper's instrumentation: "In each time period, we measured
+//! the number of queries executed and the average query response time of
+//! the algorithms. The latter was normalized by dividing it with the
+//! respective response time of QA-NT."
+
+use qa_simnet::stats::{TimeSeries, Welford};
+use qa_simnet::{SimDuration, SimTime};
+use qa_workload::{ClassId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Measurements from one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    period: SimDuration,
+    /// Response times (ms) of completed queries.
+    pub response: Welford,
+    /// Response-time series binned by period.
+    pub response_series: TimeSeries,
+    /// Executed-count series binned by the period of *completion*.
+    executed_per_period: Vec<u64>,
+    /// Executed counts per period, restricted by class (Fig. 5c needs Q1).
+    executed_per_period_class: Vec<Vec<u64>>,
+    /// Response times per class.
+    response_per_class: Vec<Welford>,
+    /// Response times per *origin* (client) node — the §6 equitable-
+    /// allocation extension measures how evenly the federation treats its
+    /// clients.
+    response_per_origin: Vec<Welford>,
+    num_classes: usize,
+    /// Allocation-protocol messages sent.
+    pub messages: u64,
+    /// Completed queries.
+    pub completed: u64,
+    /// Queries never served by the end of the run.
+    pub unserved: u64,
+    /// QA-NT resubmissions (retries).
+    pub retries: u64,
+    /// Total assignment latency (time from arrival to node assignment).
+    pub assign_latency: Welford,
+    /// Execution time of the chosen node per assignment (placement
+    /// quality: lower = work landed on faster nodes).
+    pub chosen_exec_ms: Welford,
+    /// Queueing delay behind the chosen node's backlog at assignment.
+    pub chosen_backlog_ms: Welford,
+}
+
+impl RunMetrics {
+    /// Fresh metrics for a run with the given period and class count.
+    /// (Origin tracking sizes lazily on first record.)
+    pub fn new(period: SimDuration, num_classes: usize) -> RunMetrics {
+        RunMetrics {
+            period,
+            response: Welford::new(),
+            response_series: TimeSeries::new(period),
+            executed_per_period: Vec::new(),
+            executed_per_period_class: vec![Vec::new(); num_classes],
+            response_per_class: (0..num_classes).map(|_| Welford::new()).collect(),
+            response_per_origin: Vec::new(),
+            num_classes,
+            messages: 0,
+            completed: 0,
+            unserved: 0,
+            retries: 0,
+            assign_latency: Welford::new(),
+            chosen_exec_ms: Welford::new(),
+            chosen_backlog_ms: Welford::new(),
+        }
+    }
+
+    /// Records a completed query.
+    pub fn record_completion(
+        &mut self,
+        class: ClassId,
+        arrived: SimTime,
+        finished: SimTime,
+    ) {
+        self.record_completion_from(class, NodeId(0), arrived, finished);
+    }
+
+    /// Records a completed query with its origin node.
+    pub fn record_completion_from(
+        &mut self,
+        class: ClassId,
+        origin: NodeId,
+        arrived: SimTime,
+        finished: SimTime,
+    ) {
+        let resp_ms = finished.saturating_since(arrived).as_millis_f64();
+        self.response.add(resp_ms);
+        if class.index() < self.num_classes {
+            self.response_per_class[class.index()].add(resp_ms);
+        }
+        if origin.index() >= self.response_per_origin.len() {
+            self.response_per_origin
+                .resize_with(origin.index() + 1, Welford::new);
+        }
+        self.response_per_origin[origin.index()].add(resp_ms);
+        self.response_series.record(finished, resp_ms);
+        self.completed += 1;
+        let idx = finished.period_index(self.period) as usize;
+        if idx >= self.executed_per_period.len() {
+            self.executed_per_period.resize(idx + 1, 0);
+        }
+        self.executed_per_period[idx] += 1;
+        if class.index() < self.num_classes {
+            let series = &mut self.executed_per_period_class[class.index()];
+            if idx >= series.len() {
+                series.resize(idx + 1, 0);
+            }
+            series[idx] += 1;
+        }
+    }
+
+    /// Mean response time in ms, or `None` when nothing completed.
+    pub fn mean_response_ms(&self) -> Option<f64> {
+        self.response.mean()
+    }
+
+    /// Executed queries per period.
+    pub fn executed_per_period(&self) -> &[u64] {
+        &self.executed_per_period
+    }
+
+    /// Executed queries per period for one class.
+    pub fn executed_per_period_of(&self, class: ClassId) -> &[u64] {
+        &self.executed_per_period_class[class.index()]
+    }
+
+    /// Mean response time of one class (ms).
+    pub fn mean_response_ms_of(&self, class: ClassId) -> Option<f64> {
+        self.response_per_class[class.index()].mean()
+    }
+
+    /// Jain's fairness index over the per-origin mean response times:
+    /// `(Σx)² / (n·Σx²)`, 1 = perfectly even treatment of clients,
+    /// `1/n` = one client gets everything. `None` until at least two
+    /// origins have completions.
+    pub fn origin_fairness(&self) -> Option<f64> {
+        let means: Vec<f64> = self
+            .response_per_origin
+            .iter()
+            .filter_map(Welford::mean)
+            .collect();
+        if means.len() < 2 {
+            return None;
+        }
+        let n = means.len() as f64;
+        let sum: f64 = means.iter().sum();
+        let sq: f64 = means.iter().map(|x| x * x).sum();
+        if sq == 0.0 {
+            return Some(1.0);
+        }
+        Some(sum * sum / (n * sq))
+    }
+
+    /// Normalized mean response vs a reference run (the paper divides by
+    /// QA-NT's). > 1 means slower than the reference.
+    pub fn normalized_response_vs(&self, reference: &RunMetrics) -> Option<f64> {
+        match (self.mean_response_ms(), reference.mean_response_ms()) {
+            (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+            _ => None,
+        }
+    }
+
+    /// Fraction of arrivals that were served.
+    pub fn service_rate(&self) -> f64 {
+        let total = self.completed + self.unserved;
+        if total == 0 {
+            1.0
+        } else {
+            self.completed as f64 / total as f64
+        }
+    }
+}
+
+/// One mechanism's summary row (Fig. 4 / Table 2 output shape).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MechanismSummary {
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// Mean response time in ms.
+    pub mean_response_ms: f64,
+    /// Response normalized by QA-NT's.
+    pub normalized_response: f64,
+    /// Completed queries.
+    pub completed: u64,
+    /// Unserved queries.
+    pub unserved: u64,
+    /// Messages per completed query.
+    pub messages_per_query: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_workload::NodeId;
+
+    fn metrics() -> RunMetrics {
+        RunMetrics::new(SimDuration::from_millis(500), 2)
+    }
+
+    #[test]
+    fn records_response_and_bins_by_completion_period() {
+        let mut m = metrics();
+        m.record_completion(ClassId(0), SimTime::from_millis(0), SimTime::from_millis(400));
+        m.record_completion(ClassId(1), SimTime::from_millis(100), SimTime::from_millis(700));
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.mean_response_ms(), Some(500.0));
+        assert_eq!(m.executed_per_period(), &[1, 1]);
+        assert_eq!(m.executed_per_period_of(ClassId(0)), &[1]);
+        assert_eq!(m.executed_per_period_of(ClassId(1)), &[0, 1]);
+    }
+
+    #[test]
+    fn normalization_against_reference() {
+        let mut qant = metrics();
+        qant.record_completion(ClassId(0), SimTime::ZERO, SimTime::from_millis(100));
+        let mut other = metrics();
+        other.record_completion(ClassId(0), SimTime::ZERO, SimTime::from_millis(150));
+        assert_eq!(other.normalized_response_vs(&qant), Some(1.5));
+        assert_eq!(qant.normalized_response_vs(&qant), Some(1.0));
+    }
+
+    #[test]
+    fn service_rate() {
+        let mut m = metrics();
+        m.record_completion(ClassId(0), SimTime::ZERO, SimTime::from_millis(1));
+        m.unserved = 1;
+        assert_eq!(m.service_rate(), 0.5);
+        assert_eq!(metrics().service_rate(), 1.0);
+    }
+
+    #[test]
+    fn empty_run_has_no_mean() {
+        assert_eq!(metrics().mean_response_ms(), None);
+        assert_eq!(metrics().normalized_response_vs(&metrics()), None);
+    }
+
+    #[test]
+    fn origin_fairness_perfectly_even() {
+        let mut m = metrics();
+        for origin in 0..4 {
+            m.record_completion_from(
+                ClassId(0),
+                NodeId(origin),
+                SimTime::ZERO,
+                SimTime::from_millis(100),
+            );
+        }
+        assert!((m.origin_fairness().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn origin_fairness_detects_skew() {
+        let mut m = metrics();
+        m.record_completion_from(ClassId(0), NodeId(0), SimTime::ZERO, SimTime::from_millis(100));
+        m.record_completion_from(ClassId(0), NodeId(1), SimTime::ZERO, SimTime::from_millis(10_000));
+        let j = m.origin_fairness().unwrap();
+        // Jain index for (100, 10000) ≈ 0.51.
+        assert!(j < 0.6, "{j}");
+    }
+
+    #[test]
+    fn origin_fairness_needs_two_origins() {
+        let mut m = metrics();
+        m.record_completion_from(ClassId(0), NodeId(0), SimTime::ZERO, SimTime::from_millis(1));
+        assert_eq!(m.origin_fairness(), None);
+    }
+}

@@ -1,0 +1,263 @@
+//! The simulated node: hardware factors, execution-time model, FIFO queue.
+//!
+//! Each node is an autonomous RDBMS abstracted as a single work-conserving
+//! server (the paper's example likewise assumes "no node can evaluate two
+//! queries simultaneously"). Heterogeneity enters through three hardware
+//! factors drawn from the Table-3 ranges: CPU speed, I/O speed and
+//! sort/hash buffer size, plus the hash-join capability bit.
+
+use crate::config::SimConfig;
+use qa_simnet::{DetRng, SimDuration, SimTime};
+use qa_workload::QueryTemplate;
+use serde::{Deserialize, Serialize};
+
+/// Static hardware description of a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeHardware {
+    /// CPU speed in GHz.
+    pub cpu_ghz: f64,
+    /// Sequential I/O speed in MB/s.
+    pub io_mbps: f64,
+    /// Sort/hash working memory in MB.
+    pub buffer_mb: f64,
+    /// Whether the node's engine supports hash joins (Table 3: 95/100).
+    pub hash_join: bool,
+}
+
+impl NodeHardware {
+    /// Draws hardware from the configured ranges.
+    pub fn sample(cfg: &SimConfig, rng: &mut DetRng) -> NodeHardware {
+        NodeHardware {
+            cpu_ghz: rng.float_in(cfg.cpu_ghz.0, cfg.cpu_ghz.1),
+            io_mbps: rng.float_in(cfg.io_mbps.0, cfg.io_mbps.1),
+            buffer_mb: rng.float_in(cfg.buffer_mb.0, cfg.buffer_mb.1),
+            hash_join: rng.chance(cfg.hash_join_fraction),
+        }
+    }
+
+    /// Execution time of a template on this node.
+    ///
+    /// The template's `base_cost` is calibrated to the reference hardware;
+    /// this node scales it by:
+    /// * CPU: 60 % of the work scales inversely with clock speed,
+    /// * I/O: 40 % scales inversely with disk bandwidth,
+    /// * buffers: join-heavy queries pay a spill penalty when the buffer is
+    ///   below the 6 MB reference (up to +50 % for a 49-join query on a
+    ///   2 MB node),
+    /// * joins on merge-scan-only nodes cost 30 % extra (no hash join).
+    pub fn execution_time(&self, template: &QueryTemplate, cfg: &SimConfig) -> SimDuration {
+        let base = template.base_cost.as_secs_f64();
+        let cpu_part = 0.6 * cfg.reference_ghz / self.cpu_ghz;
+        let io_part = 0.4 * cfg.reference_io_mbps / self.io_mbps;
+        let mut t = base * (cpu_part + io_part);
+        let join_weight = f64::from(template.joins) / 50.0;
+        let reference_buffer = 6.0;
+        if self.buffer_mb < reference_buffer {
+            let shortage = reference_buffer / self.buffer_mb - 1.0;
+            t *= 1.0 + (0.25 * join_weight * shortage).min(0.5);
+        }
+        if !self.hash_join && template.joins > 0 {
+            t *= 1.3;
+        }
+        SimDuration::from_secs_f64(t)
+    }
+}
+
+/// Dynamic node state: the FIFO backlog.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// The hardware.
+    pub hardware: NodeHardware,
+    /// Time until which already-accepted work occupies the node.
+    backlog_until: SimTime,
+    /// Queries currently queued or running.
+    pub queued: u32,
+    /// Total busy time accumulated (for utilization metrics).
+    pub busy: SimDuration,
+    /// Whether the node is alive (failure injection).
+    pub alive: bool,
+}
+
+impl NodeState {
+    /// A fresh idle node.
+    pub fn new(hardware: NodeHardware) -> NodeState {
+        NodeState {
+            hardware,
+            backlog_until: SimTime::ZERO,
+            queued: 0,
+            busy: SimDuration::ZERO,
+            alive: true,
+        }
+    }
+
+    /// Outstanding work as seen at `now`.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.backlog_until.saturating_since(now)
+    }
+
+    /// Estimated completion (queueing + execution) of a query with the
+    /// given execution time, if accepted at `now`.
+    pub fn estimated_completion(&self, now: SimTime, exec: SimDuration) -> SimDuration {
+        self.backlog(now) + exec
+    }
+
+    /// Accepts a query at `now`; returns its completion time.
+    pub fn accept(&mut self, now: SimTime, exec: SimDuration) -> SimTime {
+        debug_assert!(self.alive);
+        let start = if self.backlog_until > now {
+            self.backlog_until
+        } else {
+            now
+        };
+        let finish = start + exec;
+        self.backlog_until = finish;
+        self.queued += 1;
+        self.busy += exec;
+        finish
+    }
+
+    /// A query finished.
+    pub fn complete(&mut self) {
+        debug_assert!(self.queued > 0);
+        self.queued -= 1;
+    }
+
+    /// Marks the node dead (failure injection): it stops offering and its
+    /// queue is considered lost.
+    pub fn kill(&mut self) {
+        self.alive = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_simnet::SimDuration;
+    use qa_workload::{ClassId, RelationId};
+
+    fn cfg() -> SimConfig {
+        SimConfig::paper_defaults()
+    }
+
+    fn template(joins: u32, ms: u64) -> QueryTemplate {
+        QueryTemplate {
+            id: ClassId(0),
+            joins,
+            relations: (0..=joins).map(RelationId).collect(),
+            base_cost: SimDuration::from_millis(ms),
+            result_bytes: 1_000,
+        }
+    }
+
+    fn hw(cpu: f64, io: f64, buf: f64, hash: bool) -> NodeHardware {
+        NodeHardware {
+            cpu_ghz: cpu,
+            io_mbps: io,
+            buffer_mb: buf,
+            hash_join: hash,
+        }
+    }
+
+    #[test]
+    fn reference_hardware_runs_at_base_cost() {
+        let h = hw(2.3, 42.5, 6.0, true);
+        let t = h.execution_time(&template(10, 1_000), &cfg());
+        assert!((t.as_millis_f64() - 1_000.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn faster_cpu_runs_faster() {
+        let slow = hw(1.0, 42.5, 6.0, true);
+        let fast = hw(3.5, 42.5, 6.0, true);
+        let t = template(10, 1_000);
+        assert!(fast.execution_time(&t, &cfg()) < slow.execution_time(&t, &cfg()));
+    }
+
+    #[test]
+    fn io_speed_matters() {
+        let slow = hw(2.3, 5.0, 6.0, true);
+        let fast = hw(2.3, 80.0, 6.0, true);
+        let t = template(0, 1_000);
+        assert!(fast.execution_time(&t, &cfg()) < slow.execution_time(&t, &cfg()));
+    }
+
+    #[test]
+    fn small_buffer_penalizes_join_heavy_queries_only() {
+        let tight = hw(2.3, 42.5, 2.0, true);
+        let roomy = hw(2.3, 42.5, 10.0, true);
+        let scan = template(0, 1_000);
+        let joins = template(49, 1_000);
+        // 0-join query: no spill penalty.
+        assert!(
+            (tight.execution_time(&scan, &cfg()).as_millis_f64()
+                - roomy.execution_time(&scan, &cfg()).as_millis_f64())
+            .abs()
+                < 1.0
+        );
+        assert!(tight.execution_time(&joins, &cfg()) > roomy.execution_time(&joins, &cfg()));
+    }
+
+    #[test]
+    fn merge_only_nodes_pay_join_penalty() {
+        let merge = hw(2.3, 42.5, 6.0, false);
+        let hash = hw(2.3, 42.5, 6.0, true);
+        let joins = template(5, 1_000);
+        let scan = template(0, 1_000);
+        let ratio = merge.execution_time(&joins, &cfg()).as_millis_f64()
+            / hash.execution_time(&joins, &cfg()).as_millis_f64();
+        assert!((ratio - 1.3).abs() < 0.01);
+        assert_eq!(
+            merge.execution_time(&scan, &cfg()),
+            hash.execution_time(&scan, &cfg())
+        );
+    }
+
+    #[test]
+    fn sampled_hardware_in_ranges() {
+        let c = cfg();
+        let mut rng = DetRng::seed_from_u64(5);
+        let mut hash_count = 0;
+        for _ in 0..500 {
+            let h = NodeHardware::sample(&c, &mut rng);
+            assert!((1.0..3.5).contains(&h.cpu_ghz));
+            assert!((5.0..80.0).contains(&h.io_mbps));
+            assert!((2.0..10.0).contains(&h.buffer_mb));
+            hash_count += u32::from(h.hash_join);
+        }
+        // ~95% hash join.
+        assert!((450..=500).contains(&hash_count), "{hash_count}");
+    }
+
+    #[test]
+    fn fifo_queue_accumulates_backlog() {
+        let mut n = NodeState::new(hw(2.3, 42.5, 6.0, true));
+        let now = SimTime::from_millis(100);
+        let f1 = n.accept(now, SimDuration::from_millis(400));
+        assert_eq!(f1, SimTime::from_millis(500));
+        let f2 = n.accept(now, SimDuration::from_millis(100));
+        assert_eq!(f2, SimTime::from_millis(600), "second query queues behind");
+        assert_eq!(n.queued, 2);
+        assert_eq!(n.backlog(now), SimDuration::from_millis(500));
+        n.complete();
+        assert_eq!(n.queued, 1);
+    }
+
+    #[test]
+    fn idle_node_starts_immediately() {
+        let mut n = NodeState::new(hw(2.3, 42.5, 6.0, true));
+        let f = n.accept(SimTime::from_millis(1_000), SimDuration::from_millis(50));
+        assert_eq!(f, SimTime::from_millis(1_050));
+        // Long after finishing, backlog is zero.
+        assert_eq!(n.backlog(SimTime::from_millis(2_000)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn estimated_completion_matches_accept() {
+        let mut n = NodeState::new(hw(2.3, 42.5, 6.0, true));
+        let now = SimTime::from_millis(0);
+        n.accept(now, SimDuration::from_millis(300));
+        let est = n.estimated_completion(now, SimDuration::from_millis(200));
+        let actual = n.accept(now, SimDuration::from_millis(200));
+        assert_eq!(now + est, actual);
+    }
+}

@@ -1,0 +1,204 @@
+//! Deterministic future-event list.
+//!
+//! A discrete-event simulation is a loop that pops the earliest scheduled
+//! event, advances the clock to its timestamp, and lets the handler schedule
+//! further events. Correctness of our experiments requires *determinism*:
+//! two runs with the same seed must process events in the same order.
+//! `std::collections::BinaryHeap` alone is not enough because events with
+//! equal timestamps would pop in unspecified order, so every event carries a
+//! monotonically increasing sequence number used as a tie-breaker —
+//! simultaneous events pop in the order they were scheduled.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled for a point in virtual time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Scheduling order, used to break timestamp ties FIFO.
+    pub seq: u64,
+    /// The caller-defined payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    /// Reversed so that the *earliest* event is the max of the heap.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list with a virtual clock.
+///
+/// The queue owns the notion of "now": popping an event advances the clock,
+/// and scheduling in the past is a logic error that panics (it would make
+/// the simulation non-causal).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at the origin.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    /// The current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq,
+            payload,
+        });
+    }
+
+    /// Pops the earliest event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now);
+        self.now = ev.time;
+        Some(ev)
+    }
+
+    /// The timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Drops every pending event, keeping the clock where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "c");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_causal() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 1u32);
+        while let Some(ev) = q.pop() {
+            if ev.payload < 5 {
+                q.schedule(q.now() + SimDuration::from_millis(1), ev.payload + 1);
+            }
+        }
+        assert_eq!(q.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop().map(|e| e.payload), None);
+    }
+}

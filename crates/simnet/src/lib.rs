@@ -1,0 +1,37 @@
+//! # qa-simnet — discrete-event simulation kernel
+//!
+//! The substrate underneath the federation simulator of
+//! *Autonomic Query Allocation based on Microeconomics Principles*
+//! (Pentaris & Ioannidis, ICDE 2007), Section 5.1.
+//!
+//! The paper evaluates its QA-NT allocator on a from-scratch C++ simulator of
+//! a 100-node federation of autonomous RDBMSs. This crate provides the
+//! domain-independent pieces of such a simulator:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a virtual clock with microsecond
+//!   resolution (the paper works in milliseconds; we keep a finer grain so
+//!   message latencies do not round to zero),
+//! * [`EventQueue`] — a deterministic future-event list with stable FIFO
+//!   tie-breaking for simultaneous events,
+//! * [`DetRng`] and the distributions in [`dist`] — all randomness in an
+//!   experiment flows from a single seed, so every run is reproducible,
+//! * [`LinkSpec`] — a latency + bandwidth model for network links,
+//! * [`stats`] — streaming statistics (Welford mean/variance, histograms,
+//!   fixed-bin time series) used to produce the paper's figures.
+//!
+//! Everything here is deliberately generic: the same kernel drives the
+//! 100-node simulation (`qa-sim`) and the synthetic-workload generators
+//! (`qa-workload`).
+
+pub mod dist;
+pub mod event;
+pub mod link;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use dist::{Exponential, Uniform, Zipf};
+pub use event::{EventQueue, ScheduledEvent};
+pub use link::LinkSpec;
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

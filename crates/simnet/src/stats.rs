@@ -1,0 +1,321 @@
+//! Streaming statistics for experiment measurement.
+//!
+//! Each figure in the paper is built from per-period aggregates: the number
+//! of queries executed per time period and the average query response time
+//! (often normalized against QA-NT's). These collectors compute such
+//! aggregates in one pass without storing raw samples:
+//!
+//! * [`Welford`] — numerically stable running mean/variance,
+//! * [`Histogram`] — fixed-width bucket counts with percentile queries,
+//! * [`TimeSeries`] — per-period bins of a [`Welford`] plus a counter,
+//!   directly matching the paper's "per half second" plots (Fig. 3, 5c).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Welford's online algorithm for mean and variance.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Sample variance (n-1 denominator), or `None` with fewer than two
+    /// observations.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width-bucket histogram over `[0, width * buckets)`, with an
+/// overflow bucket at the top.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    width: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram of `buckets` buckets each `width` wide.
+    ///
+    /// # Panics
+    /// Panics if `width` is not positive or `buckets == 0`.
+    pub fn new(width: f64, buckets: usize) -> Self {
+        assert!(width.is_finite() && width > 0.0, "bad bucket width {width}");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            width,
+            counts: vec![0; buckets + 1], // last = overflow
+            total: 0,
+        }
+    }
+
+    /// Records one (non-negative) observation; negatives clamp to bucket 0.
+    pub fn record(&mut self, x: f64) {
+        let i = if x <= 0.0 {
+            0
+        } else {
+            ((x / self.width) as usize).min(self.counts.len() - 1)
+        };
+        self.counts[i] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate `q`-quantile (`0 < q <= 1`) using the upper edge of the
+    /// bucket containing it. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some((i as f64 + 1.0) * self.width);
+            }
+        }
+        Some(self.counts.len() as f64 * self.width)
+    }
+
+    /// Raw bucket counts (last bucket is overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// Per-period time series: bins observations by period index.
+///
+/// Matches the paper's measurement scheme: "in each time period, we measured
+/// the number of queries executed and the average query response time".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    period: SimDuration,
+    bins: Vec<Welford>,
+}
+
+impl TimeSeries {
+    /// A series binned in periods of the given length.
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        TimeSeries {
+            period,
+            bins: Vec::new(),
+        }
+    }
+
+    /// The bin length.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Records observation `x` at virtual time `at`.
+    pub fn record(&mut self, at: SimTime, x: f64) {
+        let idx = at.period_index(self.period) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize_with(idx + 1, Welford::new);
+        }
+        self.bins[idx].add(x);
+    }
+
+    /// Number of bins touched so far (trailing empty bins are not created).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `true` iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Per-bin observation counts.
+    pub fn counts(&self) -> Vec<u64> {
+        self.bins.iter().map(Welford::count).collect()
+    }
+
+    /// Per-bin means (`None` for empty bins).
+    pub fn means(&self) -> Vec<Option<f64>> {
+        self.bins.iter().map(Welford::mean).collect()
+    }
+
+    /// The accumulator for bin `i`, if it exists.
+    pub fn bin(&self, i: usize) -> Option<&Welford> {
+        self.bins.get(i)
+    }
+
+    /// Mean over *all* observations, across bins.
+    pub fn overall_mean(&self) -> Option<f64> {
+        let mut acc = Welford::new();
+        for b in &self.bins {
+            acc.merge(b);
+        }
+        acc.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean().unwrap() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((w.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+    }
+
+    #[test]
+    fn welford_empty_is_none() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.variance(), None);
+        assert_eq!(w.min(), None);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        let mut all = Welford::new();
+        for i in 0..100 {
+            let x = (i as f64).sin() * 10.0;
+            if i % 2 == 0 {
+                a.add(x);
+            } else {
+                b.add(x);
+            }
+            all.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean().unwrap() - all.mean().unwrap()).abs() < 1e-9);
+        assert!((a.variance().unwrap() - all.variance().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(10.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 * 10.0 + 5.0); // one per bucket
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 500.0).abs() <= 10.0, "p50 {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 980.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(1_000.0);
+        assert_eq!(*h.buckets().last().unwrap(), 1);
+    }
+
+    #[test]
+    fn histogram_empty_quantile_none() {
+        let h = Histogram::new(1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn time_series_bins_by_period() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(500));
+        ts.record(SimTime::from_millis(0), 1.0);
+        ts.record(SimTime::from_millis(499), 3.0);
+        ts.record(SimTime::from_millis(500), 10.0);
+        ts.record(SimTime::from_millis(1_700), 7.0);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.counts(), vec![2, 1, 0, 1]);
+        assert_eq!(ts.means()[0], Some(2.0));
+        assert_eq!(ts.means()[1], Some(10.0));
+        assert_eq!(ts.means()[2], None);
+        assert!((ts.overall_mean().unwrap() - 5.25).abs() < 1e-12);
+    }
+}

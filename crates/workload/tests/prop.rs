@@ -1,0 +1,94 @@
+//! Property tests for workload generation.
+
+use proptest::prelude::*;
+use qa_simnet::{DetRng, SimDuration, SimTime};
+use qa_workload::arrival::{ArrivalProcess, SinusoidProcess, UniformProcess, ZipfProcess};
+use qa_workload::{ClassId, Trace};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Traces are always time-sorted with dense ids and in-range origins.
+    #[test]
+    fn trace_invariants(
+        seed in any::<u64>(),
+        n in 0usize..200,
+        nodes in 1usize..50,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let arrivals: Vec<(SimTime, ClassId)> = (0..n)
+            .map(|_| {
+                (
+                    SimTime::from_millis(rng.int_in(0, 10_000)),
+                    ClassId(rng.int_in(0, 5) as u32),
+                )
+            })
+            .collect();
+        let t = Trace::from_arrivals(arrivals, nodes, &mut rng);
+        prop_assert_eq!(t.len(), n);
+        for (i, e) in t.iter().enumerate() {
+            prop_assert_eq!(e.id, i as u64);
+            prop_assert!(e.origin.index() < nodes);
+        }
+        for w in t.events().windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    /// Every arrival process respects the horizon.
+    #[test]
+    fn processes_respect_horizon(seed in any::<u64>(), secs in 1u64..30) {
+        let horizon = SimTime::from_secs(secs);
+        let mut rng = DetRng::seed_from_u64(seed);
+        let sin = SinusoidProcess::new(ClassId(0), 0.1, 20.0, 0.0);
+        for (t, _) in sin.generate(horizon, &mut rng) {
+            prop_assert!(t < horizon);
+        }
+        let zipf = ZipfProcess::paper(3, SimDuration::from_millis(500));
+        for (t, _) in zipf.generate(horizon, &mut rng) {
+            prop_assert!(t < horizon);
+        }
+        let uni = UniformProcess {
+            mean_gap: SimDuration::from_millis(200),
+            classes: vec![ClassId(0), ClassId(1)],
+            max_queries: None,
+        };
+        for (t, _) in uni.generate(horizon, &mut rng) {
+            prop_assert!(t < horizon);
+        }
+    }
+
+    /// The sinusoid's empirical rate is bounded by its peak.
+    #[test]
+    fn sinusoid_rate_bounded(seed in any::<u64>(), peak in 1.0f64..50.0) {
+        let p = SinusoidProcess::new(ClassId(0), 0.2, peak, 0.0);
+        let mut rng = DetRng::seed_from_u64(seed);
+        let arrivals = p.generate(SimTime::from_secs(30), &mut rng);
+        // Expected count = peak/2 × 30; allow generous stochastic slack.
+        let expected = peak / 2.0 * 30.0;
+        prop_assert!(
+            (arrivals.len() as f64) < 2.0 * expected + 30.0,
+            "{} arrivals for expected {expected}",
+            arrivals.len()
+        );
+    }
+
+    /// Merging traces preserves every event and global order.
+    #[test]
+    fn trace_merge_preserves_events(seed in any::<u64>(), n1 in 0usize..50, n2 in 0usize..50) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mk = |n: usize, rng: &mut DetRng| {
+            let arrivals: Vec<(SimTime, ClassId)> = (0..n)
+                .map(|_| (SimTime::from_millis(rng.int_in(0, 1_000)), ClassId(0)))
+                .collect();
+            Trace::from_arrivals(arrivals, 3, rng)
+        };
+        let a = mk(n1, &mut rng);
+        let b = mk(n2, &mut rng);
+        let merged = a.clone().merge(b.clone());
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        for w in merged.events().windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+    }
+}

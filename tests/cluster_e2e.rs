@@ -1,0 +1,93 @@
+//! End-to-end checks of the threaded deployment (§5.2 at CI scale).
+
+use query_markets::cluster::{run_experiment, ClusterConfig, ClusterMechanism, ClusterSpec};
+use query_markets::workload::ClassId;
+
+fn spec() -> ClusterSpec {
+    ClusterSpec::generate(31, 5, 8, 12, 6, 60)
+}
+
+#[test]
+fn greedy_and_qant_both_finish_the_workload() {
+    let s = spec();
+    for mech in [ClusterMechanism::Greedy, ClusterMechanism::QaNt] {
+        let mut cfg = ClusterConfig::ci_scale(mech, 4);
+        cfg.num_queries = 25;
+        let r = run_experiment(&s, &cfg);
+        assert_eq!(r.outcomes.len(), 25, "{mech}");
+        assert_eq!(r.failed, 0, "{mech}: {:?}", r.outcomes.iter().find(|o| o.error.is_some()));
+        assert!(r.mean_total_ms >= r.mean_assign_ms, "{mech}");
+        assert!(r.mean_assign_ms > 0.0, "{mech}");
+    }
+}
+
+#[test]
+fn queries_only_land_on_nodes_with_the_data() {
+    let s = spec();
+    let mut cfg = ClusterConfig::ci_scale(ClusterMechanism::QaNt, 5);
+    cfg.num_queries = 20;
+    let r = run_experiment(&s, &cfg);
+    for o in &r.outcomes {
+        if let Some(n) = o.node {
+            assert!(
+                s.capable_nodes(ClassId(o.class)).contains(&n),
+                "query {} of class {} landed on incapable node {n}",
+                o.query,
+                o.class
+            );
+        }
+    }
+}
+
+#[test]
+fn results_are_correct_wherever_executed() {
+    // Replicas are identical, so the same query must return the same row
+    // count on every capable node — verified directly against fresh
+    // engines outside the cluster.
+    let s = spec();
+    let class = &s.classes[0];
+    let capable = s.capable_nodes(class.id);
+    assert!(!capable.is_empty());
+    let sql = class.instantiate(42);
+    let mut counts = Vec::new();
+    for &node in &capable {
+        let mut db = query_markets::minidb::Database::new();
+        for stmt in s.node_statements(node) {
+            db.execute(&stmt).unwrap();
+        }
+        for t in &s.tables {
+            if t.copies.contains(&node) {
+                db.load_rows(&t.name, s.table_rows(t, 4)).unwrap();
+            }
+        }
+        counts.push(db.query(&sql).unwrap().rows.len());
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
+
+#[test]
+fn slow_node_attracts_less_work_under_both_mechanisms() {
+    let s = spec();
+    // Node with the largest slowdown.
+    let slowest = (0..s.num_nodes)
+        .max_by(|&a, &b| s.slowdown[a].partial_cmp(&s.slowdown[b]).unwrap())
+        .unwrap();
+    for mech in [ClusterMechanism::Greedy, ClusterMechanism::QaNt] {
+        let mut cfg = ClusterConfig::ci_scale(mech, 6);
+        cfg.num_queries = 40;
+        let r = run_experiment(&s, &cfg);
+        let mut per_node = vec![0usize; s.num_nodes];
+        for o in r.outcomes.iter().filter(|o| o.error.is_none()) {
+            if let Some(n) = o.node {
+                per_node[n] += 1;
+            }
+        }
+        let total: usize = per_node.iter().sum();
+        assert!(
+            per_node[slowest] * 3 <= total,
+            "{mech}: slowest node {slowest} did {}/{} queries: {per_node:?}",
+            per_node[slowest],
+            total
+        );
+    }
+}
