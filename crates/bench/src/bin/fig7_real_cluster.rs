@@ -58,8 +58,8 @@ fn main() {
     println!("Figure 7 — real implementation over live engines (5 threaded nodes)\n");
     let mut out_rows = Vec::new();
     for (label, greedy_cfg, qant_cfg) in configs {
-        let g = run_experiment(&spec, &greedy_cfg);
-        let q = run_experiment(&spec, &qant_cfg);
+        let g = run_experiment(&spec, &greedy_cfg).expect("spec has evaluable classes");
+        let q = run_experiment(&spec, &qant_cfg).expect("spec has evaluable classes");
         for r in [&g, &q] {
             out_rows.push(Fig7Row {
                 experiment: label.clone(),

@@ -5,23 +5,42 @@
 //!
 //! * **assignment time** — from issue until a node is chosen (the paper's
 //!   "time required by Greedy and QA-NT to assign a query to a node"; both
-//!   protocols wait for a reply from *all* capable nodes, so a busy slow
-//!   node stretches this),
+//!   protocols poll every capable node, so a busy slow node stretches
+//!   this),
 //! * **total time** — assignment plus execution ("time to assign + execute
 //!   query").
 //!
 //! These are exactly Figure 7's two bars per mechanism.
+//!
+//! ## Resilience
+//!
+//! The driver never assumes the fleet is healthy. Negotiation replies are
+//! collected under a deadline ([`ClusterConfig::reply_timeout`]) — a lost
+//! or late reply is treated as a non-offer, not a protocol failure. A node
+//! whose mailbox disconnects (crash injection via
+//! [`ClusterConfig::crashes`], or a dead worker) is dropped from the
+//! candidate set and the run finishes without it; a query that was
+//! executing there is re-allocated. Failed attempts retry with capped
+//! exponential backoff and a bounded budget ([`ClusterConfig::max_retries`])
+//! so nothing livelocks. All environmental failures surface as
+//! [`ClusterError`] values in the per-query outcomes — the request, offer
+//! and execute paths never panic.
 
-use crate::node::{spawn_node, EstimateReply, ExecReply, NodeHandle, NodeMsg, OfferReply};
+use crate::error::ClusterError;
+use crate::node::{spawn_node_with_faults, EstimateReply, ExecReply, NodeHandle, NodeMsg, OfferReply};
 use crate::setup::ClusterSpec;
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use qa_core::QantConfig;
-use qa_simnet::{DetRng, SimDuration};
+use qa_simnet::{DetRng, FaultPlan, SimDuration};
 use qa_workload::ClassId;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Hard ceiling on one query execution (a node may legitimately be slow,
+/// but past this the run must move on).
+const EXEC_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Which mechanism drives allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,8 +78,20 @@ pub struct ClusterConfig {
     pub rows_per_table: usize,
     /// The mechanism under test.
     pub mechanism: ClusterMechanism,
-    /// Maximum QA-NT resubmissions before giving up on a query.
+    /// Maximum resubmissions before giving up on a query (QA-NT
+    /// rejections, lost negotiations and crash re-allocations all spend
+    /// from this budget).
     pub max_retries: u32,
+    /// Deadline for collecting negotiation replies. Replies missing at the
+    /// deadline count as non-offers; the protocol no longer blocks on the
+    /// full candidate set.
+    pub reply_timeout: Duration,
+    /// Link-fault schedule keyed by node ([`FaultPlan::none`] = healthy).
+    /// Outage-window offsets are measured from experiment start.
+    pub faults: FaultPlan,
+    /// Crash schedule: `(node, delay after start)`. Crashed nodes drop out
+    /// of the candidate set; the run finishes without them.
+    pub crashes: Vec<(usize, Duration)>,
 }
 
 impl ClusterConfig {
@@ -74,6 +105,9 @@ impl ClusterConfig {
             rows_per_table: 80,
             mechanism,
             max_retries: 100,
+            reply_timeout: Duration::from_secs(60),
+            faults: FaultPlan::none(),
+            crashes: Vec::new(),
         }
     }
 
@@ -89,6 +123,9 @@ impl ClusterConfig {
             rows_per_table: 50_000,
             mechanism,
             max_retries: 2_000,
+            reply_timeout: Duration::from_secs(60),
+            faults: FaultPlan::none(),
+            crashes: Vec::new(),
         }
     }
 }
@@ -106,7 +143,7 @@ pub struct QueryOutcome {
     pub assign_ms: f64,
     /// Time from issue to result (ms).
     pub total_ms: f64,
-    /// QA-NT resubmissions needed.
+    /// Resubmissions needed (rejections, losses and re-allocations).
     pub retries: u32,
     /// Error text if the query failed or was never assigned.
     pub error: Option<String>,
@@ -125,11 +162,55 @@ pub struct ExperimentResult {
     pub mean_total_ms: f64,
     /// Queries that never completed.
     pub failed: usize,
+    /// Fraction of issued queries that completed.
+    pub completion_rate: f64,
+}
+
+/// State shared by every per-query protocol thread.
+struct Shared {
+    senders: Vec<Sender<NodeMsg>>,
+    mechanism: ClusterMechanism,
+    period: Duration,
+    reply_timeout: Duration,
+    max_retries: u32,
+    /// Nodes known to be gone; maintained cooperatively by whoever
+    /// observes a disconnected channel (and by the crash injector).
+    dead: Vec<AtomicBool>,
+}
+
+impl Shared {
+    fn mark_dead(&self, node: usize) {
+        self.dead[node].store(true, Ordering::Relaxed);
+    }
+
+    fn live_candidates(&self, capable: &[usize]) -> Vec<usize> {
+        capable
+            .iter()
+            .copied()
+            .filter(|&n| !self.dead[n].load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Capped exponential backoff between allocation attempts: one period,
+/// doubling per retry, never more than eight periods.
+fn backoff(period: Duration, attempt: u32) -> Duration {
+    let factor = 1u32 << attempt.min(3);
+    period.saturating_mul(factor)
 }
 
 /// Runs one experiment: builds the fleet, replays the workload, tears the
 /// fleet down, returns measurements.
-pub fn run_experiment(spec: &ClusterSpec, config: &ClusterConfig) -> ExperimentResult {
+///
+/// # Errors
+/// Returns [`ClusterError::NoCandidates`] when the spec has no evaluable
+/// query class. Per-query environmental failures (crashes, losses,
+/// timeouts) do *not* fail the experiment — they are recorded in the
+/// outcomes.
+pub fn run_experiment(
+    spec: &ClusterSpec,
+    config: &ClusterConfig,
+) -> Result<ExperimentResult, ClusterError> {
     let qant_cfg = match config.mechanism {
         ClusterMechanism::QaNt => Some(QantConfig {
             period: SimDuration::from_millis(config.period.as_millis() as u64),
@@ -142,13 +223,32 @@ pub fn run_experiment(spec: &ClusterSpec, config: &ClusterConfig) -> ExperimentR
         }),
         ClusterMechanism::Greedy => None,
     };
+    let epoch = Instant::now();
     let nodes: Vec<NodeHandle> = (0..spec.num_nodes)
-        .map(|n| spawn_node(spec, n, config.seed, qant_cfg))
+        .map(|n| {
+            spawn_node_with_faults(
+                spec,
+                n,
+                config.seed,
+                qant_cfg,
+                config.faults.link(n).clone(),
+                epoch,
+            )
+        })
         .collect();
     let senders: Vec<_> = nodes.iter().map(|n| n.sender.clone()).collect();
+    let shared = Arc::new(Shared {
+        senders: senders.clone(),
+        mechanism: config.mechanism,
+        period: config.period,
+        reply_timeout: config.reply_timeout,
+        max_retries: config.max_retries,
+        dead: (0..spec.num_nodes).map(|_| AtomicBool::new(false)).collect(),
+    });
+
+    let stop = Arc::new(AtomicBool::new(false));
 
     // QA-NT period ticker.
-    let stop = Arc::new(AtomicBool::new(false));
     let ticker = {
         let stop = Arc::clone(&stop);
         let senders = senders.clone();
@@ -164,6 +264,31 @@ pub fn run_experiment(spec: &ClusterSpec, config: &ClusterConfig) -> ExperimentR
         })
     };
 
+    // Crash injector: kills scheduled nodes by shutting their mailbox,
+    // exactly like a process death — in-flight replies are lost and every
+    // later send fails. Polls the stop flag so a schedule reaching past
+    // the run's end cannot block teardown.
+    let crash_injector = {
+        let stop = Arc::clone(&stop);
+        let shared = Arc::clone(&shared);
+        let mut crashes = config.crashes.clone();
+        crashes.sort_by_key(|&(_, delay)| delay);
+        std::thread::spawn(move || {
+            for (node, delay) in crashes {
+                while epoch.elapsed() < delay {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                if node < shared.senders.len() {
+                    shared.mark_dead(node);
+                    let _ = shared.senders[node].send(NodeMsg::Shutdown);
+                }
+            }
+        })
+    };
+
     // Pre-generate the workload: (delay-from-previous, class, sql).
     let mut rng = DetRng::seed_from_u64(config.seed).derive("cluster-workload");
     let usable: Vec<&crate::setup::QueryClassSpec> = spec
@@ -171,7 +296,15 @@ pub fn run_experiment(spec: &ClusterSpec, config: &ClusterConfig) -> ExperimentR
         .iter()
         .filter(|c| !spec.capable_nodes(c.id).is_empty())
         .collect();
-    assert!(!usable.is_empty(), "no evaluable query class");
+    if usable.is_empty() {
+        stop.store(true, Ordering::Relaxed);
+        let _ = ticker.join();
+        let _ = crash_injector.join();
+        for n in nodes {
+            n.shutdown();
+        }
+        return Err(ClusterError::NoCandidates);
+    }
     let mean_ms = config.mean_interarrival.as_secs_f64() * 1e3;
     let workload: Vec<(Duration, ClassId, String)> = (0..config.num_queries)
         .map(|_| {
@@ -186,15 +319,11 @@ pub fn run_experiment(spec: &ClusterSpec, config: &ClusterConfig) -> ExperimentR
     let mut issue_threads = Vec::new();
     for (i, (gap, class, sql)) in workload.into_iter().enumerate() {
         std::thread::sleep(gap);
-        let senders = senders.clone();
         let capable = spec.capable_nodes(class);
         let done = done_tx.clone();
-        let mechanism = config.mechanism;
-        let period = config.period;
-        let max_retries = config.max_retries;
+        let shared = Arc::clone(&shared);
         issue_threads.push(std::thread::spawn(move || {
-            let outcome =
-                run_one(i, class, sql, &senders, &capable, mechanism, period, max_retries);
+            let outcome = run_one(i, class, sql, &capable, &shared);
             let _ = done.send(outcome);
         }));
     }
@@ -208,6 +337,7 @@ pub fn run_experiment(spec: &ClusterSpec, config: &ClusterConfig) -> ExperimentR
 
     stop.store(true, Ordering::Relaxed);
     let _ = ticker.join();
+    let _ = crash_injector.join();
     for n in nodes {
         n.shutdown();
     }
@@ -220,124 +350,212 @@ pub fn run_experiment(spec: &ClusterSpec, config: &ClusterConfig) -> ExperimentR
             ok.iter().map(|o| f(o)).sum::<f64>() / ok.len() as f64
         }
     };
-    ExperimentResult {
+    let completion_rate = if outcomes.is_empty() {
+        1.0
+    } else {
+        ok.len() as f64 / outcomes.len() as f64
+    };
+    Ok(ExperimentResult {
         mechanism: config.mechanism.to_string(),
         mean_assign_ms: mean(|o| o.assign_ms),
         mean_total_ms: mean(|o| o.total_ms),
         failed: outcomes.len() - ok.len(),
+        completion_rate,
         outcomes,
+    })
+}
+
+/// Collects replies under the shared deadline. Stops early once all `sent`
+/// reply senders have answered or disconnected; missing replies are simply
+/// absent from the result (loss tolerance).
+fn collect_replies<T>(rx: &Receiver<T>, sent: usize, deadline: Instant) -> Vec<T> {
+    let mut got = Vec::with_capacity(sent);
+    while got.len() < sent {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        match rx.recv_timeout(remaining) {
+            Ok(r) => got.push(r),
+            // Timeout: the deadline expired with replies outstanding.
+            // Disconnected: every outstanding reply sender was dropped
+            // (replies fault-dropped, or the node died). Either way the
+            // client proceeds with what it has.
+            Err(_) => break,
+        }
+    }
+    got
+}
+
+/// One allocation attempt round: polls the live candidates, returns the
+/// chosen node if any reply produced one. Send failures mark nodes dead.
+fn poll_round(
+    shared: &Shared,
+    capable: &[usize],
+    class: ClassId,
+    sql: &str,
+) -> Result<Option<usize>, ClusterError> {
+    let live = shared.live_candidates(capable);
+    if live.is_empty() {
+        return Err(ClusterError::NoCandidates);
+    }
+    let deadline = Instant::now() + shared.reply_timeout;
+    match shared.mechanism {
+        ClusterMechanism::Greedy => {
+            let (tx, rx) = unbounded::<EstimateReply>();
+            let mut sent = 0;
+            for &n in &live {
+                let msg = NodeMsg::Estimate {
+                    sql: sql.to_string(),
+                    reply: tx.clone(),
+                };
+                if shared.senders[n].send(msg).is_err() {
+                    shared.mark_dead(n);
+                } else {
+                    sent += 1;
+                }
+            }
+            drop(tx);
+            let mut best: Option<(f64, usize)> = None;
+            for r in collect_replies(&rx, sent, deadline) {
+                let better = match best {
+                    None => true,
+                    Some((b, _)) => r.exec_ms < b,
+                };
+                if better {
+                    best = Some((r.exec_ms, r.node));
+                }
+            }
+            Ok(best.map(|(_, n)| n))
+        }
+        ClusterMechanism::QaNt => {
+            let (tx, rx) = unbounded::<OfferReply>();
+            let mut sent = 0;
+            for &n in &live {
+                let msg = NodeMsg::CallForOffers {
+                    class,
+                    sql: sql.to_string(),
+                    reply: tx.clone(),
+                };
+                if shared.senders[n].send(msg).is_err() {
+                    shared.mark_dead(n);
+                } else {
+                    sent += 1;
+                }
+            }
+            drop(tx);
+            let mut best: Option<(f64, usize)> = None;
+            for r in collect_replies(&rx, sent, deadline) {
+                if !r.offered {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((b, _)) => r.completion_ms < b,
+                };
+                if better {
+                    best = Some((r.completion_ms, r.node));
+                }
+            }
+            Ok(best.map(|(_, n)| n))
+        }
     }
 }
 
-/// Runs the allocation protocol + execution for one query.
-#[allow(clippy::too_many_arguments)]
+/// Runs the allocation protocol + execution for one query. Environmental
+/// failures are retried within the budget and otherwise recorded in the
+/// outcome; this function never panics.
 fn run_one(
     idx: usize,
     class: ClassId,
     sql: String,
-    senders: &[crossbeam::channel::Sender<NodeMsg>],
     capable: &[usize],
-    mechanism: ClusterMechanism,
-    period: Duration,
-    max_retries: u32,
+    shared: &Shared,
 ) -> QueryOutcome {
     let issued = Instant::now();
-    let timeout = Duration::from_secs(60);
-    let fail = |msg: &str, retries: u32| QueryOutcome {
+    let fail = |err: ClusterError, retries: u32| QueryOutcome {
         query: idx,
         class: class.0,
         node: None,
         assign_ms: issued.elapsed().as_secs_f64() * 1e3,
         total_ms: issued.elapsed().as_secs_f64() * 1e3,
         retries,
-        error: Some(msg.to_string()),
+        error: Some(err.to_string()),
     };
 
-    let (chosen, retries) = match mechanism {
-        ClusterMechanism::Greedy => {
-            // Poll everyone, wait for all replies (§5.2: "waited for a
-            // reply from all nodes"), take the minimum estimate.
-            let (tx, rx) = unbounded::<EstimateReply>();
-            for &n in capable {
-                let _ = senders[n].send(NodeMsg::Estimate {
-                    sql: sql.clone(),
-                    reply: tx.clone(),
-                });
-            }
-            drop(tx);
-            let mut best: Option<(f64, usize)> = None;
-            for _ in 0..capable.len() {
-                match rx.recv_timeout(timeout) {
-                    Ok(r) => {
-                        if best.is_none() || r.exec_ms < best.expect("some").0 {
-                            best = Some((r.exec_ms, r.node));
-                        }
+    let mut retries = 0u32;
+    loop {
+        // Allocation: poll, and on an empty round (all rejections, or all
+        // replies lost) back off and resubmit — §2.2's next-period retry,
+        // with exponential growth so a partitioned network is not spammed.
+        let chosen = loop {
+            match poll_round(shared, capable, class, &sql) {
+                Err(e) => return fail(e, retries),
+                Ok(Some(n)) => break n,
+                Ok(None) => {
+                    retries += 1;
+                    if retries > shared.max_retries {
+                        return fail(ClusterError::RetriesExhausted { retries }, retries);
                     }
-                    Err(_) => return fail("estimate timeout", 0),
+                    std::thread::sleep(backoff(shared.period, retries - 1));
                 }
             }
-            match best {
-                Some((_, n)) => (n, 0),
-                None => return fail("no capable node", 0),
-            }
-        }
-        ClusterMechanism::QaNt => {
-            let mut retries = 0;
-            loop {
-                let (tx, rx) = unbounded::<OfferReply>();
-                for &n in capable {
-                    let _ = senders[n].send(NodeMsg::CallForOffers {
-                        class,
-                        sql: sql.clone(),
-                        reply: tx.clone(),
-                    });
-                }
-                drop(tx);
-                let mut best: Option<(f64, usize)> = None;
-                for _ in 0..capable.len() {
-                    match rx.recv_timeout(timeout) {
-                        Ok(r) if r.offered => {
-                            if best.is_none() || r.completion_ms < best.expect("some").0 {
-                                best = Some((r.completion_ms, r.node));
-                            }
-                        }
-                        Ok(_) => {}
-                        Err(_) => return fail("offer timeout", retries),
-                    }
-                }
-                match best {
-                    Some((_, n)) => break (n, retries),
-                    None => {
-                        retries += 1;
-                        if retries > max_retries {
-                            return fail("no offers after retries", retries);
-                        }
-                        // §2.2: resubmit in the next time period.
-                        std::thread::sleep(period);
-                    }
-                }
-            }
-        }
-    };
-    let assign_ms = issued.elapsed().as_secs_f64() * 1e3;
+        };
+        let assign_ms = issued.elapsed().as_secs_f64() * 1e3;
 
-    let (tx, rx) = unbounded::<ExecReply>();
-    let _ = senders[chosen].send(NodeMsg::Execute {
-        sql,
-        class,
-        reply: tx,
-    });
-    match rx.recv_timeout(timeout) {
-        Ok(r) => QueryOutcome {
-            query: idx,
-            class: class.0,
-            node: Some(chosen),
-            assign_ms,
-            total_ms: issued.elapsed().as_secs_f64() * 1e3,
-            retries,
-            error: r.error,
-        },
-        Err(_) => fail("execution timeout", retries),
+        // Execution. A disconnect means the chosen node crashed with our
+        // query: drop it from the candidate set and re-allocate (the
+        // cluster analogue of the simulator's crash re-entry).
+        let (tx, rx) = unbounded::<ExecReply>();
+        let msg = NodeMsg::Execute {
+            sql: sql.clone(),
+            class,
+            reply: tx,
+        };
+        if shared.senders[chosen].send(msg).is_err() {
+            shared.mark_dead(chosen);
+            retries += 1;
+            if retries > shared.max_retries {
+                return fail(ClusterError::RetriesExhausted { retries }, retries);
+            }
+            continue;
+        }
+        match rx.recv_timeout(EXEC_TIMEOUT) {
+            Ok(r) => {
+                return QueryOutcome {
+                    query: idx,
+                    class: class.0,
+                    node: Some(chosen),
+                    assign_ms,
+                    total_ms: issued.elapsed().as_secs_f64() * 1e3,
+                    retries,
+                    error: r.error,
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                shared.mark_dead(chosen);
+                retries += 1;
+                if retries > shared.max_retries {
+                    return fail(
+                        ClusterError::ChannelClosed {
+                            phase: "execute",
+                            node: chosen,
+                        },
+                        retries,
+                    );
+                }
+                std::thread::sleep(backoff(shared.period, retries - 1));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                return fail(
+                    ClusterError::Timeout {
+                        phase: "execute",
+                        node: chosen,
+                    },
+                    retries,
+                )
+            }
+        }
     }
 }
 
@@ -353,9 +571,10 @@ mod tests {
     fn greedy_experiment_completes_all_queries() {
         let s = spec();
         let cfg = ClusterConfig::ci_scale(ClusterMechanism::Greedy, 11);
-        let r = run_experiment(&s, &cfg);
+        let r = run_experiment(&s, &cfg).expect("healthy spec");
         assert_eq!(r.outcomes.len(), cfg.num_queries);
         assert_eq!(r.failed, 0, "{:?}", r.outcomes.iter().find(|o| o.error.is_some()));
+        assert_eq!(r.completion_rate, 1.0);
         assert!(r.mean_assign_ms > 0.0);
         assert!(r.mean_total_ms >= r.mean_assign_ms);
     }
@@ -364,7 +583,7 @@ mod tests {
     fn qant_experiment_completes_all_queries() {
         let s = spec();
         let cfg = ClusterConfig::ci_scale(ClusterMechanism::QaNt, 11);
-        let r = run_experiment(&s, &cfg);
+        let r = run_experiment(&s, &cfg).expect("healthy spec");
         assert_eq!(r.outcomes.len(), cfg.num_queries);
         assert_eq!(r.failed, 0, "{:?}", r.outcomes.iter().find(|o| o.error.is_some()));
         assert!(r.mean_total_ms.is_finite());
@@ -376,13 +595,107 @@ mod tests {
         for mech in [ClusterMechanism::Greedy, ClusterMechanism::QaNt] {
             let mut cfg = ClusterConfig::ci_scale(mech, 13);
             cfg.num_queries = 15;
-            let r = run_experiment(&s, &cfg);
+            let r = run_experiment(&s, &cfg).expect("healthy spec");
             for o in &r.outcomes {
                 if let Some(n) = o.node {
                     let capable = s.capable_nodes(ClassId(o.class));
                     assert!(capable.contains(&n), "query {} on incapable node {n}", o.query);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let p = Duration::from_millis(40);
+        assert_eq!(backoff(p, 0), p);
+        assert_eq!(backoff(p, 1), p * 2);
+        assert_eq!(backoff(p, 3), p * 8);
+        assert_eq!(backoff(p, 30), p * 8, "cap at eight periods");
+    }
+
+    #[test]
+    fn crashed_node_is_dropped_and_run_finishes() {
+        let s = spec();
+        let mut cfg = ClusterConfig::ci_scale(ClusterMechanism::Greedy, 17);
+        cfg.num_queries = 25;
+        cfg.reply_timeout = Duration::from_secs(5);
+        // Kill two nodes early; the rest of the fleet must finish the run.
+        // (Inter-arrival gaps are ≥ 2.5 ms, so query 10 is provably issued
+        // after both crashes.)
+        cfg.crashes = vec![
+            (0, Duration::from_millis(10)),
+            (1, Duration::from_millis(20)),
+        ];
+        let r = run_experiment(&s, &cfg).expect("spec has classes");
+        assert_eq!(r.outcomes.len(), cfg.num_queries);
+        // Queries issued well after the crashes never land on the dead
+        // nodes (index 15 is issued ≥ 40 ms in, leaving slack for the
+        // injector's 5 ms poll granularity and scheduler jitter).
+        for o in r.outcomes.iter().filter(|o| o.query >= 15) {
+            if let Some(n) = o.node {
+                assert!(n > 1, "query {} assigned to crashed node {n}", o.query);
+            }
+        }
+        // Classes only nodes 0/1 could evaluate are correctly unservable;
+        // everything else must finish.
+        let stranded: Vec<u32> = s
+            .classes
+            .iter()
+            .filter(|c| {
+                let cap = s.capable_nodes(c.id);
+                !cap.is_empty() && cap.iter().all(|&m| m <= 1)
+            })
+            .map(|c| c.id.0)
+            .collect();
+        let eligible: Vec<_> = r
+            .outcomes
+            .iter()
+            .filter(|o| !stranded.contains(&o.class) && o.query >= 15)
+            .collect();
+        let ok = eligible.iter().filter(|o| o.error.is_none()).count();
+        assert!(
+            ok * 10 >= eligible.len() * 9,
+            "servable post-crash queries must complete: {ok}/{}",
+            eligible.len()
+        );
+    }
+
+    #[test]
+    fn lossy_links_degrade_gracefully() {
+        use qa_simnet::LinkFaults;
+        let s = spec();
+        let mut cfg = ClusterConfig::ci_scale(ClusterMechanism::QaNt, 19);
+        cfg.num_queries = 20;
+        cfg.reply_timeout = Duration::from_secs(5);
+        cfg.faults = FaultPlan::uniform(LinkFaults::lossy(0.2));
+        let r = run_experiment(&s, &cfg).expect("spec has classes");
+        assert_eq!(r.outcomes.len(), cfg.num_queries);
+        assert!(
+            r.completion_rate >= 0.95,
+            "QA-NT must ride out 20% negotiation loss: {}",
+            r.completion_rate
+        );
+    }
+
+    #[test]
+    fn all_classes_impossible_is_an_error() {
+        // A spec whose only class has no capable nodes cannot run.
+        let mut s = spec();
+        s.classes.truncate(1);
+        let id = s.classes[0].id;
+        // Remove every copy of the tables the class needs.
+        let needed: Vec<usize> = s.classes[0].tables.clone();
+        for (i, t) in s.tables.iter_mut().enumerate() {
+            if needed.contains(&i) {
+                t.copies.clear();
+            }
+        }
+        assert!(s.capable_nodes(id).is_empty());
+        let cfg = ClusterConfig::ci_scale(ClusterMechanism::Greedy, 23);
+        match run_experiment(&s, &cfg) {
+            Err(ClusterError::NoCandidates) => {}
+            other => panic!("expected NoCandidates, got {other:?}"),
         }
     }
 }

@@ -1,0 +1,102 @@
+//! Failure taxonomy for the cluster driver.
+//!
+//! The driver talks to autonomous node threads over channels; any of them
+//! can die (crash injection, a panicked worker) or stall (a saturated
+//! single-worker DBMS). Those are *environmental* failures and must not
+//! panic the experiment — they surface as [`ClusterError`] values that the
+//! driver either retries around (allocation paths) or records in the
+//! per-query outcome. Panics remain reserved for programmer errors
+//! (malformed generated SQL, impossible specs), which are documented at
+//! their `expect` sites.
+
+use std::fmt;
+
+/// An environmental failure in the cluster protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A node's mailbox or reply channel disconnected: the node thread is
+    /// gone (crashed or shut down).
+    ChannelClosed {
+        /// Protocol phase ("estimate", "offer", "execute", …).
+        phase: &'static str,
+        /// The node that went away.
+        node: usize,
+    },
+    /// A reply did not arrive within the deadline. The node may be alive
+    /// but saturated, or the message may have been lost.
+    Timeout {
+        /// Protocol phase.
+        phase: &'static str,
+        /// The node polled (or `usize::MAX` when waiting on many).
+        node: usize,
+    },
+    /// No live capable node remains for a query class.
+    NoCandidates,
+    /// The query exhausted its retry budget without being placed.
+    RetriesExhausted {
+        /// Attempts made.
+        retries: u32,
+    },
+    /// Deployment-time failure (spec or data loading).
+    Setup(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::ChannelClosed { phase, node } => {
+                write!(f, "node {node} disconnected during {phase}")
+            }
+            ClusterError::Timeout { phase, node } => {
+                if *node == usize::MAX {
+                    write!(f, "{phase} deadline expired")
+                } else {
+                    write!(f, "node {node} timed out during {phase}")
+                }
+            }
+            ClusterError::NoCandidates => write!(f, "no live capable node"),
+            ClusterError::RetriesExhausted { retries } => {
+                write!(f, "no placement after {retries} retries")
+            }
+            ClusterError::Setup(msg) => write!(f, "setup failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(
+            ClusterError::ChannelClosed {
+                phase: "offer",
+                node: 3
+            }
+            .to_string(),
+            "node 3 disconnected during offer"
+        );
+        assert_eq!(
+            ClusterError::Timeout {
+                phase: "offer collection",
+                node: usize::MAX
+            }
+            .to_string(),
+            "offer collection deadline expired"
+        );
+        assert_eq!(ClusterError::NoCandidates.to_string(), "no live capable node");
+        assert_eq!(
+            ClusterError::RetriesExhausted { retries: 7 }.to_string(),
+            "no placement after 7 retries"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ClusterError::NoCandidates);
+    }
+}

@@ -23,13 +23,19 @@
 //!
 //! * [`setup`] — deployment generator: tables, views, copies, query classes,
 //! * [`node`] — the node thread: minidb + QA-NT market state + estimator,
+//!   optionally behind a lossy link ([`spawn_node_with_faults`]),
 //! * [`driver`] — the experiment driver: workload replay, allocation
-//!   protocols (Greedy and QA-NT), Figure-7 measurements.
+//!   protocols (Greedy and QA-NT), Figure-7 measurements, crash injection
+//!   and loss-tolerant reply collection,
+//! * [`error`] — the [`ClusterError`] taxonomy for environmental failures
+//!   (the protocol paths never panic).
 
 pub mod driver;
+pub mod error;
 pub mod node;
 pub mod setup;
 
 pub use driver::{run_experiment, ClusterConfig, ClusterMechanism, ExperimentResult};
-pub use node::{NodeHandle, NodeMsg};
+pub use error::ClusterError;
+pub use node::{spawn_node, spawn_node_with_faults, NodeHandle, NodeMsg};
 pub use setup::{ClusterSpec, QueryClassSpec};

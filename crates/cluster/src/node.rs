@@ -14,10 +14,13 @@ use crate::setup::ClusterSpec;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use qa_core::{PlanHistoryEstimator, QantConfig, QantNode};
 use qa_minidb::Database;
-use qa_simnet::DetRng;
+use qa_simnet::{DetRng, LinkFaults, SimTime};
 use qa_workload::ClassId;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Salt separating each node's fault stream from its price-jitter stream.
+const FAULT_SALT: u64 = 0xFA17_0002;
 
 /// A message to a node.
 pub enum NodeMsg {
@@ -117,15 +120,50 @@ struct NodeWorker {
     slowdown: f64,
     link_latency: Duration,
     inbox: Receiver<NodeMsg>,
+    /// Fault behaviour of this node's link (negotiation replies only —
+    /// see [`NodeWorker::run`]). [`LinkFaults::none`] is zero-cost.
+    faults: LinkFaults,
+    /// Dedicated fault stream; untouched when `faults` is disabled.
+    fault_rng: DetRng,
+    /// Wall-clock origin mapping outage windows (virtual [`SimTime`]
+    /// offsets) onto this run's elapsed time.
+    epoch: Instant,
 }
 
 /// Spawns a node thread: loads its share of the data, optionally arms the
 /// QA-NT market (with jittered initial prices), and serves its mailbox.
+/// The link is fault-free; see [`spawn_node_with_faults`] for lossy links.
 pub fn spawn_node(
     spec: &ClusterSpec,
     node: usize,
     data_seed: u64,
     qant_config: Option<QantConfig>,
+) -> NodeHandle {
+    spawn_node_with_faults(
+        spec,
+        node,
+        data_seed,
+        qant_config,
+        LinkFaults::none(),
+        Instant::now(),
+    )
+}
+
+/// Spawns a node whose *negotiation replies* traverse a faulty link:
+/// estimate and offer replies may be dropped (per `faults.drop_prob` and
+/// its outage windows, with window offsets measured from `epoch`) or
+/// delayed by jitter. `Execute` replies are never dropped — assignments
+/// travel over a reliable (TCP-like) connection, matching the paper's
+/// deployment where only the chatty estimate traffic crossed the flaky
+/// wireless link. The fault stream is seeded from `data_seed` and the node
+/// index, so a run is reproducible given its spec and seed.
+pub fn spawn_node_with_faults(
+    spec: &ClusterSpec,
+    node: usize,
+    data_seed: u64,
+    qant_config: Option<QantConfig>,
+    faults: LinkFaults,
+    epoch: Instant,
 ) -> NodeHandle {
     let (tx, rx) = unbounded();
     let statements = spec.node_statements(node);
@@ -151,15 +189,22 @@ pub fn spawn_node(
         QantNode::with_jitter(num_classes, cfg, &mut rng)
     });
 
+    let fault_rng =
+        DetRng::seed_from_u64(data_seed ^ (node as u64).wrapping_mul(0x9E37) ^ FAULT_SALT);
     let join = std::thread::Builder::new()
         .name(format!("qa-node-{node}"))
         .spawn(move || {
             let mut db = Database::new();
             for s in &statements {
-                db.execute(s).expect("setup statement");
+                // Programmer-error invariant: `ClusterSpec` generates this
+                // DDL itself; a parse/execution failure means the generator
+                // and the engine disagree, which no retry can fix.
+                db.execute(s).expect("spec-generated DDL must execute");
             }
             for (name, rows) in tables {
-                db.load_rows(&name, rows).expect("data load");
+                // Same invariant: rows are generated to match the schema.
+                db.load_rows(&name, rows)
+                    .expect("spec-generated rows must match the schema");
             }
             let mut worker = NodeWorker {
                 id: node,
@@ -171,10 +216,15 @@ pub fn spawn_node(
                 slowdown,
                 link_latency,
                 inbox: rx,
+                faults,
+                fault_rng,
+                epoch,
             };
             worker.init_market();
             worker.run();
         })
+        // Programmer-error invariant: thread spawning only fails on OS
+        // resource exhaustion, which the experiment cannot run through.
         .expect("spawn node thread");
     NodeHandle {
         id: node,
@@ -204,10 +254,9 @@ impl NodeWorker {
         }
         if self.qant.is_some() {
             let costs = self.class_costs();
-            self.qant
-                .as_mut()
-                .expect("checked")
-                .begin_period(costs, None);
+            if let Some(q) = self.qant.as_mut() {
+                q.begin_period(costs, None);
+            }
         }
     }
 
@@ -219,7 +268,7 @@ impl NodeWorker {
             return;
         }
         let costs = self.class_costs();
-        let q = self.qant.as_mut().expect("checked");
+        let Some(q) = self.qant.as_mut() else { return };
         q.end_period();
         let period_ms = q.config().period.as_millis_f64();
         let budget = (2.0 * period_ms - self.backlog_ms).clamp(0.5 * period_ms, 2.0 * period_ms);
@@ -247,17 +296,39 @@ impl NodeWorker {
             * self.slowdown)
     }
 
+    /// Whether a negotiation reply leaving now survives the link. Checked
+    /// only on the fault path; never draws with a disabled plan.
+    fn reply_delivered(&mut self) -> bool {
+        if self.faults.is_none() {
+            return true;
+        }
+        let at = SimTime::from_micros(self.epoch.elapsed().as_micros() as u64);
+        self.faults.delivers(at, &mut self.fault_rng)
+    }
+
+    /// Extra wall-clock delay a delivered reply pays on a jittery link.
+    fn reply_jitter(&mut self) -> Duration {
+        if self.faults.is_none() {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.faults.sample_jitter(&mut self.fault_rng).as_micros())
+    }
+
     fn run(&mut self) {
         while let Ok(msg) = self.inbox.recv() {
             // One-way link latency before any reply leaves the node.
             match msg {
                 NodeMsg::Estimate { sql, reply } => {
                     let exec_ms = self.estimate_ms(&sql).unwrap_or(f64::INFINITY);
-                    std::thread::sleep(self.link_latency);
-                    let _ = reply.send(EstimateReply {
-                        node: self.id,
-                        exec_ms,
-                    });
+                    std::thread::sleep(self.link_latency + self.reply_jitter());
+                    // A dropped reply is simply never sent; the client's
+                    // collection deadline treats it as a non-answer.
+                    if self.reply_delivered() {
+                        let _ = reply.send(EstimateReply {
+                            node: self.id,
+                            exec_ms,
+                        });
+                    }
                 }
                 NodeMsg::CallForOffers { class, sql, reply } => {
                     let offered = match &mut self.qant {
@@ -270,12 +341,14 @@ impl NodeWorker {
                     } else {
                         f64::INFINITY
                     };
-                    std::thread::sleep(self.link_latency);
-                    let _ = reply.send(OfferReply {
-                        node: self.id,
-                        offered,
-                        completion_ms,
-                    });
+                    std::thread::sleep(self.link_latency + self.reply_jitter());
+                    if self.reply_delivered() {
+                        let _ = reply.send(OfferReply {
+                            node: self.id,
+                            offered,
+                            completion_ms,
+                        });
+                    }
                 }
                 NodeMsg::Execute { sql, class, reply } => {
                     if let Some(q) = &mut self.qant {
@@ -302,6 +375,10 @@ impl NodeWorker {
                         // to keep the two-step scheme consistent.
                         self.estimator.observe_ms(ex.fingerprint, exec_ms / self.slowdown);
                     }
+                    // Execute replies are never fault-dropped: assignments
+                    // travel over a reliable (TCP-like) connection; only
+                    // the chatty negotiation traffic is lossy. A node
+                    // *crash* still loses them — the channel disconnects.
                     std::thread::sleep(self.link_latency);
                     match outcome {
                         Ok(res) => {
@@ -384,6 +461,49 @@ mod tests {
         let est = rx.recv_timeout(Duration::from_secs(10)).unwrap().exec_ms;
         h.shutdown();
         (est * 3.0).max(0.05)
+    }
+
+    #[test]
+    fn lossy_link_drops_negotiation_but_not_execution() {
+        let s = spec();
+        let class = &s.classes[0];
+        let node = s.capable_nodes(class.id)[0];
+        let h = spawn_node_with_faults(
+            &s,
+            node,
+            99,
+            None,
+            LinkFaults::lossy(1.0),
+            Instant::now(),
+        );
+        let sql = class.instantiate(100);
+
+        // Negotiation reply is dropped: the reply sender is discarded, so
+        // the client observes a disconnect, not a value.
+        let (tx, rx) = unbounded();
+        h.sender
+            .send(NodeMsg::Estimate {
+                sql: sql.clone(),
+                reply: tx,
+            })
+            .unwrap();
+        assert!(
+            rx.recv_timeout(Duration::from_secs(10)).is_err(),
+            "estimate reply must be dropped on a fully lossy link"
+        );
+
+        // Execution replies ride the reliable connection regardless.
+        let (tx, rx) = unbounded();
+        h.sender
+            .send(NodeMsg::Execute {
+                sql,
+                class: class.id,
+                reply: tx,
+            })
+            .unwrap();
+        let res = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(res.error.is_none(), "{:?}", res.error);
+        h.shutdown();
     }
 
     #[test]

@@ -10,6 +10,22 @@
 //! A query rejected by every QA-NT server is re-submitted at the start of
 //! the next period (§2.2: "If all available servers reject a request for a
 //! query, the respective client resubmits it in the next time period").
+//!
+//! ## Fault injection
+//!
+//! A [`FaultPlan`] (see [`qa_simnet::fault`]) makes links lossy: any
+//! negotiation message may be dropped, links may jitter, and scheduled
+//! outage windows can take a link down entirely. Crash schedules
+//! ([`Federation::kill_node_at`] / [`Federation::recover_node_at`]) kill
+//! and revive nodes mid-run. The negotiation is loss-tolerant: clients
+//! work with whatever offers actually arrive, a lost assignment message
+//! turns into a next-period resubmission, and the queries a crashed node
+//! owned re-enter the next period's demand (§2.2 semantics) instead of
+//! silently vanishing — each with a bounded retry budget so nothing
+//! livelocks. All fault randomness flows from its own seeded stream, so
+//! faulty runs are exactly as reproducible as clean ones, and the
+//! disabled plan never draws from it at all (the fault-free path is
+//! bit-identical to a build without fault injection).
 
 use crate::metrics::RunMetrics;
 use crate::node::NodeState;
@@ -19,26 +35,34 @@ use qa_core::{
     choose_best_offer, BnqrdCoordinator, MarkovAllocator, MechanismKind, Offer,
     RoundRobinState, TwoProbesChooser,
 };
-use qa_simnet::{DetRng, EventQueue, SimDuration, SimTime};
+use qa_simnet::{DetRng, EventQueue, FaultPlan, SimDuration, SimTime};
 use qa_workload::{ClassId, NodeId, Trace};
 
-/// Cap on QA-NT resubmissions per query; beyond it the query counts as
-/// unserved. High enough that in practice only a permanently-unservable
-/// query (all capable nodes refusing forever) hits it — dropping queries
-/// early would bias the mean-response comparison in QA-NT's favour.
+/// Cap on resubmissions per query (QA-NT rejections, fault losses, and
+/// crash re-entries all count); beyond it the query counts as unserved.
+/// High enough that in practice only a permanently-unservable query (all
+/// capable nodes refusing forever) hits it — dropping queries early would
+/// bias the mean-response comparison in QA-NT's favour.
 const MAX_RETRIES: u32 = 20_000;
+
+/// Salt separating the fault-injection RNG stream from the mechanism's.
+const FAULT_SALT: u64 = 0xFA17_0001;
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// Query `idx` (into the trace) asks for allocation. `retries` counts
     /// prior attempts.
     Arrival { idx: usize, retries: u32 },
-    /// Query `idx` finished on `node`.
-    Completion { idx: usize, node: NodeId },
+    /// Query `idx` finished on `node`. `gen` is the assignment generation
+    /// at scheduling time: a crash that orphans the query bumps the
+    /// generation, turning this into a stale no-op.
+    Completion { idx: usize, node: NodeId, gen: u32 },
     /// A period boundary.
     PeriodStart,
     /// Failure injection: node dies.
     Kill { node: NodeId },
+    /// Failure injection: node comes back (empty queue, same hardware).
+    Recover { node: NodeId },
 }
 
 enum MechState {
@@ -99,8 +123,21 @@ pub struct Federation<'a> {
     owners: Vec<Option<NodeId>>,
     /// Whether each query completed.
     done: Vec<bool>,
+    /// Allocation attempts already spent per query (crash re-entry resumes
+    /// from here).
+    attempts: Vec<u32>,
+    /// Assignment generation per query; bumped when a crash orphans the
+    /// query so the stale completion event is ignored.
+    assign_gen: Vec<u32>,
     /// Failure injections to schedule.
     kills: Vec<(SimTime, NodeId)>,
+    /// Recovery injections to schedule.
+    recoveries: Vec<(SimTime, NodeId)>,
+    /// Link-fault schedule (disabled by default).
+    faults: FaultPlan,
+    /// Dedicated stream for fault draws; never touched while `faults` is
+    /// the disabled plan, keeping fault-free runs bit-identical.
+    fault_rng: DetRng,
 }
 
 impl<'a> Federation<'a> {
@@ -161,13 +198,42 @@ impl<'a> Federation<'a> {
             period_demand: vec![0; k],
             owners: vec![None; trace.len()],
             done: vec![false; trace.len()],
+            attempts: vec![0; trace.len()],
+            assign_gen: vec![0; trace.len()],
             kills: Vec::new(),
+            recoveries: Vec::new(),
+            faults: FaultPlan::none(),
+            fault_rng: DetRng::seed_from_u64(
+                cfg.seed ^ mechanism_salt(mechanism) ^ FAULT_SALT,
+            ),
         }
     }
 
     /// Schedules a node failure at `at` (failure-injection experiments).
+    /// The node's queued work is lost; every query it owned re-enters the
+    /// next period's demand (§2.2) with its retry budget decremented.
     pub fn kill_node_at(&mut self, node: NodeId, at: SimTime) {
         self.kills.push((at, node));
+    }
+
+    /// Schedules a node recovery at `at`: the node rejoins with an empty
+    /// queue and resumes offering (its market re-arms at the next period
+    /// boundary).
+    pub fn recover_node_at(&mut self, node: NodeId, at: SimTime) {
+        self.recoveries.push((at, node));
+    }
+
+    /// Installs a link-fault schedule. The default is [`FaultPlan::none`],
+    /// which is a strict zero-cost path: no fault RNG draw is ever made
+    /// and the run is bit-identical to one without fault injection.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Reseeds the fault stream independently of the scenario seed, so the
+    /// same world can be replayed under different loss realizations.
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.fault_rng = DetRng::seed_from_u64(seed ^ FAULT_SALT);
     }
 
     /// Converts a QA-NT run into a *partial deployment*: only nodes for
@@ -200,6 +266,9 @@ impl<'a> Federation<'a> {
         for &(at, node) in &self.kills {
             queue.schedule(at, Event::Kill { node });
         }
+        for &(at, node) in &self.recoveries {
+            queue.schedule(at, Event::Recover { node });
+        }
         // Periods matter for QA-NT (market), BNQRD (report decay) and
         // Greedy (stale load snapshots).
         if matches!(
@@ -208,14 +277,12 @@ impl<'a> Federation<'a> {
         ) {
             queue.schedule(SimTime::ZERO + cfg_period, Event::PeriodStart);
         }
-        // Queries orphaned by a node failure: their completion events are
-        // ignored.
-        let mut dead_query = vec![false; trace.len()];
 
         while let Some(ev) = queue.pop() {
             let now = ev.time;
             match ev.payload {
                 Event::Arrival { idx, retries } => {
+                    self.attempts[idx] = retries;
                     let q = trace.events()[idx];
                     match self.allocate(now, q.class, q.origin, idx) {
                         Allocation::Assigned {
@@ -224,7 +291,8 @@ impl<'a> Federation<'a> {
                             delay,
                         } => {
                             self.metrics.assign_latency.add(delay.as_millis_f64());
-                            queue.schedule(finish, Event::Completion { idx, node });
+                            let gen = self.assign_gen[idx];
+                            queue.schedule(finish, Event::Completion { idx, node, gen });
                         }
                         Allocation::NoOffers => {
                             if retries >= MAX_RETRIES {
@@ -249,8 +317,10 @@ impl<'a> Federation<'a> {
                         }
                     }
                 }
-                Event::Completion { idx, node } => {
-                    if dead_query[idx] {
+                Event::Completion { idx, node, gen } => {
+                    // Stale completion: the query was orphaned by a crash
+                    // (generation bumped) or already finished elsewhere.
+                    if self.done[idx] || gen != self.assign_gen[idx] {
                         continue;
                     }
                     self.nodes[node.index()].complete();
@@ -329,6 +399,9 @@ impl<'a> Federation<'a> {
                 }
                 Event::Kill { node } => {
                     self.nodes[node.index()].kill();
+                    // §2.2 semantics for crash victims: whatever the dead
+                    // node owned re-enters the next period's demand vector
+                    // as a fresh arrival, rather than silently vanishing.
                     let orphans: Vec<usize> = self
                         .owners
                         .iter()
@@ -337,9 +410,29 @@ impl<'a> Federation<'a> {
                         .map(|(q, _)| q)
                         .collect();
                     for q in orphans {
-                        dead_query[q] = true;
-                        self.metrics.unserved += 1;
+                        self.assign_gen[q] = self.assign_gen[q].wrapping_add(1);
+                        self.owners[q] = None;
+                        let tried = self.attempts[q];
+                        if tried >= MAX_RETRIES {
+                            self.metrics.unserved += 1;
+                        } else {
+                            self.metrics.retries += 1;
+                            let next = SimTime::from_micros(
+                                (now.period_index(cfg_period) + 1)
+                                    * cfg_period.as_micros(),
+                            ) + SimDuration::from_micros(1);
+                            queue.schedule(
+                                next,
+                                Event::Arrival {
+                                    idx: q,
+                                    retries: tried + 1,
+                                },
+                            );
+                        }
                     }
+                }
+                Event::Recover { node } => {
+                    self.nodes[node.index()].revive(now);
                 }
             }
         }
@@ -384,11 +477,41 @@ impl<'a> Federation<'a> {
             + link.transfer_time(RESPONSE_BYTES);
         let one_way = link.transfer_time(REQUEST_BYTES);
 
-        let (choice, delay) = match &mut self.state {
+        // Fault injection: the polling mechanisms (QA-NT, Greedy,
+        // two-probes) exchange a request/reply pair with every candidate;
+        // either direction can be lost, removing that candidate from this
+        // attempt. The client collects whatever actually arrives — it
+        // never blocks on the full candidate set. `faults_on` gates every
+        // draw so the disabled plan stays bit-identical to no-fault runs.
+        let faults_on = !self.faults.is_none();
+        let polls = matches!(
+            self.state,
+            MechState::QaNt { .. } | MechState::Greedy { .. } | MechState::TwoProbes
+        );
+        let reachable: Vec<NodeId> = if faults_on && polls {
+            let mut v = Vec::with_capacity(capable.len());
+            for &n in &capable {
+                let request_ok = self.faults.delivers(n.index(), now, &mut self.fault_rng);
+                let reply_ok = self.faults.delivers(n.index(), now, &mut self.fault_rng);
+                if request_ok && reply_ok {
+                    v.push(n);
+                } else {
+                    self.metrics.lost_messages += 1;
+                }
+            }
+            v
+        } else {
+            capable.clone()
+        };
+
+        let (choice, mut delay) = match &mut self.state {
             MechState::QaNt { nodes } => {
                 self.period_demand[class.index()] += 1;
+                // Requests to unreachable nodes were still sent (and paid
+                // for), they just never produced an offer.
+                self.metrics.messages += (capable.len() - reachable.len()) as u64;
                 let mut offers = Vec::new();
-                for &n in &capable {
+                for &n in &reachable {
                     self.metrics.messages += 1; // call-for-offers
                     let offered = match &mut nodes[n.index()] {
                         Some(market) => market.on_request(class),
@@ -433,7 +556,9 @@ impl<'a> Federation<'a> {
                 let _ = (snapshot, snapshot_at);
                 let err = self.scenario.config.greedy_estimate_error;
                 let mut best: Option<(SimDuration, NodeId)> = None;
-                for &n in &capable {
+                // Only nodes whose estimate round-trip survived the link
+                // are candidates this attempt.
+                for &n in &reachable {
                     let raw = self.nodes[n.index()].estimated_completion(now, exec_of(n));
                     let noisy = if err > 0.0 {
                         raw * (1.0 + self.rng.float_in(-err, err))
@@ -444,7 +569,12 @@ impl<'a> Federation<'a> {
                         best = Some((noisy, n));
                     }
                 }
-                (best.expect("non-empty").1, rtt)
+                match best {
+                    Some((_, n)) => (n, rtt),
+                    // Every estimate lost: the client learned nothing and
+                    // tries again next period.
+                    None => return Allocation::NoOffers,
+                }
             }
             MechState::Random => {
                 self.metrics.messages += 1;
@@ -459,8 +589,11 @@ impl<'a> Federation<'a> {
             }
             MechState::TwoProbes => {
                 self.metrics.messages += 5;
+                if reachable.is_empty() {
+                    return Allocation::NoOffers;
+                }
                 let nodes = &self.nodes;
-                let pick = TwoProbesChooser::choose(&mut self.rng, &capable, |n| {
+                let pick = TwoProbesChooser::choose(&mut self.rng, &reachable, |n| {
                     nodes[n.index()].backlog(now).as_millis_f64()
                 });
                 (pick, rtt)
@@ -488,6 +621,18 @@ impl<'a> Federation<'a> {
                 (pick, one_way)
             }
         };
+
+        if faults_on {
+            // The final assignment message can be lost too. The client
+            // times out and resubmits next period; for QA-NT the accepted
+            // supply stays committed on the server — the price a market of
+            // autonomous nodes pays for an unreliable network.
+            if !self.faults.delivers(choice.index(), now, &mut self.fault_rng) {
+                self.metrics.lost_messages += 1;
+                return Allocation::NoOffers;
+            }
+            delay += self.faults.sample_jitter(choice.index(), &mut self.fault_rng);
+        }
 
         let start = now + delay;
         self.metrics
@@ -656,6 +801,122 @@ mod tests {
         );
         // The system keeps completing queries after the failure.
         assert!(out.metrics.completed > 0);
+    }
+
+    #[test]
+    fn crash_reentry_resubmits_next_period_and_conserves() {
+        let s = scenario();
+        // Five Q1 queries arrive at t=100ms; every node dies at 101ms —
+        // before anything can finish — and recovers at 400ms. §2.2: the
+        // orphans re-enter the next period (500ms boundary) and complete.
+        let mut rng = DetRng::seed_from_u64(9).derive("reentry");
+        let arrivals: Vec<(SimTime, ClassId)> = (0..5)
+            .map(|_| (SimTime::from_millis(100), ClassId(0)))
+            .collect();
+        let t = Trace::from_arrivals(arrivals, s.config.num_nodes, &mut rng);
+        let mut f = Federation::new(&s, MechanismKind::Random, &t);
+        for i in 0..s.config.num_nodes {
+            f.kill_node_at(NodeId(i as u32), SimTime::from_millis(101));
+            f.recover_node_at(NodeId(i as u32), SimTime::from_millis(400));
+        }
+        let out = f.run(&t);
+        assert_eq!(out.metrics.completed, 5, "orphans complete after recovery");
+        assert_eq!(out.metrics.unserved, 0);
+        assert!(out.metrics.retries >= 5, "each orphan was resubmitted");
+    }
+
+    #[test]
+    fn lossy_run_is_deterministic_per_fault_seed() {
+        let s = scenario();
+        let t = trace_for(&s, 15, 0.5);
+        let run_with = |fault_seed: Option<u64>| {
+            let mut f = Federation::new(&s, MechanismKind::QaNt, &t);
+            f.set_fault_plan(FaultPlan::uniform(
+                qa_simnet::LinkFaults::lossy(0.2),
+            ));
+            if let Some(seed) = fault_seed {
+                f.set_fault_seed(seed);
+            }
+            let out = f.run(&t);
+            (
+                out.metrics.mean_response_ms(),
+                out.metrics.messages,
+                out.metrics.lost_messages,
+                out.metrics.completed,
+            )
+        };
+        let a = run_with(None);
+        let b = run_with(None);
+        assert_eq!(a, b, "same seed + same plan ⇒ identical run");
+        assert!(a.2 > 0, "a 20% plan must actually lose messages");
+        let c = run_with(Some(0xDEAD));
+        assert_ne!(a, c, "different fault seed ⇒ different loss realization");
+    }
+
+    #[test]
+    fn disabled_fault_plan_is_bit_identical_to_no_plan() {
+        let s = scenario();
+        let t = trace_for(&s, 15, 0.6);
+        for m in MechanismKind::ALL {
+            let plain = run(&s, m, &t);
+            let mut f = Federation::new(&s, m, &t);
+            f.set_fault_plan(FaultPlan::none());
+            f.set_fault_seed(0xF00D); // must be irrelevant: never drawn
+            let gated = f.run(&t);
+            assert_eq!(
+                plain.metrics.mean_response_ms(),
+                gated.metrics.mean_response_ms(),
+                "{m}"
+            );
+            assert_eq!(plain.metrics.messages, gated.metrics.messages, "{m}");
+            assert_eq!(gated.metrics.lost_messages, 0, "{m}");
+            assert_eq!(plain.metrics.completed, gated.metrics.completed, "{m}");
+        }
+    }
+
+    #[test]
+    fn qant_completes_under_ten_percent_loss() {
+        let s = scenario();
+        let t = trace_for(&s, 20, 0.5);
+        let mut f = Federation::new(&s, MechanismKind::QaNt, &t);
+        f.set_fault_plan(FaultPlan::uniform(qa_simnet::LinkFaults::lossy(0.1)));
+        let out = f.run(&t);
+        assert_eq!(
+            out.metrics.completed + out.metrics.unserved,
+            t.len() as u64,
+            "conservation under loss"
+        );
+        assert!(
+            out.metrics.completed as f64 >= 0.95 * t.len() as f64,
+            "QA-NT should complete ≥95% under 10% loss: {}/{}",
+            out.metrics.completed,
+            t.len()
+        );
+    }
+
+    #[test]
+    fn outage_window_defers_queries_until_link_returns() {
+        let s = scenario();
+        // All arrivals land inside a [1s, 2s) outage on every link; they
+        // must retry until the network returns, then all complete.
+        let mut rng = DetRng::seed_from_u64(4).derive("outage");
+        let arrivals: Vec<(SimTime, ClassId)> = (0..8)
+            .map(|i| (SimTime::from_millis(1_000 + i * 10), ClassId(0)))
+            .collect();
+        let t = Trace::from_arrivals(arrivals, s.config.num_nodes, &mut rng);
+        let mut f = Federation::new(&s, MechanismKind::QaNt, &t);
+        f.set_fault_plan(FaultPlan::uniform(qa_simnet::LinkFaults {
+            drop_prob: 0.0,
+            jitter: SimDuration::ZERO,
+            outages: vec![qa_simnet::OutageWindow::new(
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+            )],
+        }));
+        let out = f.run(&t);
+        assert_eq!(out.metrics.completed, 8);
+        assert!(out.metrics.retries >= 8, "every query deferred past the outage");
+        assert!(out.metrics.lost_messages > 0);
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub struct RunMetrics {
     num_classes: usize,
     /// Allocation-protocol messages sent.
     pub messages: u64,
+    /// Messages lost to fault injection (always 0 with `FaultPlan::none()`).
+    pub lost_messages: u64,
     /// Completed queries.
     pub completed: u64,
     /// Queries never served by the end of the run.
@@ -60,6 +62,7 @@ impl RunMetrics {
             response_per_origin: Vec::new(),
             num_classes,
             messages: 0,
+            lost_messages: 0,
             completed: 0,
             unserved: 0,
             retries: 0,

@@ -126,6 +126,17 @@ impl NodeState {
     /// queue is considered lost.
     pub fn kill(&mut self) {
         self.alive = false;
+        self.queued = 0;
+    }
+
+    /// Brings a dead node back at `now` (crash *recovery*). The node
+    /// rejoins with an empty queue — whatever it held when it died was
+    /// lost with the crash and is the driver's to resubmit — while `busy`
+    /// keeps accumulating across incarnations for utilization accounting.
+    pub fn revive(&mut self, now: SimTime) {
+        self.alive = true;
+        self.backlog_until = now;
+        self.queued = 0;
     }
 }
 
@@ -249,6 +260,22 @@ mod tests {
         assert_eq!(f, SimTime::from_millis(1_050));
         // Long after finishing, backlog is zero.
         assert_eq!(n.backlog(SimTime::from_millis(2_000)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn kill_then_revive_resets_queue_but_keeps_busy_time() {
+        let mut n = NodeState::new(hw(2.3, 42.5, 6.0, true));
+        let now = SimTime::from_millis(100);
+        n.accept(now, SimDuration::from_millis(400));
+        let busy_before = n.busy;
+        n.kill();
+        assert!(!n.alive);
+        assert_eq!(n.queued, 0, "crash loses the queue");
+        let later = SimTime::from_millis(250);
+        n.revive(later);
+        assert!(n.alive);
+        assert_eq!(n.backlog(later), SimDuration::ZERO, "rejoins idle");
+        assert_eq!(n.busy, busy_before, "utilization survives incarnations");
     }
 
     #[test]

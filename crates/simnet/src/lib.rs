@@ -16,6 +16,8 @@
 //! * [`DetRng`] and the distributions in [`dist`] — all randomness in an
 //!   experiment flows from a single seed, so every run is reproducible,
 //! * [`LinkSpec`] — a latency + bandwidth model for network links,
+//! * [`FaultPlan`] — deterministic fault injection layered over the links:
+//!   per-link drop probability, latency jitter, scheduled outage windows,
 //! * [`stats`] — streaming statistics (Welford mean/variance, histograms,
 //!   fixed-bin time series) used to produce the paper's figures.
 //!
@@ -25,6 +27,7 @@
 
 pub mod dist;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod rng;
 pub mod stats;
@@ -32,6 +35,7 @@ pub mod time;
 
 pub use dist::{Exponential, Uniform, Zipf};
 pub use event::{EventQueue, ScheduledEvent};
+pub use fault::{FaultPlan, LinkFaults, OutageWindow};
 pub use link::LinkSpec;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

@@ -34,7 +34,7 @@ fn main() {
             num_queries: 60,
             ..ClusterConfig::ci_scale(mechanism, 9)
         };
-        let result = run_experiment(&spec, &config);
+        let result = run_experiment(&spec, &config).expect("spec has evaluable classes");
         println!(
             "\n== {} — {} queries, uniform inter-arrival {:?}",
             result.mechanism, config.num_queries, config.mean_interarrival

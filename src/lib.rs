@@ -65,6 +65,6 @@ pub mod prelude {
     pub use qa_sim::experiments::two_class_trace;
     pub use qa_sim::federation::{Federation, RunOutcome};
     pub use qa_sim::scenario::{Scenario, TwoClassParams};
-    pub use qa_simnet::{DetRng, SimDuration, SimTime};
+    pub use qa_simnet::{DetRng, FaultPlan, LinkFaults, OutageWindow, SimDuration, SimTime};
     pub use qa_workload::{ClassId, NodeId, Trace};
 }

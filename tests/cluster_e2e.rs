@@ -13,7 +13,7 @@ fn greedy_and_qant_both_finish_the_workload() {
     for mech in [ClusterMechanism::Greedy, ClusterMechanism::QaNt] {
         let mut cfg = ClusterConfig::ci_scale(mech, 4);
         cfg.num_queries = 25;
-        let r = run_experiment(&s, &cfg);
+        let r = run_experiment(&s, &cfg).expect("spec has evaluable classes");
         assert_eq!(r.outcomes.len(), 25, "{mech}");
         assert_eq!(r.failed, 0, "{mech}: {:?}", r.outcomes.iter().find(|o| o.error.is_some()));
         assert!(r.mean_total_ms >= r.mean_assign_ms, "{mech}");
@@ -26,7 +26,7 @@ fn queries_only_land_on_nodes_with_the_data() {
     let s = spec();
     let mut cfg = ClusterConfig::ci_scale(ClusterMechanism::QaNt, 5);
     cfg.num_queries = 20;
-    let r = run_experiment(&s, &cfg);
+    let r = run_experiment(&s, &cfg).expect("spec has evaluable classes");
     for o in &r.outcomes {
         if let Some(n) = o.node {
             assert!(
@@ -75,7 +75,7 @@ fn slow_node_attracts_less_work_under_both_mechanisms() {
     for mech in [ClusterMechanism::Greedy, ClusterMechanism::QaNt] {
         let mut cfg = ClusterConfig::ci_scale(mech, 6);
         cfg.num_queries = 40;
-        let r = run_experiment(&s, &cfg);
+        let r = run_experiment(&s, &cfg).expect("spec has evaluable classes");
         let mut per_node = vec![0usize; s.num_nodes];
         for o in r.outcomes.iter().filter(|o| o.error.is_none()) {
             if let Some(n) = o.node {
