@@ -1,12 +1,17 @@
-//! Criterion microbenchmarks for the hot paths of the allocation stack:
+//! Microbenchmarks for the hot paths of the allocation stack:
 //!
 //! * the eq.-4 supply solvers (greedy vs exact DP),
 //! * the non-tâtonnement price adjustment,
 //! * the per-query allocation decision of each mechanism (end-to-end
 //!   simulator arrival handling),
 //! * minidb: parse/plan/execute of a representative star query.
+//!
+//! A plain `harness = false` timing binary (the hermetic-build substitute
+//! for criterion): each case is warmed up, then timed over enough
+//! iterations to smooth scheduler noise, reporting mean ns/iter. Set
+//! `QA_BENCH_SECONDS` to change the per-case time budget (default 1s;
+//! `cargo test`/`cargo bench` smoke-runs use the same binary).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qa_core::MechanismKind;
 use qa_economics::{
     solve_supply_greedy, solve_supply_optimal, LinearCapacitySet, NonTatonnementPricer,
@@ -16,8 +21,48 @@ use qa_sim::config::SimConfig;
 use qa_sim::experiments::two_class_trace;
 use qa_sim::federation::Federation;
 use qa_sim::scenario::{Scenario, TwoClassParams};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_supply_solvers(c: &mut Criterion) {
+/// Per-case time budget.
+fn budget() -> Duration {
+    let secs = std::env::var("QA_BENCH_SECONDS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    Duration::from_secs_f64(secs.clamp(0.05, 120.0))
+}
+
+/// Times `f` by doubling batch sizes until the budget is spent; prints the
+/// mean ns/iter of the largest batch (warm caches, amortized clock reads).
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    let budget = budget();
+    // Warm-up: one call, also yields a duration estimate.
+    let start = Instant::now();
+    black_box(f());
+    let mut per_iter = start.elapsed().max(Duration::from_nanos(1));
+
+    let mut batch: u64 = 1;
+    let started = Instant::now();
+    let mut last = per_iter;
+    while started.elapsed() < budget {
+        // Size the batch to ~1/4 of the remaining budget, at least 1.
+        let remaining = budget.saturating_sub(started.elapsed());
+        batch = ((remaining.as_secs_f64() / 4.0 / per_iter.as_secs_f64()) as u64).max(1);
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        last = t.elapsed() / (batch as u32).max(1);
+        per_iter = last.max(Duration::from_nanos(1));
+    }
+    println!(
+        "{name:<44} {:>12.0} ns/iter  ({batch} iters/batch)",
+        last.as_nanos() as f64
+    );
+}
+
+fn bench_supply_solvers() {
     // 100 classes, realistic cost spread.
     let costs: Vec<Option<f64>> = (0..100)
         .map(|i| {
@@ -31,58 +76,49 @@ fn bench_supply_solvers(c: &mut Criterion) {
     let set = LinearCapacitySet::new(costs, 500.0);
     let prices = PriceVector::from_prices((0..100).map(|i| 0.5 + (i as f64 % 7.0)).collect());
 
-    c.bench_function("supply/greedy_100_classes", |b| {
-        b.iter(|| solve_supply_greedy(black_box(&prices), black_box(&set), None))
+    bench("supply/greedy_100_classes", || {
+        solve_supply_greedy(black_box(&prices), black_box(&set), None)
     });
-    c.bench_function("supply/optimal_dp_100_classes", |b| {
-        b.iter(|| solve_supply_optimal(black_box(&prices), black_box(&set), None, 500))
-    });
-}
-
-fn bench_price_adjustment(c: &mut Criterion) {
-    c.bench_function("pricer/reject_and_period_end_100_classes", |b| {
-        let leftover = QuantityVector::from_counts((0..100).map(|i| i % 3).collect());
-        b.iter_batched(
-            || NonTatonnementPricer::new(100, PricerConfig::default()),
-            |mut p| {
-                for k in 0..100 {
-                    if k % 2 == 0 {
-                        p.on_rejection(k);
-                    }
-                }
-                p.on_period_end(black_box(&leftover));
-                p
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    bench("supply/optimal_dp_100_classes", || {
+        solve_supply_optimal(black_box(&prices), black_box(&set), None, 500)
     });
 }
 
-fn bench_allocation(c: &mut Criterion) {
+fn bench_price_adjustment() {
+    let leftover = QuantityVector::from_counts((0..100).map(|i| i % 3).collect());
+    bench("pricer/reject_and_period_end_100_classes", || {
+        let mut p = NonTatonnementPricer::new(100, PricerConfig::default());
+        for k in 0..100 {
+            if k % 2 == 0 {
+                p.on_rejection(k);
+            }
+        }
+        p.on_period_end(black_box(&leftover));
+        p
+    });
+}
+
+fn bench_allocation() {
     let mut cfg = SimConfig::small_test(42);
     cfg.num_nodes = 50;
     let scenario = Scenario::two_class(cfg, TwoClassParams::default());
     let trace = two_class_trace(&scenario, 0.05, 0.6, 10);
-    let mut group = c.benchmark_group("allocate_run_10s_50_nodes");
-    group.sample_size(10);
     for m in [
         MechanismKind::QaNt,
         MechanismKind::Greedy,
         MechanismKind::Random,
     ] {
-        group.bench_function(m.to_string(), |b| {
-            b.iter(|| {
-                Federation::new(black_box(&scenario), m, black_box(&trace)).run(&trace)
-            })
+        bench(&format!("allocate_run_10s_50_nodes/{m}"), || {
+            Federation::new(black_box(&scenario), m, black_box(&trace)).run(&trace)
         });
     }
-    group.finish();
 }
 
-fn bench_minidb(c: &mut Criterion) {
+fn bench_minidb() {
     use qa_minidb::{Database, Value};
     let mut db = Database::new();
-    db.execute("CREATE TABLE fact (id INT, a INT, b FLOAT, g INT)").unwrap();
+    db.execute("CREATE TABLE fact (id INT, a INT, b FLOAT, g INT)")
+        .unwrap();
     db.execute("CREATE TABLE dim (id INT, v FLOAT)").unwrap();
     db.load_rows(
         "fact",
@@ -100,28 +136,29 @@ fn bench_minidb(c: &mut Criterion) {
     .unwrap();
     db.load_rows(
         "dim",
-        (0..500).map(|i| vec![Value::Int(i * 4), Value::Float(i as f64)]).collect(),
+        (0..500)
+            .map(|i| vec![Value::Int(i * 4), Value::Float(i as f64)])
+            .collect(),
     )
     .unwrap();
     let sql = "SELECT f.g, COUNT(*), SUM(d.v) FROM fact AS f JOIN dim AS d ON f.id = d.id \
                WHERE f.a > 100 GROUP BY f.g ORDER BY f.g";
 
-    c.bench_function("minidb/plan_star_query", |b| {
-        b.iter(|| db.plan(black_box(sql)).unwrap())
+    bench("minidb/plan_star_query", || {
+        db.plan(black_box(sql)).unwrap()
     });
-    c.bench_function("minidb/explain_star_query", |b| {
-        b.iter(|| db.explain(black_box(sql)).unwrap())
+    bench("minidb/explain_star_query", || {
+        db.explain(black_box(sql)).unwrap()
     });
-    c.bench_function("minidb/execute_star_query_2k_rows", |b| {
-        b.iter(|| db.query(black_box(sql)).unwrap())
+    bench("minidb/execute_star_query_2k_rows", || {
+        db.query(black_box(sql)).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_supply_solvers,
-    bench_price_adjustment,
-    bench_allocation,
-    bench_minidb
-);
-criterion_main!(benches);
+fn main() {
+    println!("qa-bench micro (budget {:?}/case)\n", budget());
+    bench_supply_solvers();
+    bench_price_adjustment();
+    bench_allocation();
+    bench_minidb();
+}

@@ -16,15 +16,20 @@ use qa_sim::config::SimConfig;
 use qa_sim::experiments::two_class_trace;
 use qa_sim::federation::Federation;
 use qa_sim::scenario::{Scenario, TwoClassParams};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct AblationRow {
     variant: String,
     mean_ms_at_0_9: f64,
     mean_ms_at_2_0: f64,
     retries_at_2_0: u64,
 }
+
+qa_simnet::impl_to_json!(AblationRow {
+    variant,
+    mean_ms_at_0_9,
+    mean_ms_at_2_0,
+    retries_at_2_0
+});
 
 fn run_variant(base: &SimConfig, secs: u64) -> (f64, f64, u64) {
     let scenario = Scenario::two_class(base.clone(), TwoClassParams::default());

@@ -12,14 +12,18 @@ use qa_sim::config::SimConfig;
 use qa_sim::experiments::two_class_trace;
 use qa_sim::federation::Federation;
 use qa_sim::scenario::{Scenario, TwoClassParams};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct FairnessRow {
     mechanism: String,
     mean_response_ms: f64,
     origin_fairness: f64,
 }
+
+qa_simnet::impl_to_json!(FairnessRow {
+    mechanism,
+    mean_response_ms,
+    origin_fairness
+});
 
 fn main() {
     let (config, secs, frac) = match scale() {

@@ -21,12 +21,10 @@ use qa_sim::federation::Federation;
 use qa_sim::scenario::{Scenario, TwoClassParams};
 use qa_simnet::{FaultPlan, LinkFaults, SimTime};
 use qa_workload::NodeId;
-use serde::Serialize;
 use std::time::Duration;
 
 const DROP_PROBS: [f64; 5] = [0.0, 0.05, 0.10, 0.20, 0.30];
 
-#[derive(Serialize)]
 struct SimRow {
     mechanism: String,
     drop_prob: f64,
@@ -39,7 +37,6 @@ struct SimRow {
     retries: u64,
 }
 
-#[derive(Serialize)]
 struct ClusterRow {
     mechanism: String,
     drop_prob: f64,
@@ -50,11 +47,31 @@ struct ClusterRow {
     failed: usize,
 }
 
-#[derive(Serialize)]
 struct Results {
     sim: Vec<SimRow>,
     cluster: Vec<ClusterRow>,
 }
+
+qa_simnet::impl_to_json!(SimRow {
+    mechanism,
+    drop_prob,
+    crashes,
+    completion_rate,
+    mean_response_ms,
+    normalized_response,
+    lost_messages,
+    retries
+});
+qa_simnet::impl_to_json!(ClusterRow {
+    mechanism,
+    drop_prob,
+    crashes,
+    completion_rate,
+    mean_assign_ms,
+    mean_total_ms,
+    failed
+});
+qa_simnet::impl_to_json!(Results { sim, cluster });
 
 fn main() {
     let (config, secs) = match scale() {

@@ -14,7 +14,7 @@ const TIMES: [[u64; 2]; 2] = [[400, 100], [450, 500]];
 /// The arrival order of the example: two q1 then six q2.
 fn arrivals() -> Vec<usize> {
     let mut v = vec![0, 0];
-    v.extend(std::iter::repeat(1).take(6));
+    v.extend(std::iter::repeat_n(1, 6));
     v
 }
 
@@ -135,14 +135,14 @@ fn main() {
         dominates(&qa_solution, &lb_solution, &prefs)
     );
 
-    let result = serde_json::json!({
+    let result = qa_simnet::json_obj! {
         "lb_mean_ms": mean(&lb_resp),
         "qa_mean_ms": mean(&qa_resp),
         "paper_lb_ms": 662.0,
         "paper_qa_ms": 431.0,
         "lb_responses": lb_resp,
         "qa_responses": qa_resp,
-    });
+    };
     let path = qa_bench::write_json("fig1_motivating", &result).expect("write result");
     println!("\nwrote {}", path.display());
 }

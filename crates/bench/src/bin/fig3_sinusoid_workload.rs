@@ -14,7 +14,10 @@ fn main() {
     };
     let r = fig3_sinusoid_workload(&config, 0.05, 0.6, secs);
 
-    println!("Figure 3 — example sinusoid workload (arrivals per {} ms)\n", r.period_ms);
+    println!(
+        "Figure 3 — example sinusoid workload (arrivals per {} ms)\n",
+        r.period_ms
+    );
     let rows: Vec<Vec<String>> = r
         .q1_per_period
         .iter()
@@ -30,7 +33,10 @@ fn main() {
 
     let q1: u64 = r.q1_per_period.iter().sum();
     let q2: u64 = r.q2_per_period.iter().sum();
-    println!("total Q1 = {q1}, total Q2 = {q2} (target ratio 2:1 ≈ {:.2})", q1 as f64 / q2.max(1) as f64);
+    println!(
+        "total Q1 = {q1}, total Q2 = {q2} (target ratio 2:1 ≈ {:.2})",
+        q1 as f64 / q2.max(1) as f64
+    );
 
     let path = write_json("fig3_sinusoid_workload", &r).expect("write result");
     println!("wrote {}", path.display());

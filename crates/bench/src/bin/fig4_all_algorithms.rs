@@ -15,7 +15,9 @@ fn main() {
     };
     let r = fig4_all_algorithms(&config, secs);
 
-    println!("Figure 4 — normalized average query response time (0.05 Hz sinusoid, peak ≈ capacity)\n");
+    println!(
+        "Figure 4 — normalized average query response time (0.05 Hz sinusoid, peak ≈ capacity)\n"
+    );
     let rows: Vec<Vec<String>> = r
         .rows
         .iter()
@@ -33,11 +35,20 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["mechanism", "mean (ms)", "normalized", "completed", "unserved", "msgs/query"],
+            &[
+                "mechanism",
+                "mean (ms)",
+                "normalized",
+                "completed",
+                "unserved",
+                "msgs/query"
+            ],
             &rows
         )
     );
-    println!("paper shape: QA-NT & Greedy far ahead; BNQRD mid; two-probes, round-robin, random worst");
+    println!(
+        "paper shape: QA-NT & Greedy far ahead; BNQRD mid; two-probes, round-robin, random worst"
+    );
 
     let path = write_json("fig4_all_algorithms", &r).expect("write result");
     println!("wrote {}", path.display());

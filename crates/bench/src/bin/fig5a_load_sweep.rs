@@ -7,11 +7,7 @@ use qa_sim::experiments::fig5a_load_sweep;
 
 fn main() {
     let (config, fractions, secs): (SimConfig, Vec<f64>, u64) = match scale() {
-        Scale::Ci => (
-            SimConfig::small_test(2007),
-            vec![0.3, 0.8, 1.5],
-            20,
-        ),
+        Scale::Ci => (SimConfig::small_test(2007), vec![0.3, 0.8, 1.5], 20),
         Scale::Full => (
             SimConfig::paper_defaults(),
             vec![0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0],
@@ -37,7 +33,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["load", "QA-NT (ms)", "Greedy (ms)", "greedy/qant", "qant uns.", "greedy uns."],
+            &[
+                "load",
+                "QA-NT (ms)",
+                "Greedy (ms)",
+                "greedy/qant",
+                "qant uns.",
+                "greedy uns."
+            ],
             &rows
         )
     );

@@ -30,7 +30,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["frequency", "QA-NT (ms)", "Greedy (ms)", "greedy/qant"], &rows)
+        render_table(
+            &["frequency", "QA-NT (ms)", "Greedy (ms)", "greedy/qant"],
+            &rows
+        )
     );
     println!("paper shape: QA-NT's edge shrinks as frequency rises (market adaptation lags)");
 

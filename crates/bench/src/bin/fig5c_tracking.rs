@@ -12,7 +12,10 @@ fn main() {
     };
     let r = fig5c_tracking(&config, secs);
 
-    println!("Figure 5c — Q1 arrivals vs executions per {} ms window\n", r.period_ms);
+    println!(
+        "Figure 5c — Q1 arrivals vs executions per {} ms window\n",
+        r.period_ms
+    );
     let bins = r
         .arrivals_q1
         .len()

@@ -35,9 +35,14 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["inter-arrival", "QA-NT (ms)", "Greedy (ms)", "greedy/qant"], &rows)
+        render_table(
+            &["inter-arrival", "QA-NT (ms)", "Greedy (ms)", "greedy/qant"],
+            &rows
+        )
     );
-    println!("paper shape: QA-NT gains 13–26% under overload, gains vanish once the system is unloaded");
+    println!(
+        "paper shape: QA-NT gains 13–26% under overload, gains vanish once the system is unloaded"
+    );
 
     let path = write_json("fig6_zipf_sweep", &pts).expect("write result");
     println!("wrote {}", path.display());

@@ -4,9 +4,7 @@
 
 use qa_bench::{fmt_ms, render_table, scale, write_json, Scale};
 use qa_cluster::{run_experiment, ClusterConfig, ClusterMechanism, ClusterSpec};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Fig7Row {
     experiment: String,
     mechanism: String,
@@ -14,6 +12,14 @@ struct Fig7Row {
     mean_total_ms: f64,
     failed: usize,
 }
+
+qa_simnet::impl_to_json!(Fig7Row {
+    experiment,
+    mechanism,
+    mean_assign_ms,
+    mean_total_ms,
+    failed
+});
 
 fn main() {
     let (spec, configs): (ClusterSpec, Vec<(String, ClusterConfig, ClusterConfig)>) = match scale()
@@ -85,11 +91,19 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["experiment", "mechanism", "assign (ms)", "total (ms)", "failed"],
+            &[
+                "experiment",
+                "mechanism",
+                "assign (ms)",
+                "total (ms)",
+                "failed"
+            ],
             &rows
         )
     );
-    println!("paper shape: QA-NT total < Greedy total; assignment dominated by the slowest replier");
+    println!(
+        "paper shape: QA-NT total < Greedy total; assignment dominated by the slowest replier"
+    );
 
     let path = write_json("fig7_real_cluster", &out_rows).expect("write result");
     println!("wrote {}", path.display());

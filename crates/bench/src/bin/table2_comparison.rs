@@ -6,9 +6,7 @@ use qa_bench::{render_table, scale, write_json, Scale};
 use qa_core::MechanismKind;
 use qa_sim::config::SimConfig;
 use qa_sim::experiments::fig4_all_algorithms;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Table2Row {
     mechanism: String,
     distributed: bool,
@@ -18,6 +16,16 @@ struct Table2Row {
     measured_normalized_response: Option<f64>,
     measured_messages_per_query: Option<f64>,
 }
+
+qa_simnet::impl_to_json!(Table2Row {
+    mechanism,
+    distributed,
+    workload_type,
+    conflicts_with_dqo,
+    autonomy,
+    measured_normalized_response,
+    measured_messages_per_query
+});
 
 fn main() {
     let (config, secs) = match scale() {
@@ -79,7 +87,9 @@ fn main() {
             &rows
         )
     );
-    println!("(Markov runs only on static workloads, hence no measured row in the dynamic experiment)");
+    println!(
+        "(Markov runs only on static workloads, hence no measured row in the dynamic experiment)"
+    );
 
     let path = write_json("table2_comparison", &rows_data).expect("write result");
     println!("wrote {}", path.display());

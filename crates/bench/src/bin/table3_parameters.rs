@@ -4,9 +4,7 @@
 use qa_bench::{render_table, write_json};
 use qa_sim::config::SimConfig;
 use qa_sim::scenario::Scenario;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Table3 {
     num_nodes: usize,
     hash_join_nodes: usize,
@@ -21,15 +19,28 @@ struct Table3 {
     base_cost_ms_mean: f64,
 }
 
+qa_simnet::impl_to_json!(Table3 {
+    num_nodes,
+    hash_join_nodes,
+    cpu_ghz_mean,
+    io_mbps_mean,
+    buffer_mb_mean,
+    num_relations,
+    relation_mb_mean,
+    mean_mirrors,
+    num_classes,
+    joins_mean,
+    base_cost_ms_mean
+});
+
 fn main() {
     let config = SimConfig::paper_defaults();
     let s = Scenario::table3(config);
 
     let n = s.hardware.len() as f64;
     let hash_join_nodes = s.hardware.iter().filter(|h| h.hash_join).count();
-    let mean = |f: &dyn Fn(&qa_sim::node::NodeHardware) -> f64| {
-        s.hardware.iter().map(|h| f(h)).sum::<f64>() / n
-    };
+    let mean =
+        |f: &dyn Fn(&qa_sim::node::NodeHardware) -> f64| s.hardware.iter().map(f).sum::<f64>() / n;
     let rel_mb: f64 = (0..s.dataset.num_relations())
         .map(|i| {
             s.dataset
@@ -58,19 +69,66 @@ fn main() {
 
     println!("Table 3 — simulation parameters (measured from the generated world)\n");
     let rows = vec![
-        vec!["Total size of network".into(), format!("{} nodes", t.num_nodes), "100 nodes".into()],
-        vec!["Hash-join capable nodes".into(), t.hash_join_nodes.to_string(), "95".into()],
-        vec!["CPU (avg)".into(), format!("{:.2} GHz", t.cpu_ghz_mean), "2.3 GHz".into()],
-        vec!["I/O speed (avg)".into(), format!("{:.1} MB/s", t.io_mbps_mean), "42.5 MB/s".into()],
-        vec!["Sort/hash buffers (avg)".into(), format!("{:.1} MB", t.buffer_mb_mean), "6 MB".into()],
-        vec!["# of relations".into(), t.num_relations.to_string(), "1,000".into()],
-        vec!["Relation size (avg)".into(), format!("{:.1} MB", t.relation_mb_mean), "10.5 MB".into()],
-        vec!["Mirrors per relation (avg)".into(), format!("{:.1}", t.mean_mirrors), "5".into()],
-        vec!["# of query classes".into(), t.num_classes.to_string(), "100".into()],
-        vec!["Joins per query (avg)".into(), format!("{:.1}", t.joins_mean), "24".into()],
-        vec!["Best execution time (avg)".into(), format!("{:.0} ms", t.base_cost_ms_mean), "2,000 ms".into()],
+        vec![
+            "Total size of network".into(),
+            format!("{} nodes", t.num_nodes),
+            "100 nodes".into(),
+        ],
+        vec![
+            "Hash-join capable nodes".into(),
+            t.hash_join_nodes.to_string(),
+            "95".into(),
+        ],
+        vec![
+            "CPU (avg)".into(),
+            format!("{:.2} GHz", t.cpu_ghz_mean),
+            "2.3 GHz".into(),
+        ],
+        vec![
+            "I/O speed (avg)".into(),
+            format!("{:.1} MB/s", t.io_mbps_mean),
+            "42.5 MB/s".into(),
+        ],
+        vec![
+            "Sort/hash buffers (avg)".into(),
+            format!("{:.1} MB", t.buffer_mb_mean),
+            "6 MB".into(),
+        ],
+        vec![
+            "# of relations".into(),
+            t.num_relations.to_string(),
+            "1,000".into(),
+        ],
+        vec![
+            "Relation size (avg)".into(),
+            format!("{:.1} MB", t.relation_mb_mean),
+            "10.5 MB".into(),
+        ],
+        vec![
+            "Mirrors per relation (avg)".into(),
+            format!("{:.1}", t.mean_mirrors),
+            "5".into(),
+        ],
+        vec![
+            "# of query classes".into(),
+            t.num_classes.to_string(),
+            "100".into(),
+        ],
+        vec![
+            "Joins per query (avg)".into(),
+            format!("{:.1}", t.joins_mean),
+            "24".into(),
+        ],
+        vec![
+            "Best execution time (avg)".into(),
+            format!("{:.0} ms", t.base_cost_ms_mean),
+            "2,000 ms".into(),
+        ],
     ];
-    println!("{}", render_table(&["parameter", "measured", "paper"], &rows));
+    println!(
+        "{}",
+        render_table(&["parameter", "measured", "paper"], &rows)
+    );
 
     let path = write_json("table3_parameters", &t).expect("write result");
     println!("wrote {}", path.display());

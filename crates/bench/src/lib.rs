@@ -1,7 +1,7 @@
 //! # qa-bench — the experiment harness
 //!
-//! One binary per table/figure of the paper (see `src/bin/`), plus
-//! criterion microbenchmarks (`benches/micro.rs`). Each binary prints the
+//! One binary per table/figure of the paper (see `src/bin/`), plus a
+//! plain timing harness (`benches/micro.rs`). Each binary prints the
 //! figure's rows/series as a text table and writes a JSON copy under
 //! `bench_results/`.
 //!
@@ -12,7 +12,7 @@
 //! * `full` — the paper-scale configuration (100 nodes, full sweeps);
 //!   minutes of runtime.
 
-use serde::Serialize;
+use qa_simnet::json::ToJson;
 use std::path::PathBuf;
 
 /// Experiment scale selected via the `QA_SCALE` env var.
@@ -34,12 +34,11 @@ pub fn scale() -> Scale {
 
 /// Writes a JSON result file under `bench_results/` (created on demand)
 /// and returns its path.
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("bench_results");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let data = serde_json::to_string_pretty(value).expect("serializable result");
-    std::fs::write(&path, data)?;
+    std::fs::write(&path, value.to_json().pretty())?;
     Ok(path)
 }
 

@@ -27,14 +27,15 @@
 //! and execute paths never panic.
 
 use crate::error::ClusterError;
-use crate::node::{spawn_node_with_faults, EstimateReply, ExecReply, NodeHandle, NodeMsg, OfferReply};
+use crate::node::{
+    spawn_node_with_faults, EstimateReply, ExecReply, NodeHandle, NodeMsg, OfferReply,
+};
 use crate::setup::ClusterSpec;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use qa_core::QantConfig;
 use qa_simnet::{DetRng, FaultPlan, SimDuration};
 use qa_workload::ClassId;
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -43,7 +44,7 @@ use std::time::{Duration, Instant};
 const EXEC_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Which mechanism drives allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClusterMechanism {
     /// Greedy: poll execution estimates from every capable node, assign to
     /// the minimum unilaterally.
@@ -114,7 +115,11 @@ impl ClusterConfig {
     /// Paper-shaped run (time-scaled ~10×: 300 queries at 30/40 ms mean
     /// inter-arrival against ~100 ms-class queries — the paper's 300/400 ms
     /// against 1–14 s queries, preserving the ~3× offered-load ratio).
-    pub fn paper_scale(mechanism: ClusterMechanism, seed: u64, mean_interarrival_ms: u64) -> ClusterConfig {
+    pub fn paper_scale(
+        mechanism: ClusterMechanism,
+        seed: u64,
+        mean_interarrival_ms: u64,
+    ) -> ClusterConfig {
         ClusterConfig {
             seed,
             num_queries: 300,
@@ -131,7 +136,7 @@ impl ClusterConfig {
 }
 
 /// Per-query measurement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QueryOutcome {
     /// Query index in issue order.
     pub query: usize,
@@ -149,8 +154,18 @@ pub struct QueryOutcome {
     pub error: Option<String>,
 }
 
+qa_simnet::impl_to_json!(QueryOutcome {
+    query,
+    class,
+    node,
+    assign_ms,
+    total_ms,
+    retries,
+    error
+});
+
 /// Aggregate experiment result (one Figure-7 bar pair).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Mechanism name.
     pub mechanism: String,
@@ -165,6 +180,15 @@ pub struct ExperimentResult {
     /// Fraction of issued queries that completed.
     pub completion_rate: f64,
 }
+
+qa_simnet::impl_to_json!(ExperimentResult {
+    mechanism,
+    outcomes,
+    mean_assign_ms,
+    mean_total_ms,
+    failed,
+    completion_rate
+});
 
 /// State shared by every per-query protocol thread.
 struct Shared {
@@ -243,7 +267,9 @@ pub fn run_experiment(
         period: config.period,
         reply_timeout: config.reply_timeout,
         max_retries: config.max_retries,
-        dead: (0..spec.num_nodes).map(|_| AtomicBool::new(false)).collect(),
+        dead: (0..spec.num_nodes)
+            .map(|_| AtomicBool::new(false))
+            .collect(),
     });
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -315,7 +341,7 @@ pub fn run_experiment(
         .collect();
 
     // Issue queries on schedule; each runs its protocol on its own thread.
-    let (done_tx, done_rx) = unbounded::<QueryOutcome>();
+    let (done_tx, done_rx) = channel::<QueryOutcome>();
     let mut issue_threads = Vec::new();
     for (i, (gap, class, sql)) in workload.into_iter().enumerate() {
         std::thread::sleep(gap);
@@ -402,7 +428,7 @@ fn poll_round(
     let deadline = Instant::now() + shared.reply_timeout;
     match shared.mechanism {
         ClusterMechanism::Greedy => {
-            let (tx, rx) = unbounded::<EstimateReply>();
+            let (tx, rx) = channel::<EstimateReply>();
             let mut sent = 0;
             for &n in &live {
                 let msg = NodeMsg::Estimate {
@@ -429,7 +455,7 @@ fn poll_round(
             Ok(best.map(|(_, n)| n))
         }
         ClusterMechanism::QaNt => {
-            let (tx, rx) = unbounded::<OfferReply>();
+            let (tx, rx) = channel::<OfferReply>();
             let mut sent = 0;
             for &n in &live {
                 let msg = NodeMsg::CallForOffers {
@@ -506,7 +532,7 @@ fn run_one(
         // Execution. A disconnect means the chosen node crashed with our
         // query: drop it from the candidate set and re-allocate (the
         // cluster analogue of the simulator's crash re-entry).
-        let (tx, rx) = unbounded::<ExecReply>();
+        let (tx, rx) = channel::<ExecReply>();
         let msg = NodeMsg::Execute {
             sql: sql.clone(),
             class,
@@ -573,7 +599,12 @@ mod tests {
         let cfg = ClusterConfig::ci_scale(ClusterMechanism::Greedy, 11);
         let r = run_experiment(&s, &cfg).expect("healthy spec");
         assert_eq!(r.outcomes.len(), cfg.num_queries);
-        assert_eq!(r.failed, 0, "{:?}", r.outcomes.iter().find(|o| o.error.is_some()));
+        assert_eq!(
+            r.failed,
+            0,
+            "{:?}",
+            r.outcomes.iter().find(|o| o.error.is_some())
+        );
         assert_eq!(r.completion_rate, 1.0);
         assert!(r.mean_assign_ms > 0.0);
         assert!(r.mean_total_ms >= r.mean_assign_ms);
@@ -585,7 +616,12 @@ mod tests {
         let cfg = ClusterConfig::ci_scale(ClusterMechanism::QaNt, 11);
         let r = run_experiment(&s, &cfg).expect("healthy spec");
         assert_eq!(r.outcomes.len(), cfg.num_queries);
-        assert_eq!(r.failed, 0, "{:?}", r.outcomes.iter().find(|o| o.error.is_some()));
+        assert_eq!(
+            r.failed,
+            0,
+            "{:?}",
+            r.outcomes.iter().find(|o| o.error.is_some())
+        );
         assert!(r.mean_total_ms.is_finite());
     }
 
@@ -599,7 +635,11 @@ mod tests {
             for o in &r.outcomes {
                 if let Some(n) = o.node {
                     let capable = s.capable_nodes(ClassId(o.class));
-                    assert!(capable.contains(&n), "query {} on incapable node {n}", o.query);
+                    assert!(
+                        capable.contains(&n),
+                        "query {} on incapable node {n}",
+                        o.query
+                    );
                 }
             }
         }

@@ -87,7 +87,10 @@ mod tests {
             .to_string(),
             "offer collection deadline expired"
         );
-        assert_eq!(ClusterError::NoCandidates.to_string(), "no live capable node");
+        assert_eq!(
+            ClusterError::NoCandidates.to_string(),
+            "no live capable node"
+        );
         assert_eq!(
             ClusterError::RetriesExhausted { retries: 7 }.to_string(),
             "no placement after 7 retries"

@@ -7,8 +7,8 @@
 //! two-step cost estimator (`EXPLAIN PLAN` + per-plan execution history).
 //!
 //! This crate is the open equivalent: five OS threads, each owning a live
-//! [`qa_minidb::Database`] instance, exchanging messages over crossbeam
-//! channels. Heterogeneity comes from per-node slowdown factors (the
+//! [`qa_minidb::Database`] instance, exchanging messages over
+//! `std::sync::mpsc` channels. Heterogeneity comes from per-node slowdown factors (the
 //! paper's 1.3–3.06 GHz spread, where the same query took 1 s on the
 //! fastest and 14 s on the slowest machine) and one high-latency link (the
 //! paper's 54 Mb wireless PC). Because nodes are single-threaded — like a

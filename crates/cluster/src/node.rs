@@ -11,11 +11,11 @@
 //! ([`qa_core::PlanHistoryEstimator`]) to correct the optimizer's prior.
 
 use crate::setup::ClusterSpec;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use qa_core::{PlanHistoryEstimator, QantConfig, QantNode};
 use qa_minidb::Database;
 use qa_simnet::{DetRng, LinkFaults, SimTime};
 use qa_workload::ClassId;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -165,7 +165,7 @@ pub fn spawn_node_with_faults(
     faults: LinkFaults,
     epoch: Instant,
 ) -> NodeHandle {
-    let (tx, rx) = unbounded();
+    let (tx, rx) = channel();
     let statements = spec.node_statements(node);
     let tables: Vec<(String, Vec<qa_minidb::value::Row>)> = spec
         .tables
@@ -241,8 +241,11 @@ impl NodeWorker {
     /// units, not milliseconds, and a cold market would reject everything
     /// until the first executions land.
     fn init_market(&mut self) {
-        let warmups: Vec<String> =
-            self.spec_classes.iter().map(|(_, sql)| sql.clone()).collect();
+        let warmups: Vec<String> = self
+            .spec_classes
+            .iter()
+            .map(|(_, sql)| sql.clone())
+            .collect();
         for sql in warmups {
             let started = Instant::now();
             if self.db.query(&sql).is_ok() {
@@ -336,8 +339,7 @@ impl NodeWorker {
                         None => true,
                     };
                     let completion_ms = if offered {
-                        self.backlog_ms
-                            + self.estimate_ms(&sql).unwrap_or(f64::INFINITY)
+                        self.backlog_ms + self.estimate_ms(&sql).unwrap_or(f64::INFINITY)
                     } else {
                         f64::INFINITY
                     };
@@ -373,7 +375,8 @@ impl NodeWorker {
                         // learns the scaled value but estimate_ms also
                         // multiplies by slowdown. Store the raw engine time
                         // to keep the two-step scheme consistent.
-                        self.estimator.observe_ms(ex.fingerprint, exec_ms / self.slowdown);
+                        self.estimator
+                            .observe_ms(ex.fingerprint, exec_ms / self.slowdown);
                     }
                     // Execute replies are never fault-dropped: assignments
                     // travel over a reliable (TCP-like) connection; only
@@ -422,7 +425,7 @@ mod tests {
         let h = spawn_node(&s, node, 99, None);
         let sql = class.instantiate(100);
 
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         h.sender
             .send(NodeMsg::Estimate {
                 sql: sql.clone(),
@@ -433,7 +436,7 @@ mod tests {
         assert_eq!(est.node, node);
         assert!(est.exec_ms.is_finite() && est.exec_ms > 0.0);
 
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         h.sender
             .send(NodeMsg::Execute {
                 sql,
@@ -451,7 +454,7 @@ mod tests {
     /// the market period to a handful of supply units.
     fn calibrated_period_ms(s: &ClusterSpec, node: usize, sql: &str) -> f64 {
         let h = spawn_node(s, node, 99, None);
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         h.sender
             .send(NodeMsg::Estimate {
                 sql: sql.to_string(),
@@ -468,19 +471,12 @@ mod tests {
         let s = spec();
         let class = &s.classes[0];
         let node = s.capable_nodes(class.id)[0];
-        let h = spawn_node_with_faults(
-            &s,
-            node,
-            99,
-            None,
-            LinkFaults::lossy(1.0),
-            Instant::now(),
-        );
+        let h = spawn_node_with_faults(&s, node, 99, None, LinkFaults::lossy(1.0), Instant::now());
         let sql = class.instantiate(100);
 
         // Negotiation reply is dropped: the reply sender is discarded, so
         // the client observes a disconnect, not a value.
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         h.sender
             .send(NodeMsg::Estimate {
                 sql: sql.clone(),
@@ -493,7 +489,7 @@ mod tests {
         );
 
         // Execution replies ride the reliable connection regardless.
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         h.sender
             .send(NodeMsg::Execute {
                 sql,
@@ -525,7 +521,7 @@ mod tests {
         let mut offers = 0;
         let mut rejections = 0;
         for _ in 0..300 {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             h.sender
                 .send(NodeMsg::CallForOffers {
                     class: class.id,
@@ -536,7 +532,7 @@ mod tests {
             let o = rx.recv_timeout(Duration::from_secs(10)).unwrap();
             if o.offered {
                 offers += 1;
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 h.sender
                     .send(NodeMsg::Execute {
                         sql: sql.clone(),
@@ -571,7 +567,7 @@ mod tests {
         };
         let h = spawn_node(&s, node, 99, Some(cfg));
         let offer = |h: &NodeHandle| {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             h.sender
                 .send(NodeMsg::CallForOffers {
                     class: class.id,
@@ -585,7 +581,7 @@ mod tests {
         let mut guard = 0;
         while offer(&h) && guard < 500 {
             guard += 1;
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             h.sender
                 .send(NodeMsg::Execute {
                     sql: sql.clone(),
@@ -611,7 +607,7 @@ mod tests {
         let h = spawn_node(&s, node, 99, None);
         let sql = class.instantiate(100);
         let estimate = |h: &NodeHandle| {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             h.sender
                 .send(NodeMsg::Estimate {
                     sql: sql.clone(),
@@ -622,7 +618,7 @@ mod tests {
         };
         let cold = estimate(&h);
         for _ in 0..3 {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             h.sender
                 .send(NodeMsg::Execute {
                     sql: sql.clone(),

@@ -9,10 +9,9 @@
 
 use qa_simnet::DetRng;
 use qa_workload::ClassId;
-use serde::{Deserialize, Serialize};
 
 /// One table of the deployment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TableSpec {
     /// Table name (`t00`, `t01`, …).
     pub name: String,
@@ -23,7 +22,7 @@ pub struct TableSpec {
 }
 
 /// One select-project view.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ViewSpec {
     /// View name (`v00`, …).
     pub name: String,
@@ -35,7 +34,7 @@ pub struct ViewSpec {
 
 /// One query class: a star-query template with a `{c}` placeholder for the
 /// selection constant.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QueryClassSpec {
     /// The class id.
     pub id: ClassId,
@@ -61,7 +60,7 @@ impl QueryClassSpec {
 }
 
 /// The full deployment description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterSpec {
     /// Number of nodes (paper: 5).
     pub num_nodes: usize,
@@ -123,16 +122,32 @@ impl ClusterSpec {
                 }
             })
             .collect();
+        // Whether some node holds every table in `picked`.
+        let evaluable = |picked: &[usize]| {
+            (0..num_nodes).any(|n| picked.iter().all(|&t| tables[t].copies.contains(&n)))
+        };
         let classes: Vec<QueryClassSpec> = (0..num_classes)
             .map(|i| {
                 // A star query joins a fact table with 1–2 others on id and
                 // groups by g — the paper's select-join-project-group shape.
-                let joins = 1 + rng.index(2);
-                let picked = rng.sample_indices(num_tables, joins + 1);
+                // Redraw until the picked tables share a node (every class
+                // must be evaluable somewhere, like the paper's deployment);
+                // a single-table query is the always-evaluable fallback.
+                let mut picked = Vec::new();
+                for _ in 0..16 {
+                    let joins = 1 + rng.index(2);
+                    picked = rng.sample_indices(num_tables, joins + 1);
+                    if evaluable(&picked) {
+                        break;
+                    }
+                    picked.clear();
+                }
+                if picked.is_empty() {
+                    picked = vec![rng.index(num_tables)];
+                }
                 let fact = &tables[picked[0]].name;
-                let mut sql = format!(
-                    "SELECT f.g, COUNT(*) AS n, SUM(f.b) AS total FROM {fact} AS f"
-                );
+                let mut sql =
+                    format!("SELECT f.g, COUNT(*) AS n, SUM(f.b) AS total FROM {fact} AS f");
                 for (j, &t) in picked[1..].iter().enumerate() {
                     let alias = (b'u' + j as u8) as char;
                     sql.push_str(&format!(
@@ -157,7 +172,7 @@ impl ClusterSpec {
             })
             .collect();
         slowdown[num_nodes - 1] = slowdown[num_nodes - 1].max(6.0); // one slow PC
-        // Links: last node on the slow wireless-like link.
+                                                                    // Links: last node on the slow wireless-like link.
         let link_latency_us: Vec<u64> = (0..num_nodes)
             .map(|i| if i == num_nodes - 1 { 3_000 } else { 200 })
             .collect();
@@ -265,7 +280,12 @@ mod tests {
     fn tables_have_2_to_4_copies() {
         let s = spec();
         for t in &s.tables {
-            assert!((2..=4).contains(&t.copies.len()), "{}: {:?}", t.name, t.copies);
+            assert!(
+                (2..=4).contains(&t.copies.len()),
+                "{}: {:?}",
+                t.name,
+                t.copies
+            );
             let mut c = t.copies.clone();
             c.sort_unstable();
             c.dedup();
@@ -274,14 +294,22 @@ mod tests {
     }
 
     #[test]
-    fn every_class_has_a_capable_node_or_is_detectable() {
-        let s = spec();
-        for c in &s.classes {
-            // Not guaranteed non-empty (random copies), but capable_nodes
-            // must agree with the copies data.
-            let cap = s.capable_nodes(c.id);
-            for &n in &cap {
-                assert!(c.tables.iter().all(|&t| s.tables[t].copies.contains(&n)));
+    fn every_generated_class_has_a_capable_node() {
+        // Several seeds: the generator must only emit evaluable classes
+        // (hand-built specs may still violate this; the driver rejects
+        // them with `NoCandidates`).
+        for seed in [7, 31, 2007, 99] {
+            let s = ClusterSpec::generate(seed, 5, 8, 16, 8, 60);
+            for c in &s.classes {
+                let cap = s.capable_nodes(c.id);
+                assert!(
+                    !cap.is_empty(),
+                    "seed {seed}, class {}: no capable node",
+                    c.id
+                );
+                for &n in &cap {
+                    assert!(c.tables.iter().all(|&t| s.tables[t].copies.contains(&n)));
+                }
             }
         }
     }
@@ -311,7 +339,9 @@ mod tests {
         let mut rng = DetRng::seed_from_u64(1);
         for class in &s.classes {
             let capable = s.capable_nodes(class.id);
-            let Some(&node) = capable.first() else { continue };
+            let Some(&node) = capable.first() else {
+                continue;
+            };
             let mut db = qa_minidb::Database::new();
             for stmt in s.node_statements(node) {
                 db.execute(&stmt).unwrap();

@@ -35,8 +35,7 @@ impl BnqrdCoordinator {
     /// Unbalance factor of a node: its outstanding work minus the fleet
     /// average (positive = overloaded relative to peers).
     pub fn unbalance(&self, node: NodeId) -> f64 {
-        let avg: f64 =
-            self.outstanding_ms.iter().sum::<f64>() / self.outstanding_ms.len() as f64;
+        let avg: f64 = self.outstanding_ms.iter().sum::<f64>() / self.outstanding_ms.len() as f64;
         self.outstanding_ms[node.index()] - avg
     }
 

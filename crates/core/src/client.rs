@@ -17,13 +17,11 @@ use qa_workload::NodeId;
 /// server id for determinism. `None` on empty input (QA-NT: resubmit next
 /// period).
 pub fn choose_best_offer(offers: &[Offer]) -> Option<&Offer> {
-    offers
-        .iter()
-        .min_by(|a, b| {
-            a.estimated_completion
-                .cmp(&b.estimated_completion)
-                .then(a.server.cmp(&b.server))
-        })
+    offers.iter().min_by(|a, b| {
+        a.estimated_completion
+            .cmp(&b.estimated_completion)
+            .then(a.server.cmp(&b.server))
+    })
 }
 
 /// Round-robin over capable servers, per client.
@@ -55,11 +53,7 @@ pub struct TwoProbesChooser;
 impl TwoProbesChooser {
     /// Chooses among `capable` given a load oracle (`load(node)` = current
     /// queued work in any consistent unit).
-    pub fn choose<F: Fn(NodeId) -> f64>(
-        rng: &mut DetRng,
-        capable: &[NodeId],
-        load: F,
-    ) -> NodeId {
+    pub fn choose<F: Fn(NodeId) -> f64>(rng: &mut DetRng, capable: &[NodeId], load: F) -> NodeId {
         assert!(!capable.is_empty());
         if capable.len() == 1 {
             return capable[0];
@@ -120,7 +114,14 @@ mod tests {
         let picks: Vec<NodeId> = (0..6).map(|_| rr.choose(&capable)).collect();
         assert_eq!(
             picks,
-            vec![NodeId(3), NodeId(7), NodeId(9), NodeId(3), NodeId(7), NodeId(9)]
+            vec![
+                NodeId(3),
+                NodeId(7),
+                NodeId(9),
+                NodeId(3),
+                NodeId(7),
+                NodeId(9)
+            ]
         );
     }
 
@@ -131,7 +132,13 @@ mod tests {
         // Node 0 has zero load, everyone else is heavy: over many draws the
         // picked node should often be the lighter of each probed pair, and
         // node 0 must win whenever probed.
-        let load = |n: NodeId| if n == NodeId(0) { 0.0 } else { 10.0 + n.0 as f64 };
+        let load = |n: NodeId| {
+            if n == NodeId(0) {
+                0.0
+            } else {
+                10.0 + n.0 as f64
+            }
+        };
         for _ in 0..200 {
             let pick = TwoProbesChooser::choose(&mut rng, &capable, load);
             // The pick must never be the *heavier* of a pair containing 0.

@@ -65,13 +65,10 @@ impl PlanHistoryEstimator {
     /// Records an observed execution time for a plan.
     pub fn observe_ms(&mut self, fingerprint: u64, actual_ms: f64) {
         assert!(actual_ms.is_finite() && actual_ms >= 0.0);
-        let e = self
-            .history
-            .entry(fingerprint)
-            .or_insert(EstimatorStats {
-                observations: 0,
-                ewma_ms: actual_ms,
-            });
+        let e = self.history.entry(fingerprint).or_insert(EstimatorStats {
+            observations: 0,
+            ewma_ms: actual_ms,
+        });
         if e.observations == 0 {
             e.ewma_ms = actual_ms;
         } else {

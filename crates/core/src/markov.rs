@@ -58,10 +58,7 @@ impl MarkovAllocator {
         let mut class_order: Vec<usize> = (0..num_classes).collect();
         let weight = |k: usize| {
             let mean_t: f64 = {
-                let ts: Vec<f64> = exec_times_ms
-                    .iter()
-                    .filter_map(|e| e[k])
-                    .collect();
+                let ts: Vec<f64> = exec_times_ms.iter().filter_map(|e| e[k]).collect();
                 if ts.is_empty() {
                     0.0
                 } else {
@@ -98,9 +95,8 @@ impl MarkovAllocator {
                         best = Some((i, resp));
                     }
                 }
-                let (i, _) = best.unwrap_or_else(|| {
-                    panic!("class q{k} has demand but no capable node")
-                });
+                let (i, _) =
+                    best.unwrap_or_else(|| panic!("class q{k} has demand but no capable node"));
                 let t = exec_times_ms[i][k].expect("capable");
                 rho[i] += chunk_rate * t / 1_000.0;
                 counts[k][i] += 1;
@@ -152,7 +148,10 @@ impl MarkovAllocator {
     /// distribution).
     pub fn choose(&self, class: ClassId, rng: &mut DetRng) -> NodeId {
         let cum = &self.probs[class.index()];
-        assert!(!cum.is_empty(), "class {class} had no arrival rate at build time");
+        assert!(
+            !cum.is_empty(),
+            "class {class} had no arrival rate at build time"
+        );
         let u = rng.unit();
         cum.iter()
             .find(|&&(_, c)| u <= c)
@@ -167,22 +166,14 @@ mod tests {
 
     #[test]
     fn single_capable_node_gets_everything() {
-        let a = MarkovAllocator::build(
-            &[10.0],
-            &[vec![None], vec![Some(100.0)]],
-            50,
-        );
+        let a = MarkovAllocator::build(&[10.0], &[vec![None], vec![Some(100.0)]], 50);
         assert_eq!(a.distribution(ClassId(0)), vec![(NodeId(1), 1.0)]);
     }
 
     #[test]
     fn fast_node_gets_larger_share() {
         // Node 0 is 4× faster for the class: it must take the bulk.
-        let a = MarkovAllocator::build(
-            &[20.0],
-            &[vec![Some(25.0)], vec![Some(100.0)]],
-            200,
-        );
+        let a = MarkovAllocator::build(&[20.0], &[vec![Some(25.0)], vec![Some(100.0)]], 200);
         let d = a.distribution(ClassId(0));
         let share0 = d.iter().find(|(n, _)| *n == NodeId(0)).map_or(0.0, |x| x.1);
         let share1 = d.iter().find(|(n, _)| *n == NodeId(1)).map_or(0.0, |x| x.1);
@@ -194,11 +185,7 @@ mod tests {
     fn light_load_concentrates_on_fastest() {
         // With negligible load there is no queueing: everything goes to the
         // fastest node.
-        let a = MarkovAllocator::build(
-            &[0.1],
-            &[vec![Some(10.0)], vec![Some(100.0)]],
-            100,
-        );
+        let a = MarkovAllocator::build(&[0.1], &[vec![Some(10.0)], vec![Some(100.0)]], 100);
         let d = a.distribution(ClassId(0));
         assert_eq!(d, vec![(NodeId(0), 1.0)]);
     }
@@ -206,11 +193,7 @@ mod tests {
     #[test]
     fn heavy_load_spills_to_slow_node() {
         // 50 q/s at 25 ms = 125% of one node: must spill.
-        let a = MarkovAllocator::build(
-            &[50.0],
-            &[vec![Some(25.0)], vec![Some(100.0)]],
-            500,
-        );
+        let a = MarkovAllocator::build(&[50.0], &[vec![Some(25.0)], vec![Some(100.0)]], 500);
         let d = a.distribution(ClassId(0));
         assert_eq!(d.len(), 2, "{d:?}");
     }
@@ -221,10 +204,7 @@ mod tests {
         // some class-1 traffic onto node 1.
         let a = MarkovAllocator::build(
             &[30.0, 30.0],
-            &[
-                vec![Some(25.0), Some(25.0)],
-                vec![Some(30.0), Some(30.0)],
-            ],
+            &[vec![Some(25.0), Some(25.0)], vec![Some(30.0), Some(30.0)]],
             300,
         );
         let d0 = a.distribution(ClassId(0));
@@ -241,11 +221,7 @@ mod tests {
 
     #[test]
     fn sampling_matches_distribution() {
-        let a = MarkovAllocator::build(
-            &[40.0],
-            &[vec![Some(25.0)], vec![Some(25.0)]],
-            100,
-        );
+        let a = MarkovAllocator::build(&[40.0], &[vec![Some(25.0)], vec![Some(25.0)]], 100);
         let mut rng = DetRng::seed_from_u64(9);
         let mut counts = [0u32; 2];
         for _ in 0..2_000 {

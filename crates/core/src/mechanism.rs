@@ -1,10 +1,9 @@
 //! Mechanism taxonomy (Table 2).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The allocation mechanisms compared in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MechanismKind {
     /// The paper's contribution: query markets with non-tâtonnement
     /// pricing.
@@ -103,10 +102,7 @@ mod tests {
         // Every non-QA-NT mechanism conflicts with distributed query
         // optimization (Table 2's "Conflict" column).
         for m in MechanismKind::ALL {
-            assert_eq!(
-                m.conflicts_with_distributed_query_optimization(),
-                m != QaNt
-            );
+            assert_eq!(m.conflicts_with_distributed_query_optimization(), m != QaNt);
         }
     }
 

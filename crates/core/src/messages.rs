@@ -17,10 +17,22 @@
 
 use qa_simnet::SimDuration;
 use qa_workload::{ClassId, NodeId};
-use serde::{Deserialize, Serialize};
+
+// Wire encodings, used by tests to check the autonomy invariant and kept
+// here so any future field shows up on the wire (and in the check) too.
+qa_simnet::impl_to_json!(Request {
+    query_id,
+    class,
+    from
+});
+qa_simnet::impl_to_json!(Offer {
+    query_id,
+    server,
+    estimated_completion
+});
 
 /// A call-for-offers for one query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
     /// The query's trace id.
     pub query_id: u64,
@@ -31,7 +43,7 @@ pub struct Request {
 }
 
 /// A server's offer to evaluate a query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Offer {
     /// The query being offered for.
     pub query_id: u64,
@@ -42,7 +54,7 @@ pub struct Offer {
 }
 
 /// Client decision after collecting offers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Response {
     /// Accept the named server's offer.
     Accept {
@@ -93,25 +105,22 @@ mod tests {
     /// are integer-only; Offer's only non-integer payload is a duration).
     #[test]
     fn no_price_fields_on_the_wire() {
-        let r = serde_json::to_value(Request {
+        use qa_simnet::json::ToJson;
+        let r = Request {
             query_id: 1,
             class: ClassId(0),
             from: NodeId(0),
-        })
-        .unwrap();
-        let keys: Vec<&String> = r.as_object().unwrap().keys().collect();
+        }
+        .to_json();
+        let keys = r.keys().unwrap();
         assert_eq!(keys.len(), 3);
         assert!(keys.iter().all(|k| !k.contains("price")));
-        let o = serde_json::to_value(Offer {
+        let o = Offer {
             query_id: 1,
             server: NodeId(0),
             estimated_completion: SimDuration::from_millis(1),
-        })
-        .unwrap();
-        assert!(o
-            .as_object()
-            .unwrap()
-            .keys()
-            .all(|k| !k.contains("price")));
+        }
+        .to_json();
+        assert!(o.keys().unwrap().iter().all(|k| !k.contains("price")));
     }
 }

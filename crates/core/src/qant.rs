@@ -30,10 +30,9 @@
 use qa_economics::{NonTatonnementPricer, PriceVector, PricerConfig, QuantityVector};
 use qa_simnet::{DetRng, SimDuration};
 use qa_workload::ClassId;
-use serde::{Deserialize, Serialize};
 
 /// QA-NT tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QantConfig {
     /// Price dynamics (λ, floor, ceiling, initial).
     pub pricer: PricerConfig,
@@ -258,10 +257,7 @@ impl QantNode {
             // No data for this class: not a market event, no price change.
             return false;
         }
-        let available = self
-            .supply
-            .as_ref()
-            .is_some_and(|s| s.get(k) > 0);
+        let available = self.supply.as_ref().is_some_and(|s| s.get(k) > 0);
         if !available {
             self.pricer.on_rejection(k);
         }
@@ -366,7 +362,11 @@ mod tests {
         n.begin_period(vec![None, Some(100.0)], None);
         let p_before = n.prices().get(0);
         assert!(!n.on_request(ClassId(0)));
-        assert_eq!(n.prices().get(0), p_before, "no market event for missing data");
+        assert_eq!(
+            n.prices().get(0),
+            p_before,
+            "no market event for missing data"
+        );
     }
 
     #[test]

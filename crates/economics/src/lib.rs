@@ -46,5 +46,5 @@ pub use supply::{
     LinearCapacitySet, SupplySet,
 };
 pub use tatonnement::{Tatonnement, TatonnementOutcome};
-pub use welfare::{check_ftwe, split_supply_to_consumptions, FtweCheck};
 pub use vectors::{PriceVector, QuantityVector};
+pub use welfare::{check_ftwe, split_supply_to_consumptions, FtweCheck};

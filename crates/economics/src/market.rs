@@ -8,11 +8,10 @@
 //! Pareto optimal.
 
 use crate::vectors::QuantityVector;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A signed per-class vector `z(p⃗) ∈ Z^K`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExcessVector(Vec<i64>);
 
 impl ExcessVector {

@@ -16,10 +16,9 @@
 //! threaded cluster (`qa-cluster`).
 
 use crate::vectors::{PriceVector, QuantityVector};
-use serde::{Deserialize, Serialize};
 
 /// Tuning knobs of the price dynamics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PricerConfig {
     /// Adjustment speed λ.
     pub lambda: f64,
@@ -72,7 +71,7 @@ impl PricerConfig {
 }
 
 /// A node's private price state and its non-tâtonnement dynamics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NonTatonnementPricer {
     config: PricerConfig,
     prices: PriceVector,
@@ -108,8 +107,7 @@ impl NonTatonnementPricer {
         if k == 0 {
             return;
         }
-        let log_mean: f64 =
-            self.prices.iter().map(|(_, p)| p.ln()).sum::<f64>() / k as f64;
+        let log_mean: f64 = self.prices.iter().map(|(_, p)| p.ln()).sum::<f64>() / k as f64;
         let scale = log_mean.exp();
         if !scale.is_finite() || scale <= 0.0 {
             return;
@@ -173,8 +171,11 @@ impl NonTatonnementPricer {
                 // floor (and a multiplicative clamp at 1−λ·s capped below 1)
                 // keeps the dynamics sane.
                 let factor = (1.0 - self.config.lambda * s as f64).max(0.0);
-                self.prices
-                    .set(k, (p * factor).max(self.config.price_floor), self.config.price_floor);
+                self.prices.set(
+                    k,
+                    (p * factor).max(self.config.price_floor),
+                    self.config.price_floor,
+                );
             }
         }
         self.rejections.iter_mut().for_each(|r| *r = 0);
@@ -216,9 +217,8 @@ pub fn trade_exhausts_pair<S: crate::supply::SupplySet>(
     seller_supply_after: &QuantityVector,
     seller_set: &S,
 ) -> bool {
-    (0..buyer_unmet_demand.num_classes()).all(|k| {
-        buyer_unmet_demand.get(k) == 0 || !seller_set.can_add(seller_supply_after, k)
-    })
+    (0..buyer_unmet_demand.num_classes())
+        .all(|k| buyer_unmet_demand.get(k) == 0 || !seller_set.can_add(seller_supply_after, k))
 }
 
 #[cfg(test)]

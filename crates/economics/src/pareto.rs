@@ -56,8 +56,8 @@ impl Solution {
 pub fn dominates<P: Preference>(a: &Solution, b: &Solution, prefs: &[P]) -> bool {
     assert_eq!(a.num_nodes(), b.num_nodes(), "node count mismatch");
     assert_eq!(a.num_nodes(), prefs.len(), "preference count mismatch");
-    let all_weak = (0..a.num_nodes())
-        .all(|i| prefs[i].prefers(&a.consumptions[i], &b.consumptions[i]));
+    let all_weak =
+        (0..a.num_nodes()).all(|i| prefs[i].prefers(&a.consumptions[i], &b.consumptions[i]));
     let some_strict = (0..a.num_nodes())
         .any(|i| prefs[i].strictly_prefers(&a.consumptions[i], &b.consumptions[i]));
     all_weak && some_strict
@@ -146,6 +146,7 @@ pub fn enumerate_solutions(
         let total = agg.get(class);
         // Enumerate all compositions of `total` into per-node parts bounded
         // by each node's demand.
+        #[allow(clippy::too_many_arguments)] // recursion threads the full search state
         fn comp(
             total: u64,
             node: usize,
@@ -181,13 +182,7 @@ pub fn enumerate_solutions(
         comp(total, 0, demands, class, consumption, agg, supplies, out);
     }
 
-    rec_supplies(
-        &per_node,
-        demands,
-        &aggregate_demand,
-        &mut chosen,
-        &mut out,
-    );
+    rec_supplies(&per_node, demands, &aggregate_demand, &mut chosen, &mut out);
     out
 }
 
@@ -311,9 +306,7 @@ mod tests {
         // solution has total == best among solutions comparable to it.
         for sol in all.iter().filter(|s| is_pareto_optimal(s, &all, &prefs)) {
             // No other solution weakly improves every node and strictly one.
-            assert!(all
-                .iter()
-                .all(|other| !dominates(other, sol, &prefs)));
+            assert!(all.iter().all(|other| !dominates(other, sol, &prefs)));
         }
     }
 }

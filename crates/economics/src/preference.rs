@@ -150,7 +150,13 @@ mod tests {
     #[test]
     fn preference_is_transitive_on_samples() {
         let p = ThroughputPreference;
-        let vs = [qv(&[0, 0]), qv(&[1, 0]), qv(&[1, 1]), qv(&[3, 0]), qv(&[2, 2])];
+        let vs = [
+            qv(&[0, 0]),
+            qv(&[1, 0]),
+            qv(&[1, 1]),
+            qv(&[3, 0]),
+            qv(&[2, 2]),
+        ];
         for a in &vs {
             for b in &vs {
                 for c in &vs {

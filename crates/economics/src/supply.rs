@@ -18,7 +18,6 @@
 //!   bound the greedy gap and by the ablation bench.
 
 use crate::vectors::{PriceVector, QuantityVector};
-use serde::{Deserialize, Serialize};
 
 /// A set of feasible supply vectors.
 pub trait SupplySet {
@@ -38,7 +37,7 @@ pub trait SupplySet {
 }
 
 /// The time-capacity polytope `{ s : Σ sₖ·tₖ ≤ capacity }`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearCapacitySet {
     /// Per-class unit cost `t_ik` (time to run one class-k query on this
     /// node); `None` for classes the node cannot evaluate.
@@ -54,7 +53,10 @@ impl LinearCapacitySet {
     /// Panics if `capacity` is negative/non-finite or any present cost is
     /// not strictly positive and finite.
     pub fn new(unit_costs: Vec<Option<f64>>, capacity: f64) -> Self {
-        assert!(capacity.is_finite() && capacity >= 0.0, "bad capacity {capacity}");
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "bad capacity {capacity}"
+        );
         assert!(
             unit_costs
                 .iter()
@@ -197,9 +199,7 @@ pub fn solve_supply_greedy(
     let k = set.num_classes();
     assert_eq!(prices.num_classes(), k, "class count mismatch");
     // Classes sorted by density, ties broken by class index for determinism.
-    let mut order: Vec<usize> = (0..k)
-        .filter(|&i| set.unit_costs()[i].is_some())
-        .collect();
+    let mut order: Vec<usize> = (0..k).filter(|&i| set.unit_costs()[i].is_some()).collect();
     order.sort_by(|&a, &b| {
         let da = prices.get(a) / set.unit_costs()[a].expect("filtered");
         let db = prices.get(b) / set.unit_costs()[b].expect("filtered");
@@ -242,9 +242,7 @@ pub fn solve_supply_fractional(
     if let Some(c) = caps {
         assert_eq!(c.len(), k);
     }
-    let mut order: Vec<usize> = (0..k)
-        .filter(|&i| set.unit_costs()[i].is_some())
-        .collect();
+    let mut order: Vec<usize> = (0..k).filter(|&i| set.unit_costs()[i].is_some()).collect();
     order.sort_by(|&a, &b| {
         let da = prices.get(a) / set.unit_costs()[a].expect("filtered");
         let db = prices.get(b) / set.unit_costs()[b].expect("filtered");
@@ -305,8 +303,8 @@ pub fn solve_supply_optimal(
     if let Some(caps) = caps {
         // Bounded: iterate classes, then units (binary splitting is overkill
         // at test scale).
-        for i in 0..k {
-            let Some(ci) = cost_steps[i] else { continue };
+        for (i, &step) in cost_steps.iter().enumerate() {
+            let Some(ci) = step else { continue };
             let pi = prices.get(i);
             for _ in 0..caps.get(i) {
                 // One more unit of class i; iterate weights descending so the
@@ -344,8 +342,8 @@ pub fn solve_supply_optimal(
 
     // Unbounded knapsack DP with reconstruction.
     for w in 1..=w_max {
-        for i in 0..k {
-            let Some(ci) = cost_steps[i] else { continue };
+        for (i, &step) in cost_steps.iter().enumerate() {
+            let Some(ci) = step else { continue };
             if ci <= w {
                 let cand = value[w - ci] + prices.get(i);
                 if cand > value[w] + 1e-12 {

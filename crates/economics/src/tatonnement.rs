@@ -108,7 +108,9 @@ impl Tatonnement {
             best_l1 = best_l1.min(l1);
             if z.is_zero() {
                 return TatonnementRun {
-                    outcome: TatonnementOutcome::Converged { iterations: iter + 1 },
+                    outcome: TatonnementOutcome::Converged {
+                        iterations: iter + 1,
+                    },
                     prices,
                     supplies,
                     l1_trace,
@@ -212,7 +214,10 @@ mod tests {
         let run = t.run(&demand, &sellers, p0.clone());
         match run.outcome {
             TatonnementOutcome::Converged { iterations } => {
-                assert!(iterations > 5, "should take several corrections, took {iterations}");
+                assert!(
+                    iterations > 5,
+                    "should take several corrections, took {iterations}"
+                );
             }
             other => panic!("expected convergence, got {other:?}"),
         }
@@ -251,10 +256,7 @@ mod tests {
     fn zero_demand_is_immediately_in_equilibrium() {
         let t = Tatonnement::default();
         let run = t.run(&qv(&[0, 0]), &sellers(), PriceVector::uniform(2, 1.0));
-        assert_eq!(
-            run.outcome,
-            TatonnementOutcome::Converged { iterations: 1 }
-        );
+        assert_eq!(run.outcome, TatonnementOutcome::Converged { iterations: 1 });
         assert!(QuantityVector::aggregate(&run.supplies).is_zero());
     }
 
@@ -276,6 +278,11 @@ mod tests {
         };
         let r_slow = slow.run(&d, &s, p0.clone());
         let r_fast = fast.run(&d, &s, p0);
-        assert!(its(&r_fast) < its(&r_slow), "fast {:?} slow {:?}", r_fast.outcome, r_slow.outcome);
+        assert!(
+            its(&r_fast) < its(&r_slow),
+            "fast {:?} slow {:?}",
+            r_fast.outcome,
+            r_slow.outcome
+        );
     }
 }

@@ -7,12 +7,11 @@
 //! with the algebra the paper uses: aggregation (eq. 1), the component-wise
 //! partial order of eq. 3, and value products `p⃗·c⃗`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Index};
 
 /// A vector in `N^K`: one non-negative count per commodity (query class).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QuantityVector(Vec<u64>);
 
 impl QuantityVector {
@@ -140,7 +139,11 @@ impl Add<&QuantityVector> for QuantityVector {
 
 impl AddAssign<&QuantityVector> for QuantityVector {
     fn add_assign(&mut self, rhs: &QuantityVector) {
-        assert_eq!(self.num_classes(), rhs.num_classes(), "class count mismatch");
+        assert_eq!(
+            self.num_classes(),
+            rhs.num_classes(),
+            "class count mismatch"
+        );
         for (a, b) in self.0.iter_mut().zip(&rhs.0) {
             *a += b;
         }
@@ -165,7 +168,7 @@ impl fmt::Display for QuantityVector {
 /// Prices are strictly positive: the non-tâtonnement adjustment is
 /// multiplicative (`p ± λp`), so a zero price could never recover. The
 /// constructor and all mutators enforce a configurable positive floor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PriceVector(Vec<f64>);
 
 impl PriceVector {
@@ -203,7 +206,11 @@ impl PriceVector {
     /// Sets the price of class `k`, clamping to `floor`.
     pub fn set(&mut self, k: usize, price: f64, floor: f64) {
         debug_assert!(floor > 0.0);
-        self.0[k] = if price.is_finite() { price.max(floor) } else { floor };
+        self.0[k] = if price.is_finite() {
+            price.max(floor)
+        } else {
+            floor
+        };
     }
 
     /// The value `p⃗·q⃗ = Σₖ pₖ qₖ` of a quantity vector at these prices.

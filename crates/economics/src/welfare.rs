@@ -140,19 +140,18 @@ mod tests {
 
     #[test]
     fn ftwe_over_random_small_economies() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(2007);
+        let mut rng = qa_simnet::DetRng::seed_from_u64(2007);
         let mut holds = 0;
         let mut no_eq = 0;
         for _ in 0..25 {
-            let nodes = rng.gen_range(1..=3);
+            let nodes = rng.int_in(1, 3) as usize;
             let classes = 2;
             let sellers: Vec<LinearCapacitySet> = (0..nodes)
                 .map(|_| {
                     let costs = (0..classes)
                         .map(|_| {
-                            if rng.gen_bool(0.85) {
-                                Some(rng.gen_range(50.0..400.0))
+                            if rng.chance(0.85) {
+                                Some(rng.float_in(50.0, 400.0))
                             } else {
                                 None
                             }
@@ -163,9 +162,7 @@ mod tests {
                 .collect();
             let demands: Vec<QuantityVector> = (0..nodes)
                 .map(|_| {
-                    QuantityVector::from_counts(
-                        (0..classes).map(|_| rng.gen_range(0..4)).collect(),
-                    )
+                    QuantityVector::from_counts((0..classes).map(|_| rng.int_in(0, 3)).collect())
                 })
                 .collect();
             match check_ftwe(&sellers, &demands, &Tatonnement::default()) {
@@ -174,13 +171,16 @@ mod tests {
                 FtweCheck::Violated {
                     solution,
                     dominated_by,
-                } => panic!(
-                    "FTWE violated: market gave {solution:?}, dominated by {dominated_by:?}"
-                ),
+                } => {
+                    panic!("FTWE violated: market gave {solution:?}, dominated by {dominated_by:?}")
+                }
             }
         }
         // Most random instances should actually clear; the check must never
         // report a violation.
-        assert!(holds > 0, "no economy converged (holds={holds}, no_eq={no_eq})");
+        assert!(
+            holds > 0,
+            "no economy converged (holds={holds}, no_eq={no_eq})"
+        );
     }
 }

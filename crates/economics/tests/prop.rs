@@ -1,84 +1,108 @@
-//! Property tests for the economics substrate.
+//! Property tests for the economics substrate, driven by seeded [`DetRng`]
+//! loops (the hermetic-build substitute for proptest): each property runs
+//! over 200 random cases from a fixed seed, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use qa_economics::{
     dominates, solve_supply_fractional, solve_supply_greedy, solve_supply_optimal,
     LinearCapacitySet, NonTatonnementPricer, PriceVector, PricerConfig, QuantityVector, Solution,
     SupplySet, ThroughputPreference,
 };
+use qa_simnet::DetRng;
 
-/// Strategy: a small capacity set with 2–4 classes.
-fn capacity_set() -> impl Strategy<Value = LinearCapacitySet> {
-    (2usize..=4)
-        .prop_flat_map(|k| {
-            (
-                proptest::collection::vec(
-                    prop_oneof![
-                        Just(None),
-                        (10.0f64..500.0).prop_map(Some),
-                    ],
-                    k,
-                ),
-                50.0f64..1_000.0,
-            )
+const CASES: usize = 200;
+
+/// A small capacity set with 2–4 classes: per-class costs are either
+/// unsupported (`None`) or drawn from 10..500, total capacity from 50..1000.
+fn capacity_set(rng: &mut DetRng) -> LinearCapacitySet {
+    let k = rng.int_in(2, 4) as usize;
+    let costs: Vec<Option<f64>> = (0..k)
+        .map(|_| {
+            if rng.chance(0.5) {
+                None
+            } else {
+                Some(rng.float_in(10.0, 500.0))
+            }
         })
-        .prop_map(|(costs, cap)| LinearCapacitySet::new(costs, cap))
+        .collect();
+    let cap = rng.float_in(50.0, 1_000.0);
+    LinearCapacitySet::new(costs, cap)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// Greedy supply is always feasible.
-    #[test]
-    fn greedy_supply_feasible(set in capacity_set(), seed in 0u64..1_000) {
+/// Greedy supply is always feasible.
+#[test]
+fn greedy_supply_feasible() {
+    let mut rng = DetRng::seed_from_u64(0xEC01_0001);
+    for case in 0..CASES {
+        let set = capacity_set(&mut rng);
+        let seed = rng.int_in(0, 999);
         let k = set.num_classes();
         let prices = PriceVector::from_prices(
-            (0..k).map(|i| 0.1 + ((seed + i as u64) % 17) as f64).collect(),
+            (0..k)
+                .map(|i| 0.1 + ((seed + i as u64) % 17) as f64)
+                .collect(),
         );
         let s = solve_supply_greedy(&prices, &set, None);
-        prop_assert!(set.contains(&s));
+        assert!(set.contains(&s), "case {case}");
     }
+}
 
-    /// The DP solver matches or beats the greedy one up to its capacity
-    /// discretization (costs round *up* in the DP, which can shave at most
-    /// a few units near full capacity), and its solution is feasible.
-    #[test]
-    fn optimal_dominates_greedy((set, seed) in (capacity_set(), 0u64..1_000)) {
+/// The DP solver matches or beats the greedy one up to its capacity
+/// discretization (costs round *up* in the DP, which can shave at most
+/// a few units near full capacity), and its solution is feasible.
+#[test]
+fn optimal_dominates_greedy() {
+    let mut rng = DetRng::seed_from_u64(0xEC01_0002);
+    for case in 0..CASES {
+        let set = capacity_set(&mut rng);
+        let seed = rng.int_in(0, 999);
         let k = set.num_classes();
         let prices = PriceVector::from_prices(
-            (0..k).map(|i| 0.1 + ((seed * 7 + i as u64) % 13) as f64).collect(),
+            (0..k)
+                .map(|i| 0.1 + ((seed * 7 + i as u64) % 13) as f64)
+                .collect(),
         );
         let g = solve_supply_greedy(&prices, &set, None);
         let o = solve_supply_optimal(&prices, &set, None, 20_000);
-        prop_assert!(set.contains(&o));
+        assert!(set.contains(&o), "case {case}");
         // Tolerance: one whole unit at the highest price covers the
         // worst-case discretization loss at this resolution.
         let slack = prices.max_price();
-        prop_assert!(
+        assert!(
             prices.value_of(&o) >= prices.value_of(&g) - slack,
-            "optimal {} << greedy {}",
+            "case {case}: optimal {} << greedy {}",
             prices.value_of(&o),
             prices.value_of(&g)
         );
     }
+}
 
-    /// The fractional relaxation upper-bounds both integer solvers.
-    #[test]
-    fn fractional_upper_bounds_integer(set in capacity_set()) {
+/// The fractional relaxation upper-bounds both integer solvers.
+#[test]
+fn fractional_upper_bounds_integer() {
+    let mut rng = DetRng::seed_from_u64(0xEC01_0003);
+    for case in 0..CASES {
+        let set = capacity_set(&mut rng);
         let k = set.num_classes();
         let prices = PriceVector::uniform(k, 1.0);
         let frac = solve_supply_fractional(&prices, &set, None);
-        let frac_value: f64 = frac.iter().enumerate().map(|(i, x)| prices.get(i) * x).sum();
+        let frac_value: f64 = frac
+            .iter()
+            .enumerate()
+            .map(|(i, x)| prices.get(i) * x)
+            .sum();
         let o = solve_supply_optimal(&prices, &set, None, 2_000);
-        prop_assert!(frac_value >= prices.value_of(&o) - 1e-6);
+        assert!(frac_value >= prices.value_of(&o) - 1e-6, "case {case}");
     }
+}
 
-    /// Pareto dominance is irreflexive and asymmetric.
-    #[test]
-    fn dominance_strict_partial_order(
-        a in proptest::collection::vec(0u64..5, 4),
-        b in proptest::collection::vec(0u64..5, 4),
-    ) {
+/// Pareto dominance is irreflexive and asymmetric.
+#[test]
+fn dominance_strict_partial_order() {
+    let mut rng = DetRng::seed_from_u64(0xEC01_0004);
+    for case in 0..CASES {
+        let draw = |rng: &mut DetRng| -> Vec<u64> { (0..4).map(|_| rng.int_in(0, 4)).collect() };
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
         let mk = |v: &[u64]| Solution {
             supplies: vec![
                 QuantityVector::from_counts(v[..2].to_vec()),
@@ -91,42 +115,53 @@ proptest! {
         };
         let (sa, sb) = (mk(&a), mk(&b));
         let prefs = vec![ThroughputPreference, ThroughputPreference];
-        prop_assert!(!dominates(&sa, &sa, &prefs), "irreflexive");
+        assert!(!dominates(&sa, &sa, &prefs), "case {case}: irreflexive");
         if dominates(&sa, &sb, &prefs) {
-            prop_assert!(!dominates(&sb, &sa, &prefs), "asymmetric");
+            assert!(!dominates(&sb, &sa, &prefs), "case {case}: asymmetric");
         }
     }
+}
 
-    /// Prices always stay within [floor, ceiling] whatever the event
-    /// sequence, and rejections/leftovers move them in the right
-    /// direction.
-    #[test]
-    fn pricer_bounds_hold(events in proptest::collection::vec((0usize..3, 0u64..10), 0..200)) {
+/// Prices always stay within [floor, ceiling] whatever the event sequence,
+/// and rejections/leftovers move them in the right direction.
+#[test]
+fn pricer_bounds_hold() {
+    let mut rng = DetRng::seed_from_u64(0xEC01_0005);
+    for case in 0..CASES {
+        let n = rng.index(200);
         let cfg = PricerConfig::default();
         let mut p = NonTatonnementPricer::new(3, cfg);
-        for (k, leftover) in events {
+        for _ in 0..n {
+            let k = rng.index(3);
+            let leftover = rng.int_in(0, 9);
             let before = p.prices().get(k);
             if leftover == 0 {
                 p.on_rejection(k);
-                prop_assert!(p.prices().get(k) >= before);
+                assert!(p.prices().get(k) >= before, "case {case}");
             } else {
                 let mut l = QuantityVector::zeros(3);
                 l.set(k, leftover);
                 p.on_period_end(&l);
-                prop_assert!(p.prices().get(k) <= before);
+                assert!(p.prices().get(k) <= before, "case {case}");
             }
             for kk in 0..3 {
                 let v = p.prices().get(kk);
-                prop_assert!(v >= cfg.price_floor && v <= cfg.price_ceiling);
+                assert!(
+                    v >= cfg.price_floor && v <= cfg.price_ceiling,
+                    "case {case}"
+                );
             }
         }
     }
+}
 
-    /// Renormalization preserves relative prices (up to clamping).
-    #[test]
-    fn renormalize_preserves_ratios(
-        raw in proptest::collection::vec(0.01f64..100.0, 2..=4),
-    ) {
+/// Renormalization preserves relative prices (up to clamping).
+#[test]
+fn renormalize_preserves_ratios() {
+    let mut rng = DetRng::seed_from_u64(0xEC01_0006);
+    for case in 0..CASES {
+        let k = rng.int_in(2, 4) as usize;
+        let raw: Vec<f64> = (0..k).map(|_| rng.float_in(0.01, 100.0)).collect();
         let mut p = NonTatonnementPricer::with_prices(
             PriceVector::from_prices(raw.clone()),
             PricerConfig::default(),
@@ -134,24 +169,30 @@ proptest! {
         let ratio_before = p.prices().get(0) / p.prices().get(1);
         p.renormalize();
         let ratio_after = p.prices().get(0) / p.prices().get(1);
-        prop_assert!((ratio_before / ratio_after - 1.0).abs() < 1e-9);
+        assert!(
+            (ratio_before / ratio_after - 1.0).abs() < 1e-9,
+            "case {case}"
+        );
         // Geometric mean is ~1 afterwards.
         let k = p.num_classes();
         let log_mean: f64 = p.prices().iter().map(|(_, v)| v.ln()).sum::<f64>() / k as f64;
-        prop_assert!(log_mean.abs() < 1e-9);
+        assert!(log_mean.abs() < 1e-9, "case {case}");
     }
+}
 
-    /// Aggregation (eq. 1) is order-independent.
-    #[test]
-    fn aggregation_is_commutative(
-        vs in proptest::collection::vec(proptest::collection::vec(0u64..20, 3), 1..6),
-    ) {
-        let vecs: Vec<QuantityVector> =
-            vs.iter().cloned().map(QuantityVector::from_counts).collect();
+/// Aggregation (eq. 1) is order-independent.
+#[test]
+fn aggregation_is_commutative() {
+    let mut rng = DetRng::seed_from_u64(0xEC01_0007);
+    for case in 0..CASES {
+        let m = 1 + rng.index(5);
+        let vecs: Vec<QuantityVector> = (0..m)
+            .map(|_| QuantityVector::from_counts((0..3).map(|_| rng.int_in(0, 19)).collect()))
+            .collect();
         let forward = QuantityVector::aggregate(&vecs);
         let mut rev = vecs.clone();
         rev.reverse();
         let backward = QuantityVector::aggregate(&rev);
-        prop_assert_eq!(forward, backward);
+        assert_eq!(forward, backward, "case {case}");
     }
 }

@@ -161,9 +161,7 @@ impl Database {
     /// `EXPLAIN` for a SELECT: plan tree, estimates, fingerprint.
     pub fn explain(&self, sql: &str) -> DbResult<Explain> {
         match parse_statement(sql)? {
-            Statement::Select(select) | Statement::Explain(select) => {
-                self.explain_select(&select)
-            }
+            Statement::Select(select) | Statement::Explain(select) => self.explain_select(&select),
             _ => Err(DbError::parse("explain() accepts only SELECT statements")),
         }
     }
@@ -423,7 +421,8 @@ mod index_tests {
 
     fn indexed_db() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE t (id INT, grp INT, v FLOAT)").unwrap();
+        db.execute("CREATE TABLE t (id INT, grp INT, v FLOAT)")
+            .unwrap();
         db.load_rows(
             "t",
             (0..1_000)
@@ -499,7 +498,9 @@ mod index_tests {
         let mut db = indexed_db();
         // Same predicate through an unindexed expression to force a scan:
         // (grp + 0) = 3 is not sargable.
-        let via_index = db.query("SELECT id FROM t WHERE grp = 3 ORDER BY id").unwrap();
+        let via_index = db
+            .query("SELECT id FROM t WHERE grp = 3 ORDER BY id")
+            .unwrap();
         let via_scan = db
             .query("SELECT id FROM t WHERE grp + 0 = 3 ORDER BY id")
             .unwrap();
@@ -514,7 +515,8 @@ mod index_tests {
     fn nulls_are_not_indexed_and_never_match() {
         let mut db = Database::new();
         db.execute("CREATE TABLE n (k INT)").unwrap();
-        db.execute("INSERT INTO n VALUES (1), (NULL), (2), (NULL)").unwrap();
+        db.execute("INSERT INTO n VALUES (1), (NULL), (2), (NULL)")
+            .unwrap();
         db.execute("CREATE INDEX n_k ON n (k)").unwrap();
         let r = db.query("SELECT COUNT(*) FROM n WHERE k >= 0").unwrap();
         assert_eq!(r.rows[0][0], Value::Int(2));
@@ -572,10 +574,7 @@ mod distinct_tests {
         let r = db()
             .query("SELECT DISTINCT a FROM t ORDER BY a DESC")
             .unwrap();
-        assert_eq!(
-            r.rows,
-            vec![vec![Value::Int(2)], vec![Value::Int(1)]]
-        );
+        assert_eq!(r.rows, vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
     }
 
     #[test]

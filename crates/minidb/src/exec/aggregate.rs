@@ -56,14 +56,13 @@ impl AggState {
                 *acc = Some(match acc.take() {
                     None => val.clone(),
                     Some(Value::Int(a)) => match val {
-                        Value::Int(b) => Value::Int(a.checked_add(*b).ok_or_else(|| {
-                            DbError::execution("SUM integer overflow")
-                        })?),
+                        Value::Int(b) => Value::Int(
+                            a.checked_add(*b)
+                                .ok_or_else(|| DbError::execution("SUM integer overflow"))?,
+                        ),
                         other => Value::Float(a as f64 + other.as_f64().expect("numeric")),
                     },
-                    Some(Value::Float(a)) => {
-                        Value::Float(a + val.as_f64().expect("numeric"))
-                    }
+                    Some(Value::Float(a)) => Value::Float(a + val.as_f64().expect("numeric")),
                     Some(other) => {
                         return Err(DbError::type_err(format!("SUM accumulator {other}")))
                     }
@@ -245,7 +244,7 @@ mod tests {
     fn agg(func: AggFunc, arg: Option<BoundExpr>) -> AggExpr {
         AggExpr {
             func,
-            arg: arg.map(Into::into),
+            arg,
             name: "agg".into(),
         }
     }
@@ -282,7 +281,12 @@ mod tests {
                     Value::Int(2), // COUNT(v) skips it
                     Value::Int(4), // SUM skips it
                 ],
-                vec![Value::Str("b".into()), Value::Int(1), Value::Int(1), Value::Int(5)],
+                vec![
+                    Value::Str("b".into()),
+                    Value::Int(1),
+                    Value::Int(1),
+                    Value::Int(5)
+                ],
             ]
         );
     }

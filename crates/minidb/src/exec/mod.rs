@@ -42,9 +42,7 @@ pub fn build<'a>(plan: &LogicalPlan, catalog: &'a Catalog) -> DbResult<BoxIter<'
                 .table(table)
                 .ok_or_else(|| DbError::catalog(format!("table '{table}' vanished")))?;
             let index = t.index_on(*column).ok_or_else(|| {
-                DbError::catalog(format!(
-                    "index on '{table}' column {column} vanished"
-                ))
+                DbError::catalog(format!("index on '{table}' column {column} vanished"))
             })?;
             let mut positions: Vec<usize> = match condition {
                 IndexCondition::Eq(v) => index.get(v).cloned().unwrap_or_default(),

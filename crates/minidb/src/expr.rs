@@ -103,9 +103,11 @@ impl BoundExpr {
                     },
                     UnaryOp::Neg => match v {
                         Value::Null => Ok(Value::Null),
-                        Value::Int(i) => Ok(Value::Int(i.checked_neg().ok_or_else(|| {
-                            DbError::execution("integer negation overflow")
-                        })?)),
+                        Value::Int(i) => {
+                            Ok(Value::Int(i.checked_neg().ok_or_else(|| {
+                                DbError::execution("integer negation overflow")
+                            })?))
+                        }
                         Value::Float(f) => Ok(Value::Float(-f)),
                         other => Err(DbError::type_err(format!("negation applied to {other}"))),
                     },
@@ -323,16 +325,16 @@ fn expect_type(e: &BoundExpr, ty: DataType, ctx: &str) -> DbResult<()> {
     match e.data_type() {
         None => Ok(()), // NULL literal fits anywhere
         Some(t) if t == ty => Ok(()),
-        Some(t) => Err(DbError::type_err(format!(
-            "{ctx} expects {ty}, got {t}"
-        ))),
+        Some(t) => Err(DbError::type_err(format!("{ctx} expects {ty}, got {t}"))),
     }
 }
 
 fn expect_numeric(e: &BoundExpr, ctx: &str) -> DbResult<()> {
     match e.data_type() {
         None | Some(DataType::Int) | Some(DataType::Float) => Ok(()),
-        Some(t) => Err(DbError::type_err(format!("{ctx} expects a number, got {t}"))),
+        Some(t) => Err(DbError::type_err(format!(
+            "{ctx} expects a number, got {t}"
+        ))),
     }
 }
 
@@ -381,8 +383,8 @@ impl fmt::Display for BoundExpr {
 mod tests {
     use super::*;
     use crate::schema::Column;
-    use crate::sql::parser::parse_statement;
     use crate::sql::ast::{SelectItem, Statement};
+    use crate::sql::parser::parse_statement;
 
     fn schema() -> Schema {
         Schema::new(vec![
@@ -488,7 +490,10 @@ mod tests {
         assert!(matches!(bind_pred("c > 1").unwrap_err(), DbError::Type(_)));
         assert!(matches!(bind_proj("c + 1").unwrap_err(), DbError::Type(_)));
         assert!(matches!(bind_pred("NOT a").unwrap_err(), DbError::Type(_)));
-        assert!(matches!(bind_pred("a AND b > 0.0").unwrap_err(), DbError::Type(_)));
+        assert!(matches!(
+            bind_pred("a AND b > 0.0").unwrap_err(),
+            DbError::Type(_)
+        ));
     }
 
     #[test]

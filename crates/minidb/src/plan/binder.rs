@@ -195,10 +195,8 @@ fn split_join_condition(
             right,
         } = &c
         {
-            if let (
-                BoundExpr::Column { index: li, .. },
-                BoundExpr::Column { index: ri, .. },
-            ) = (left.as_ref(), right.as_ref())
+            if let (BoundExpr::Column { index: li, .. }, BoundExpr::Column { index: ri, .. }) =
+                (left.as_ref(), right.as_ref())
             {
                 let (a, b) = (*li, *ri);
                 if a < left_len && b >= left_len {
@@ -241,9 +239,7 @@ pub(crate) fn flatten_and(e: BoundExpr, out: &mut Vec<BoundExpr>) {
 fn expect_boolean(e: &BoundExpr, ctx: &str) -> DbResult<()> {
     match e.data_type() {
         None | Some(DataType::Bool) => Ok(()),
-        Some(t) => Err(DbError::type_err(format!(
-            "{ctx} must be boolean, got {t}"
-        ))),
+        Some(t) => Err(DbError::type_err(format!("{ctx} must be boolean, got {t}"))),
     }
 }
 
@@ -324,9 +320,8 @@ fn bind_aggregate_query(select: &SelectStmt, input: LogicalPlan) -> DbResult<Log
 
     // Collect distinct aggregate calls from projections and ORDER BY.
     let mut aggs: Vec<AggExpr> = Vec::new();
-    let mut collect = |expr: &Expr| -> DbResult<()> {
-        collect_aggs(expr, &input_schema, &mut aggs)
-    };
+    let mut collect =
+        |expr: &Expr| -> DbResult<()> { collect_aggs(expr, &input_schema, &mut aggs) };
     for item in &select.projections {
         match item {
             SelectItem::Star => {
@@ -524,7 +519,10 @@ fn resolve_over_aggregate(
         }),
         Expr::Column { qualifier, name } => Err(DbError::binding(format!(
             "column '{}{}' must appear in GROUP BY or inside an aggregate",
-            qualifier.as_deref().map(|q| format!("{q}.")).unwrap_or_default(),
+            qualifier
+                .as_deref()
+                .map(|q| format!("{q}."))
+                .unwrap_or_default(),
             name
         ))),
     }
@@ -604,8 +602,10 @@ mod tests {
 
     #[test]
     fn join_with_range_condition_becomes_residual() {
-        let p = bind("SELECT * FROM emp JOIN dept ON emp.dept = dept.name AND emp.salary < dept.budget")
-            .unwrap();
+        let p = bind(
+            "SELECT * FROM emp JOIN dept ON emp.dept = dept.name AND emp.salary < dept.budget",
+        )
+        .unwrap();
         fn find_join(p: &LogicalPlan) -> Option<&LogicalPlan> {
             if matches!(p, LogicalPlan::Join { .. }) {
                 return Some(p);
@@ -632,10 +632,9 @@ mod tests {
 
     #[test]
     fn aggregate_lowering_shapes_plan() {
-        let p = bind(
-            "SELECT dept, COUNT(*) AS n, AVG(salary) FROM emp GROUP BY dept ORDER BY dept",
-        )
-        .unwrap();
+        let p =
+            bind("SELECT dept, COUNT(*) AS n, AVG(salary) FROM emp GROUP BY dept ORDER BY dept")
+                .unwrap();
         let text = p.to_string();
         assert!(text.contains("Aggregate"), "{text}");
         assert!(text.contains("Sort"), "{text}");

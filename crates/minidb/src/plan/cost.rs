@@ -118,8 +118,7 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> PlanEstimate {
             PlanEstimate {
                 rows: child.rows,
                 cost: child.cost + child.rows * 0.2 * exprs.len().max(1) as f64,
-                width: (child.width * exprs.len() as f64
-                    / input.schema().len().max(1) as f64)
+                width: (child.width * exprs.len() as f64 / input.schema().len().max(1) as f64)
                     .max(8.0),
             }
         }
@@ -224,10 +223,7 @@ mod tests {
                 .unwrap();
         }
         c.create_table(emp).unwrap();
-        let mut dept = Table::new(
-            "dept",
-            Schema::new(vec![Column::new("id", DataType::Int)]),
-        );
+        let mut dept = Table::new("dept", Schema::new(vec![Column::new("id", DataType::Int)]));
         for i in 0..dept_rows {
             dept.insert(vec![Value::Int(i as i64)]).unwrap();
         }
@@ -265,10 +261,7 @@ mod tests {
     fn conjunction_multiplies_selectivity() {
         let c = catalog(1_000, 10);
         let one = estimate(&plan("SELECT * FROM emp WHERE id = 5", &c), &c);
-        let two = estimate(
-            &plan("SELECT * FROM emp WHERE id = 5 AND dept = 3", &c),
-            &c,
-        );
+        let two = estimate(&plan("SELECT * FROM emp WHERE id = 5 AND dept = 3", &c), &c);
         assert!(two.rows < one.rows);
     }
 

@@ -179,7 +179,8 @@ mod tests {
             ]),
         );
         for i in 0..100 {
-            t.insert(vec![Value::Int(i), Value::Float(i as f64)]).unwrap();
+            t.insert(vec![Value::Int(i), Value::Float(i as f64)])
+                .unwrap();
         }
         c.create_table(t).unwrap();
         c

@@ -239,10 +239,8 @@ impl LogicalPlan {
                 .collect::<Vec<_>>()
                 .join(", "),
             LogicalPlan::Join { equi, residual, .. } => {
-                let mut parts: Vec<String> = equi
-                    .iter()
-                    .map(|(l, r)| format!("l#{l} = r#{r}"))
-                    .collect();
+                let mut parts: Vec<String> =
+                    equi.iter().map(|(l, r)| format!("l#{l} = r#{r}")).collect();
                 if let Some(res) = residual {
                     parts.push(res.to_string());
                 }

@@ -400,7 +400,11 @@ fn choose_join_strategies(
                     let exprs: Vec<BoundExpr> = (0..schema.len())
                         .map(|i| {
                             // Original order: old-left block then old-right.
-                            let src = if i < left_len { i + right_len } else { i - left_len };
+                            let src = if i < left_len {
+                                i + right_len
+                            } else {
+                                i - left_len
+                            };
                             let col = new_schema.column(src);
                             BoundExpr::Column {
                                 index: src,
@@ -492,10 +496,7 @@ mod tests {
             big.insert(vec![Value::Int(i), Value::Int(i % 7)]).unwrap();
         }
         c.create_table(big).unwrap();
-        let mut small = Table::new(
-            "small",
-            Schema::new(vec![Column::new("k", DataType::Int)]),
-        );
+        let mut small = Table::new("small", Schema::new(vec![Column::new("k", DataType::Int)]));
         for i in 0..7 {
             small.insert(vec![Value::Int(i)]).unwrap();
         }

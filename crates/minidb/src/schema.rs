@@ -31,7 +31,11 @@ impl Column {
     }
 
     /// A qualified column.
-    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>, ty: DataType) -> Column {
+    pub fn qualified(
+        qualifier: impl Into<String>,
+        name: impl Into<String>,
+        ty: DataType,
+    ) -> Column {
         Column {
             qualifier: Some(qualifier.into()),
             name: name.into(),

@@ -3,9 +3,7 @@
 //! Precedence (loosest to tightest): `OR`, `AND`, `NOT`, comparisons /
 //! `IS [NOT] NULL`, `+ -`, `* /`, unary `-`, primaries.
 
-use super::ast::{
-    AggFunc, BinaryOp, Expr, FromClause, SelectItem, SelectStmt, Statement, UnaryOp,
-};
+use super::ast::{AggFunc, BinaryOp, Expr, FromClause, SelectItem, SelectStmt, Statement, UnaryOp};
 use super::token::{tokenize, Token};
 use crate::error::{DbError, DbResult};
 use crate::value::{DataType, Value};
@@ -240,7 +238,7 @@ impl Parser {
             }
         }
         let from = if self.eat_keyword("FROM") {
-            Some(self.from_clause()?)
+            Some(self.parse_from_clause()?)
         } else {
             None
         };
@@ -300,7 +298,7 @@ impl Parser {
         })
     }
 
-    fn from_clause(&mut self) -> DbResult<FromClause> {
+    fn parse_from_clause(&mut self) -> DbResult<FromClause> {
         let mut left = self.table_ref()?;
         while self.eat_keyword("JOIN") {
             let right = self.table_ref()?;
@@ -550,8 +548,14 @@ mod tests {
             Statement::Insert { table, rows } => {
                 assert_eq!(table, "t");
                 assert_eq!(rows.len(), 2);
-                assert_eq!(rows[0], vec![Value::Int(1), Value::Float(-2.5), Value::Str("x".into())]);
-                assert_eq!(rows[1], vec![Value::Int(-3), Value::Null, Value::Str("y'z".into())]);
+                assert_eq!(
+                    rows[0],
+                    vec![Value::Int(1), Value::Float(-2.5), Value::Str("x".into())]
+                );
+                assert_eq!(
+                    rows[1],
+                    vec![Value::Int(-3), Value::Null, Value::Str("y'z".into())]
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -594,8 +598,12 @@ mod tests {
         }
         match s.from.unwrap() {
             FromClause::Join { left, right, .. } => {
-                assert!(matches!(*left, FromClause::Table { ref alias, .. } if alias.as_deref() == Some("e")));
-                assert!(matches!(*right, FromClause::Table { ref alias, .. } if alias.as_deref() == Some("d")));
+                assert!(
+                    matches!(*left, FromClause::Table { ref alias, .. } if alias.as_deref() == Some("e"))
+                );
+                assert!(
+                    matches!(*right, FromClause::Table { ref alias, .. } if alias.as_deref() == Some("d"))
+                );
             }
             other => panic!("{other:?}"),
         }

@@ -281,7 +281,8 @@ mod tests {
     #[test]
     fn nulls_fit_everywhere() {
         let mut t = table();
-        t.insert(vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        t.insert(vec![Value::Null, Value::Null, Value::Null])
+            .unwrap();
         assert_eq!(t.stats().columns[0].nulls, 1);
     }
 

@@ -85,15 +85,15 @@ impl Value {
     /// Whether this value can be stored in a column of type `ty`
     /// (NULL fits anywhere; INT widens into FLOAT).
     pub fn fits(&self, ty: DataType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            (Value::Int(_), DataType::Int) => true,
-            (Value::Int(_), DataType::Float) => true,
-            (Value::Float(_), DataType::Float) => true,
-            (Value::Str(_), DataType::Text) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Bool(_), DataType::Bool)
+                | (Value::Int(_), DataType::Int)
+                | (Value::Int(_), DataType::Float)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Str(_), DataType::Text)
+        )
     }
 
     /// Coerces into column type `ty` (only INT → FLOAT actually converts).
@@ -266,7 +266,10 @@ mod tests {
         assert!(!Value::Float(1.0).fits(DataType::Int));
         assert!(Value::Null.fits(DataType::Text));
         assert_eq!(Value::Int(3).coerce(DataType::Float), Value::Float(3.0));
-        assert_eq!(Value::Str("x".into()).coerce(DataType::Text), Value::Str("x".into()));
+        assert_eq!(
+            Value::Str("x".into()).coerce(DataType::Text),
+            Value::Str("x".into())
+        );
     }
 
     #[test]

@@ -1,22 +1,48 @@
-//! Property tests for the relational engine.
+//! Property tests for the relational engine, driven by seeded [`DetRng`]
+//! loops (the hermetic-build substitute for proptest): each property runs
+//! over 150 random cases from a fixed seed, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use qa_minidb::exec::basic::{Scan, Sort};
-use qa_minidb::exec::join::{HashJoin, MergeJoin, NestedLoopJoin};
 use qa_minidb::exec::collect;
+use qa_minidb::exec::join::{HashJoin, MergeJoin, NestedLoopJoin};
 use qa_minidb::expr::BoundExpr;
 use qa_minidb::value::{DataType, Row, Value};
 use qa_minidb::Database;
+use qa_simnet::DetRng;
 
-fn rows_strategy(max: usize) -> impl Strategy<Value = Vec<Row>> {
-    proptest::collection::vec(
-        (
-            prop_oneof![Just(Value::Null), (0i64..8).prop_map(Value::Int)],
-            0i64..100,
-        )
-            .prop_map(|(k, v)| vec![k, Value::Int(v)]),
-        0..max,
-    )
+const CASES: usize = 150;
+
+fn random_rows(rng: &mut DetRng, max: usize) -> Vec<Row> {
+    let n = rng.index(max);
+    (0..n)
+        .map(|_| {
+            let key = if rng.chance(1.0 / 9.0) {
+                Value::Null
+            } else {
+                Value::Int(rng.int_in(0, 7) as i64)
+            };
+            vec![key, Value::Int(rng.int_in(0, 99) as i64)]
+        })
+        .collect()
+}
+
+fn random_value(rng: &mut DetRng) -> Value {
+    match rng.index(7) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.chance(0.5)),
+        2 => Value::Int(rng.int_in(0, 199) as i64 - 100),
+        3 => Value::Float(rng.float_in(-100.0, 100.0)),
+        4 => Value::Float(0.0),
+        5 => Value::Float(-0.0),
+        _ => {
+            let len = rng.index(4);
+            Value::Str(
+                (0..len)
+                    .map(|_| char::from(b'a' + rng.index(3) as u8))
+                    .collect(),
+            )
+        }
+    }
 }
 
 fn sorted(mut v: Vec<Row>) -> Vec<Row> {
@@ -24,13 +50,14 @@ fn sorted(mut v: Vec<Row>) -> Vec<Row> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(150))]
-
-    /// The three join algorithms agree on arbitrary inputs (equi join on
-    /// the first column, NULLs never matching).
-    #[test]
-    fn join_algorithms_agree(left in rows_strategy(30), right in rows_strategy(30)) {
+/// The three join algorithms agree on arbitrary inputs (equi join on the
+/// first column, NULLs never matching).
+#[test]
+fn join_algorithms_agree() {
+    let mut rng = DetRng::seed_from_u64(0x11D8_0001);
+    for case in 0..CASES {
+        let left = random_rows(&mut rng, 30);
+        let right = random_rows(&mut rng, 30);
         let equi = vec![(0usize, 0usize)];
         let hash = collect(Box::new(HashJoin::new(
             Box::new(Scan::new(&left)),
@@ -38,28 +65,36 @@ proptest! {
             equi.clone(),
             None,
             2,
-        ))).unwrap();
+        )))
+        .unwrap();
         let merge = collect(Box::new(MergeJoin::new(
             Box::new(Scan::new(&left)),
             Box::new(Scan::new(&right)),
             equi.clone(),
             None,
-        ))).unwrap();
+        )))
+        .unwrap();
         let nl = collect(Box::new(NestedLoopJoin::new(
             Box::new(Scan::new(&left)),
             Box::new(Scan::new(&right)),
             equi,
             None,
             2,
-        ))).unwrap();
-        prop_assert_eq!(sorted(hash.clone()), sorted(merge));
-        prop_assert_eq!(sorted(hash), sorted(nl));
+        )))
+        .unwrap();
+        assert_eq!(sorted(hash.clone()), sorted(merge), "case {case}");
+        assert_eq!(sorted(hash), sorted(nl), "case {case}");
     }
+}
 
-    /// Join output size equals the sum over keys of |L_k|·|R_k|.
-    #[test]
-    fn join_cardinality_formula(left in rows_strategy(30), right in rows_strategy(30)) {
-        use std::collections::HashMap;
+/// Join output size equals the sum over keys of |L_k|·|R_k|.
+#[test]
+fn join_cardinality_formula() {
+    use std::collections::HashMap;
+    let mut rng = DetRng::seed_from_u64(0x11D8_0002);
+    for case in 0..CASES {
+        let left = random_rows(&mut rng, 30);
+        let right = random_rows(&mut rng, 30);
         let mut lc: HashMap<Value, usize> = HashMap::new();
         for r in &left {
             if !r[0].is_null() {
@@ -78,41 +113,53 @@ proptest! {
             vec![(0, 0)],
             None,
             2,
-        ))).unwrap();
-        prop_assert_eq!(out.len(), expected);
+        )))
+        .unwrap();
+        assert_eq!(out.len(), expected, "case {case}");
     }
+}
 
-    /// Sort emits a permutation of its input, ordered by the key.
-    #[test]
-    fn sort_is_an_ordered_permutation(rows in rows_strategy(50)) {
-        let key = BoundExpr::Column { index: 1, ty: DataType::Int, name: "v".into() };
+/// Sort emits a permutation of its input, ordered by the key.
+#[test]
+fn sort_is_an_ordered_permutation() {
+    let mut rng = DetRng::seed_from_u64(0x11D8_0003);
+    for case in 0..CASES {
+        let rows = random_rows(&mut rng, 50);
+        let key = BoundExpr::Column {
+            index: 1,
+            ty: DataType::Int,
+            name: "v".into(),
+        };
         let out = collect(Box::new(Sort::new(
             Box::new(Scan::new(&rows)),
             vec![(key, true)],
-        ))).unwrap();
-        prop_assert_eq!(out.len(), rows.len());
-        prop_assert_eq!(sorted(out.clone()), sorted(rows));
+        )))
+        .unwrap();
+        assert_eq!(out.len(), rows.len(), "case {case}");
+        assert_eq!(sorted(out.clone()), sorted(rows), "case {case}");
         for w in out.windows(2) {
-            prop_assert!(w[0][1] <= w[1][1]);
+            assert!(w[0][1] <= w[1][1], "case {case}");
         }
     }
+}
 
-    /// Value ordering is a total order: transitive and antisymmetric on
-    /// random triples.
-    #[test]
-    fn value_order_is_total(
-        a in value_strategy(),
-        b in value_strategy(),
-        c in value_strategy(),
-    ) {
-        use std::cmp::Ordering;
+/// Value ordering is a total order: transitive and antisymmetric on random
+/// triples.
+#[test]
+fn value_order_is_total() {
+    use std::cmp::Ordering;
+    let mut rng = DetRng::seed_from_u64(0x11D8_0004);
+    for _ in 0..CASES * 4 {
+        let a = random_value(&mut rng);
+        let b = random_value(&mut rng);
+        let c = random_value(&mut rng);
         // Antisymmetry.
         if a.cmp(&b) == Ordering::Less {
-            prop_assert_eq!(b.cmp(&a), Ordering::Greater);
+            assert_eq!(b.cmp(&a), Ordering::Greater);
         }
         // Transitivity.
         if a <= b && b <= c {
-            prop_assert!(a <= c);
+            assert!(a <= c);
         }
         // Hash consistency.
         if a == b {
@@ -123,54 +170,72 @@ proptest! {
                 v.hash(&mut s);
                 s.finish()
             };
-            prop_assert_eq!(h(&a), h(&b));
+            assert_eq!(h(&a), h(&b));
         }
     }
+}
 
-    /// Aggregates computed by the engine equal a direct computation.
-    #[test]
-    fn sql_aggregates_match_reference(values in proptest::collection::vec(0i64..1_000, 1..60)) {
+/// Aggregates computed by the engine equal a direct computation.
+#[test]
+fn sql_aggregates_match_reference() {
+    let mut rng = DetRng::seed_from_u64(0x11D8_0005);
+    for case in 0..CASES {
+        let values: Vec<i64> = (0..1 + rng.index(59))
+            .map(|_| rng.int_in(0, 999) as i64)
+            .collect();
         let mut db = Database::new();
         db.execute("CREATE TABLE t (v INT)").unwrap();
-        db.load_rows("t", values.iter().map(|&v| vec![Value::Int(v)]).collect()).unwrap();
-        let r = db.query("SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t").unwrap();
+        db.load_rows("t", values.iter().map(|&v| vec![Value::Int(v)]).collect())
+            .unwrap();
+        let r = db
+            .query("SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t")
+            .unwrap();
         let row = &r.rows[0];
-        prop_assert_eq!(&row[0], &Value::Int(values.len() as i64));
-        prop_assert_eq!(&row[1], &Value::Int(values.iter().sum::<i64>()));
-        prop_assert_eq!(&row[2], &Value::Int(*values.iter().min().unwrap()));
-        prop_assert_eq!(&row[3], &Value::Int(*values.iter().max().unwrap()));
+        assert_eq!(&row[0], &Value::Int(values.len() as i64), "case {case}");
+        assert_eq!(
+            &row[1],
+            &Value::Int(values.iter().sum::<i64>()),
+            "case {case}"
+        );
+        assert_eq!(
+            &row[2],
+            &Value::Int(*values.iter().min().unwrap()),
+            "case {case}"
+        );
+        assert_eq!(
+            &row[3],
+            &Value::Int(*values.iter().max().unwrap()),
+            "case {case}"
+        );
     }
+}
 
-    /// WHERE filters match a direct predicate evaluation.
-    #[test]
-    fn sql_filter_matches_reference(
-        values in proptest::collection::vec(0i64..100, 0..60),
-        cutoff in 0i64..100,
-    ) {
+/// WHERE filters match a direct predicate evaluation.
+#[test]
+fn sql_filter_matches_reference() {
+    let mut rng = DetRng::seed_from_u64(0x11D8_0006);
+    for case in 0..CASES {
+        let values: Vec<i64> = (0..rng.index(60))
+            .map(|_| rng.int_in(0, 99) as i64)
+            .collect();
+        let cutoff = rng.int_in(0, 99) as i64;
         let mut db = Database::new();
         db.execute("CREATE TABLE t (v INT)").unwrap();
-        db.load_rows("t", values.iter().map(|&v| vec![Value::Int(v)]).collect()).unwrap();
+        db.load_rows("t", values.iter().map(|&v| vec![Value::Int(v)]).collect())
+            .unwrap();
         let r = db
             .query(&format!("SELECT v FROM t WHERE v > {cutoff} ORDER BY v"))
             .unwrap();
         let mut expected: Vec<i64> = values.iter().copied().filter(|&v| v > cutoff).collect();
         expected.sort_unstable();
-        let got: Vec<i64> = r.rows.iter().map(|row| match row[0] {
-            Value::Int(v) => v,
-            _ => unreachable!(),
-        }).collect();
-        prop_assert_eq!(got, expected);
+        let got: Vec<i64> = r
+            .rows
+            .iter()
+            .map(|row| match row[0] {
+                Value::Int(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, expected, "case {case}");
     }
-}
-
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        (-100i64..100).prop_map(Value::Int),
-        (-100.0f64..100.0).prop_map(Value::Float),
-        Just(Value::Float(0.0)),
-        Just(Value::Float(-0.0)),
-        "[a-c]{0,3}".prop_map(Value::Str),
-    ]
 }

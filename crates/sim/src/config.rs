@@ -2,10 +2,9 @@
 
 use qa_core::QantConfig;
 use qa_simnet::{LinkSpec, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Federation-level simulation parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Master seed; every random stream derives from it.
     pub seed: u64,

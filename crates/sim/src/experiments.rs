@@ -2,7 +2,7 @@
 //!
 //! Every function is parameterized by a [`SimConfig`] so the test suite can
 //! run scaled-down versions while the bench harness (`qa-bench`) runs the
-//! full 100-node, paper-scale sweeps. All results serialize with serde so
+//! full 100-node, paper-scale sweeps. All results implement `ToJson` so
 //! the harness can emit machine-readable series.
 
 use crate::config::SimConfig;
@@ -13,7 +13,6 @@ use qa_core::MechanismKind;
 use qa_simnet::{DetRng, SimTime};
 use qa_workload::arrival::{ArrivalProcess, SinusoidProcess, ZipfProcess};
 use qa_workload::{ClassId, Trace};
-use serde::{Deserialize, Serialize};
 
 /// The demand mix of the two-class workload: peak Q1 rate is twice Q2's,
 /// so Q1 is 2/3 of arrivals.
@@ -43,7 +42,7 @@ pub fn two_class_trace(scenario: &Scenario, freq_hz: f64, frac: f64, secs: u64) 
 
 /// Figure 3: the example sinusoid workload — arrivals per half-second for
 /// each class.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Result {
     /// Bin width in ms (500 in the paper).
     pub period_ms: u64,
@@ -53,8 +52,19 @@ pub struct Fig3Result {
     pub q2_per_period: Vec<u64>,
 }
 
+qa_simnet::impl_to_json!(Fig3Result {
+    period_ms,
+    q1_per_period,
+    q2_per_period
+});
+
 /// Generates Figure 3.
-pub fn fig3_sinusoid_workload(config: &SimConfig, freq_hz: f64, frac: f64, secs: u64) -> Fig3Result {
+pub fn fig3_sinusoid_workload(
+    config: &SimConfig,
+    freq_hz: f64,
+    frac: f64,
+    secs: u64,
+) -> Fig3Result {
     let scenario = Scenario::two_class(config.clone(), TwoClassParams::default());
     let trace = two_class_trace(&scenario, freq_hz, frac, secs);
     Fig3Result {
@@ -68,11 +78,13 @@ pub fn fig3_sinusoid_workload(config: &SimConfig, freq_hz: f64, frac: f64, secs:
 
 /// Figure 4: normalized average response time of every mechanism under a
 /// 0.05 Hz sinusoid with peak just below capacity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Result {
     /// One row per mechanism, QA-NT first.
     pub rows: Vec<MechanismSummary>,
 }
+
+qa_simnet::impl_to_json!(Fig4Result { rows });
 
 /// Runs Figure 4.
 pub fn fig4_all_algorithms(config: &SimConfig, secs: u64) -> Fig4Result {
@@ -102,7 +114,7 @@ pub fn fig4_all_algorithms(config: &SimConfig, secs: u64) -> Fig4Result {
 // ------------------------------------------------------------- Fig. 5a/b
 
 /// One point of a Greedy-vs-QA-NT sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// The swept parameter (load fraction for 5a, frequency for 5b,
     /// inter-arrival ms for Fig. 6).
@@ -118,6 +130,15 @@ pub struct SweepPoint {
     /// Greedy unserved queries.
     pub greedy_unserved: u64,
 }
+
+qa_simnet::impl_to_json!(SweepPoint {
+    x,
+    qant_ms,
+    greedy_ms,
+    normalized_greedy,
+    qant_unserved,
+    greedy_unserved
+});
 
 fn sweep_point(scenario: &Scenario, trace: &Trace, x: f64) -> SweepPoint {
     let q = Federation::new(scenario, MechanismKind::QaNt, trace).run(trace);
@@ -164,7 +185,7 @@ pub fn fig5b_frequency_sweep(config: &SimConfig, freqs_hz: &[f64], secs: u64) ->
 
 /// Figure 5c: Q1 arrivals vs Q1 queries executed per half-second, for
 /// QA-NT and Greedy, near system capacity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5cResult {
     /// Bin width (ms).
     pub period_ms: u64,
@@ -175,6 +196,13 @@ pub struct Fig5cResult {
     /// Q1 completions per bin under Greedy.
     pub executed_q1_greedy: Vec<u64>,
 }
+
+qa_simnet::impl_to_json!(Fig5cResult {
+    period_ms,
+    arrivals_q1,
+    executed_q1_qant,
+    executed_q1_greedy
+});
 
 /// Runs Figure 5c.
 pub fn fig5c_tracking(config: &SimConfig, secs: u64) -> Fig5cResult {
@@ -216,21 +244,16 @@ pub fn fig6_zipf_sweep(
                 scenario.templates.num_classes(),
                 qa_simnet::SimDuration::from_millis(gap_ms),
             );
-            let mut rng =
-                DetRng::seed_from_u64(scenario.config.seed).derive("zipf-trace");
+            let mut rng = DetRng::seed_from_u64(scenario.config.seed).derive("zipf-trace");
             // Horizon sized to produce roughly `max_queries` arrivals.
             let horizon_s = (max_queries as f64 * process.mean_gap_secs()
                 / scenario.templates.num_classes() as f64)
                 .clamp(10.0, 3_600.0);
-            let arrivals = process.generate(
-                SimTime::from_secs_f64_pub(horizon_s),
-                &mut rng,
-            );
+            let arrivals = process.generate(SimTime::from_secs_f64_pub(horizon_s), &mut rng);
             let mut arrivals = arrivals;
             arrivals.sort_by_key(|(t, c)| (*t, c.index()));
             arrivals.truncate(max_queries);
-            let trace =
-                Trace::from_arrivals(arrivals, scenario.config.num_nodes, &mut rng);
+            let trace = Trace::from_arrivals(arrivals, scenario.config.num_nodes, &mut rng);
             sweep_point(&scenario, &trace, gap_ms as f64)
         })
         .collect()
@@ -262,7 +285,10 @@ mod tests {
         assert_eq!(r.period_ms, 500);
         let max_q1 = *r.q1_per_period.iter().max().unwrap();
         let min_q1 = *r.q1_per_period.iter().min().unwrap();
-        assert!(max_q1 >= 3 * (min_q1 + 1) / 2, "waveform too flat: {max_q1} vs {min_q1}");
+        assert!(
+            max_q1 >= 3 * (min_q1 + 1) / 2,
+            "waveform too flat: {max_q1} vs {min_q1}"
+        );
         // Total Q1 ≈ 2 × total Q2.
         let q1: u64 = r.q1_per_period.iter().sum();
         let q2: u64 = r.q2_per_period.iter().sum();
@@ -279,7 +305,11 @@ mod tests {
         assert!((r.rows[0].normalized_response - 1.0).abs() < 1e-9);
         // Load balancers should be slower than QA-NT near capacity.
         let random = r.rows.iter().find(|x| x.mechanism == "Random").unwrap();
-        assert!(random.normalized_response > 1.0, "{}", random.normalized_response);
+        assert!(
+            random.normalized_response > 1.0,
+            "{}",
+            random.normalized_response
+        );
     }
 
     #[test]

@@ -32,8 +32,8 @@ use crate::node::NodeState;
 use crate::scenario::Scenario;
 use qa_core::messages::{OFFER_BYTES, REQUEST_BYTES, RESPONSE_BYTES};
 use qa_core::{
-    choose_best_offer, BnqrdCoordinator, MarkovAllocator, MechanismKind, Offer,
-    RoundRobinState, TwoProbesChooser,
+    choose_best_offer, BnqrdCoordinator, MarkovAllocator, MechanismKind, Offer, RoundRobinState,
+    TwoProbesChooser,
 };
 use qa_simnet::{DetRng, EventQueue, FaultPlan, SimDuration, SimTime};
 use qa_workload::{ClassId, NodeId, Trace};
@@ -68,7 +68,9 @@ enum Event {
 enum MechState {
     /// QA-NT; `None` entries are non-participating nodes that always offer
     /// (the §4 partial-deployment case).
-    QaNt { nodes: Vec<Option<qa_core::QantNode>> },
+    QaNt {
+        nodes: Vec<Option<qa_core::QantNode>>,
+    },
     Greedy {
         /// Stale backlog snapshot (refreshed each period): clients cannot
         /// observe live queues, only periodically collected estimates —
@@ -77,10 +79,16 @@ enum MechState {
         snapshot_at: SimTime,
     },
     Random,
-    RoundRobin { per_client: Vec<RoundRobinState> },
+    RoundRobin {
+        per_client: Vec<RoundRobinState>,
+    },
     TwoProbes,
-    Bnqrd { coordinator: BnqrdCoordinator },
-    Markov { allocator: MarkovAllocator },
+    Bnqrd {
+        coordinator: BnqrdCoordinator,
+    },
+    Markov {
+        allocator: MarkovAllocator,
+    },
 }
 
 /// Result of one allocation attempt.
@@ -153,13 +161,11 @@ impl<'a> Federation<'a> {
         let k = scenario.templates.num_classes();
         let state = match mechanism {
             MechanismKind::QaNt => {
-                let mut price_rng =
-                    DetRng::seed_from_u64(cfg.seed).derive("qant-prices");
+                let mut price_rng = DetRng::seed_from_u64(cfg.seed).derive("qant-prices");
                 MechState::QaNt {
                     nodes: (0..cfg.num_nodes)
                         .map(|i| {
-                            let mut n =
-                                qa_core::QantNode::with_jitter(k, cfg.qant, &mut price_rng);
+                            let mut n = qa_core::QantNode::with_jitter(k, cfg.qant, &mut price_rng);
                             n.begin_period(scenario.exec_times_ms[i].clone(), None);
                             Some(n)
                         })
@@ -203,9 +209,7 @@ impl<'a> Federation<'a> {
             kills: Vec::new(),
             recoveries: Vec::new(),
             faults: FaultPlan::none(),
-            fault_rng: DetRng::seed_from_u64(
-                cfg.seed ^ mechanism_salt(mechanism) ^ FAULT_SALT,
-            ),
+            fault_rng: DetRng::seed_from_u64(cfg.seed ^ mechanism_salt(mechanism) ^ FAULT_SALT),
         }
     }
 
@@ -300,8 +304,7 @@ impl<'a> Federation<'a> {
                             } else {
                                 self.metrics.retries += 1;
                                 let next = SimTime::from_micros(
-                                    (now.period_index(cfg_period) + 1)
-                                        * cfg_period.as_micros(),
+                                    (now.period_index(cfg_period) + 1) * cfg_period.as_micros(),
                                 ) + SimDuration::from_micros(1);
                                 queue.schedule(
                                     next,
@@ -356,8 +359,7 @@ impl<'a> Federation<'a> {
                                 let Some(n) = n else { continue };
                                 n.end_period();
                                 if self.nodes[i].alive {
-                                    let backlog =
-                                        self.nodes[i].backlog(now).as_millis_f64();
+                                    let backlog = self.nodes[i].backlog(now).as_millis_f64();
                                     // Work-conserving budget. In the §5.1
                                     // threshold mode it is floored at T/2
                                     // so a node that queued work while the
@@ -365,13 +367,14 @@ impl<'a> Federation<'a> {
                                     // everything while draining; in pure
                                     // market mode backlog never exceeds
                                     // ~2T and the floor must not oversell.
-                                    let floor = if self.scenario.config.qant.price_threshold.is_some() {
-                                        0.5 * period_ms
-                                    } else {
-                                        0.0
-                                    };
-                                    let budget = (2.0 * period_ms - backlog)
-                                        .clamp(floor, 2.0 * period_ms);
+                                    let floor =
+                                        if self.scenario.config.qant.price_threshold.is_some() {
+                                            0.5 * period_ms
+                                        } else {
+                                            0.0
+                                        };
+                                    let budget =
+                                        (2.0 * period_ms - backlog).clamp(floor, 2.0 * period_ms);
                                     n.begin_period_with_budget(
                                         self.scenario.exec_times_ms[i].clone(),
                                         Some(&caps),
@@ -418,8 +421,7 @@ impl<'a> Federation<'a> {
                         } else {
                             self.metrics.retries += 1;
                             let next = SimTime::from_micros(
-                                (now.period_index(cfg_period) + 1)
-                                    * cfg_period.as_micros(),
+                                (now.period_index(cfg_period) + 1) * cfg_period.as_micros(),
                             ) + SimDuration::from_micros(1);
                             queue.schedule(
                                 next,
@@ -448,13 +450,7 @@ impl<'a> Federation<'a> {
     }
 
     /// Runs the allocation protocol for one query at `now`.
-    fn allocate(
-        &mut self,
-        now: SimTime,
-        class: ClassId,
-        origin: NodeId,
-        idx: usize,
-    ) -> Allocation {
+    fn allocate(&mut self, now: SimTime, class: ClassId, origin: NodeId, idx: usize) -> Allocation {
         let link = self.scenario.config.link;
         let capable: Vec<NodeId> = self.scenario.capable[class.index()]
             .iter()
@@ -600,12 +596,7 @@ impl<'a> Federation<'a> {
             }
             MechState::Bnqrd { coordinator } => {
                 self.metrics.messages += 3;
-                let ref_cost = self
-                    .scenario
-                    .templates
-                    .get(class)
-                    .base_cost
-                    .as_millis_f64();
+                let ref_cost = self.scenario.templates.get(class).base_cost.as_millis_f64();
                 (coordinator.assign(&capable, ref_cost), rtt)
             }
             MechState::Markov { allocator } => {
@@ -627,11 +618,16 @@ impl<'a> Federation<'a> {
             // times out and resubmits next period; for QA-NT the accepted
             // supply stays committed on the server — the price a market of
             // autonomous nodes pays for an unreliable network.
-            if !self.faults.delivers(choice.index(), now, &mut self.fault_rng) {
+            if !self
+                .faults
+                .delivers(choice.index(), now, &mut self.fault_rng)
+            {
                 self.metrics.lost_messages += 1;
                 return Allocation::NoOffers;
             }
-            delay += self.faults.sample_jitter(choice.index(), &mut self.fault_rng);
+            delay += self
+                .faults
+                .sample_jitter(choice.index(), &mut self.fault_rng);
         }
 
         let start = now + delay;
@@ -715,10 +711,7 @@ mod tests {
         let t = trace_for(&s, 10, 0.4);
         let a = run(&s, MechanismKind::QaNt, &t);
         let b = run(&s, MechanismKind::QaNt, &t);
-        assert_eq!(
-            a.metrics.mean_response_ms(),
-            b.metrics.mean_response_ms()
-        );
+        assert_eq!(a.metrics.mean_response_ms(), b.metrics.mean_response_ms());
         assert_eq!(a.metrics.messages, b.metrics.messages);
     }
 
@@ -831,9 +824,7 @@ mod tests {
         let t = trace_for(&s, 15, 0.5);
         let run_with = |fault_seed: Option<u64>| {
             let mut f = Federation::new(&s, MechanismKind::QaNt, &t);
-            f.set_fault_plan(FaultPlan::uniform(
-                qa_simnet::LinkFaults::lossy(0.2),
-            ));
+            f.set_fault_plan(FaultPlan::uniform(qa_simnet::LinkFaults::lossy(0.2)));
             if let Some(seed) = fault_seed {
                 f.set_fault_seed(seed);
             }
@@ -915,7 +906,10 @@ mod tests {
         }));
         let out = f.run(&t);
         assert_eq!(out.metrics.completed, 8);
-        assert!(out.metrics.retries >= 8, "every query deferred past the outage");
+        assert!(
+            out.metrics.retries >= 8,
+            "every query deferred past the outage"
+        );
         assert!(out.metrics.lost_messages > 0);
     }
 
@@ -949,13 +943,22 @@ mod diag {
     #[test]
     #[ignore]
     fn diagnose_overload() {
-        let frac: f64 = std::env::var("DIAG_FRAC").ok().and_then(|v| v.parse().ok()).unwrap_or(1.2);
-        let nodes: usize = std::env::var("DIAG_NODES").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
-        let secs: u64 = std::env::var("DIAG_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(40);
+        let frac: f64 = std::env::var("DIAG_FRAC")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.2);
+        let nodes: usize = std::env::var("DIAG_NODES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        let secs: u64 = std::env::var("DIAG_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(40);
         let mut cfg = SimConfig::small_test(11);
         cfg.num_nodes = nodes;
         let s = Scenario::two_class(cfg, TwoClassParams::default());
-        let mix = [2.0/3.0, 1.0/3.0];
+        let mix = [2.0 / 3.0, 1.0 / 3.0];
         let capacity = s.capacity_qps(&mix);
         let peak_q1 = frac * capacity / 0.75;
         let (p1, p2) = SinusoidProcess::paper_pair(0.05, peak_q1);
@@ -964,19 +967,25 @@ mod diag {
         let mut arrivals = p1.generate(horizon, &mut rng);
         arrivals.extend(p2.generate(horizon, &mut rng));
         let t = Trace::from_arrivals(arrivals, s.config.num_nodes, &mut rng);
-        eprintln!("--- frac={frac} nodes={nodes} secs={secs} queries={}", t.len());
+        eprintln!(
+            "--- frac={frac} nodes={nodes} secs={secs} queries={}",
+            t.len()
+        );
         for m in [MechanismKind::QaNt, MechanismKind::Greedy] {
             let f = Federation::new(&s, m, &t);
             // run inline to inspect node state afterwards
             let scenario = f.scenario;
             let out = f.run(&t);
             let _ = scenario;
-            eprintln!("{m}: completed={} retries={} mean={:?} q1={:?} q2={:?} busy={:.0}s",
-                out.metrics.completed, out.metrics.retries,
+            eprintln!(
+                "{m}: completed={} retries={} mean={:?} q1={:?} q2={:?} busy={:.0}s",
+                out.metrics.completed,
+                out.metrics.retries,
                 out.metrics.mean_response_ms(),
                 out.metrics.mean_response_ms_of(ClassId(0)),
                 out.metrics.mean_response_ms_of(ClassId(1)),
-                out.total_busy.as_secs_f64());
+                out.total_busy.as_secs_f64()
+            );
         }
     }
 }
@@ -990,23 +999,30 @@ mod diag_zipf {
     #[test]
     #[ignore]
     fn diagnose_zipf_light() {
-        let gap: u64 = std::env::var("ZIPF_MIN").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000);
+        let gap: u64 = std::env::var("ZIPF_MIN")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20_000);
         let cfg = SimConfig::paper_defaults();
         let s = Scenario::table3(cfg);
         let process = ZipfProcess::paper(100, SimDuration::from_millis(gap));
         let mut rng = DetRng::seed_from_u64(s.config.seed).derive("zipf-trace");
         let horizon_s = (10_000.0 * process.mean_gap_secs() / 100.0).clamp(10.0, 3_600.0);
-        let mut arrivals = process.generate(SimTime::from_micros((horizon_s * 1e6) as u64), &mut rng);
+        let mut arrivals =
+            process.generate(SimTime::from_micros((horizon_s * 1e6) as u64), &mut rng);
         arrivals.sort_by_key(|(t, c)| (*t, c.index()));
         arrivals.truncate(10_000);
         let t = Trace::from_arrivals(arrivals, s.config.num_nodes, &mut rng);
         for m in [MechanismKind::QaNt, MechanismKind::Greedy] {
             let out = Federation::new(&s, m, &t).run(&t);
-            eprintln!("{m}: completed={} retries={} mean={:?} exec@choice={:?} backlog@choice={:?}",
-                out.metrics.completed, out.metrics.retries,
+            eprintln!(
+                "{m}: completed={} retries={} mean={:?} exec@choice={:?} backlog@choice={:?}",
+                out.metrics.completed,
+                out.metrics.retries,
                 out.metrics.mean_response_ms(),
                 out.metrics.chosen_exec_ms.mean(),
-                out.metrics.chosen_backlog_ms.mean());
+                out.metrics.chosen_backlog_ms.mean()
+            );
         }
     }
 }

@@ -8,7 +8,6 @@
 use qa_simnet::stats::{TimeSeries, Welford};
 use qa_simnet::{SimDuration, SimTime};
 use qa_workload::{ClassId, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Measurements from one simulation run.
 #[derive(Debug, Clone)]
@@ -73,12 +72,7 @@ impl RunMetrics {
     }
 
     /// Records a completed query.
-    pub fn record_completion(
-        &mut self,
-        class: ClassId,
-        arrived: SimTime,
-        finished: SimTime,
-    ) {
+    pub fn record_completion(&mut self, class: ClassId, arrived: SimTime, finished: SimTime) {
         self.record_completion_from(class, NodeId(0), arrived, finished);
     }
 
@@ -179,7 +173,7 @@ impl RunMetrics {
 }
 
 /// One mechanism's summary row (Fig. 4 / Table 2 output shape).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MechanismSummary {
     /// Mechanism display name.
     pub mechanism: String,
@@ -195,6 +189,15 @@ pub struct MechanismSummary {
     pub messages_per_query: f64,
 }
 
+qa_simnet::impl_to_json!(MechanismSummary {
+    mechanism,
+    mean_response_ms,
+    normalized_response,
+    completed,
+    unserved,
+    messages_per_query
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,8 +210,16 @@ mod tests {
     #[test]
     fn records_response_and_bins_by_completion_period() {
         let mut m = metrics();
-        m.record_completion(ClassId(0), SimTime::from_millis(0), SimTime::from_millis(400));
-        m.record_completion(ClassId(1), SimTime::from_millis(100), SimTime::from_millis(700));
+        m.record_completion(
+            ClassId(0),
+            SimTime::from_millis(0),
+            SimTime::from_millis(400),
+        );
+        m.record_completion(
+            ClassId(1),
+            SimTime::from_millis(100),
+            SimTime::from_millis(700),
+        );
         assert_eq!(m.completed, 2);
         assert_eq!(m.mean_response_ms(), Some(500.0));
         assert_eq!(m.executed_per_period(), &[1, 1]);
@@ -258,8 +269,18 @@ mod tests {
     #[test]
     fn origin_fairness_detects_skew() {
         let mut m = metrics();
-        m.record_completion_from(ClassId(0), NodeId(0), SimTime::ZERO, SimTime::from_millis(100));
-        m.record_completion_from(ClassId(0), NodeId(1), SimTime::ZERO, SimTime::from_millis(10_000));
+        m.record_completion_from(
+            ClassId(0),
+            NodeId(0),
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+        );
+        m.record_completion_from(
+            ClassId(0),
+            NodeId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(10_000),
+        );
         let j = m.origin_fairness().unwrap();
         // Jain index for (100, 10000) ≈ 0.51.
         assert!(j < 0.6, "{j}");
@@ -268,7 +289,12 @@ mod tests {
     #[test]
     fn origin_fairness_needs_two_origins() {
         let mut m = metrics();
-        m.record_completion_from(ClassId(0), NodeId(0), SimTime::ZERO, SimTime::from_millis(1));
+        m.record_completion_from(
+            ClassId(0),
+            NodeId(0),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        );
         assert_eq!(m.origin_fairness(), None);
     }
 }

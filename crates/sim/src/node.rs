@@ -9,10 +9,9 @@
 use crate::config::SimConfig;
 use qa_simnet::{DetRng, SimDuration, SimTime};
 use qa_workload::QueryTemplate;
-use serde::{Deserialize, Serialize};
 
 /// Static hardware description of a node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeHardware {
     /// CPU speed in GHz.
     pub cpu_ghz: f64,

@@ -62,21 +62,15 @@ impl Scenario {
         config.validate();
         assert_eq!(hardware.len(), config.num_nodes);
         assert_eq!(dataset.num_nodes(), config.num_nodes);
-        let capable: Vec<Vec<NodeId>> = templates
-            .iter()
-            .map(|t| dataset.capable_nodes(t))
-            .collect();
+        let capable: Vec<Vec<NodeId>> =
+            templates.iter().map(|t| dataset.capable_nodes(t)).collect();
         let exec_times_ms: Vec<Vec<Option<f64>>> = (0..config.num_nodes)
             .map(|i| {
                 templates
                     .iter()
                     .map(|t| {
                         if capable[t.id.index()].contains(&NodeId(i as u32)) {
-                            Some(
-                                hardware[i]
-                                    .execution_time(t, &config)
-                                    .as_millis_f64(),
-                            )
+                            Some(hardware[i].execution_time(t, &config).as_millis_f64())
                         } else {
                             None
                         }

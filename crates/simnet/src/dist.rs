@@ -28,7 +28,10 @@ impl Uniform {
     /// # Panics
     /// Panics if the range is empty or not finite.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         Uniform { lo, hi }
     }
 
@@ -119,9 +122,10 @@ impl Zipf {
     pub fn sample_rank(&self, rng: &mut DetRng) -> usize {
         let u = rng.unit();
         // First index whose cumulative probability covers u.
-        match self.cdf.binary_search_by(|c| {
-            c.partial_cmp(&u).expect("cdf values are finite")
-        }) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf values are finite"))
+        {
             Ok(i) => i + 1,
             Err(i) => i + 1,
         }
@@ -196,7 +200,10 @@ mod tests {
         let ones = (0..n).filter(|_| d.sample_rank(&mut r) == 1).count();
         let expected = d.pmf(1);
         let emp = ones as f64 / n as f64;
-        assert!((emp - expected).abs() < 0.01, "empirical {emp} vs {expected}");
+        assert!(
+            (emp - expected).abs() < 0.01,
+            "empirical {emp} vs {expected}"
+        );
         // With a = 1 over 100 ranks, rank 1 carries ~19% of the mass.
         assert!(expected > 0.15 && expected < 0.25);
     }

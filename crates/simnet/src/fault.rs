@@ -26,11 +26,10 @@
 
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A half-open window `[from, until)` of virtual time during which a link
 /// delivers nothing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutageWindow {
     /// First instant of the outage.
     pub from: SimTime,
@@ -55,7 +54,7 @@ impl OutageWindow {
 }
 
 /// Fault behaviour of one (directed) link.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkFaults {
     /// Probability that any one message is silently dropped (`0..=1`).
     pub drop_prob: f64,
@@ -125,7 +124,7 @@ impl LinkFaults {
 /// overrides by server node index matches [`LinkSpec`](crate::LinkSpec)'s
 /// role in the drivers. `FaultPlan::none()` is the disabled plan and is
 /// guaranteed zero-cost (see module docs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Behaviour of every link without an override.
     pub default: LinkFaults,
@@ -185,7 +184,6 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngCore;
 
     #[test]
     fn disabled_plan_is_none_and_always_delivers() {
@@ -240,7 +238,10 @@ mod tests {
         assert!(plan.delivers(0, SimTime::from_millis(9), &mut rng));
         assert!(!plan.delivers(0, SimTime::from_millis(10), &mut rng));
         assert!(!plan.delivers(0, SimTime::from_millis(19), &mut rng));
-        assert!(plan.delivers(0, SimTime::from_millis(20), &mut rng), "half-open");
+        assert!(
+            plan.delivers(0, SimTime::from_millis(20), &mut rng),
+            "half-open"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod dist;
 pub mod event;
 pub mod fault;
+pub mod json;
 pub mod link;
 pub mod rng;
 pub mod stats;
@@ -36,6 +37,7 @@ pub mod time;
 pub use dist::{Exponential, Uniform, Zipf};
 pub use event::{EventQueue, ScheduledEvent};
 pub use fault::{FaultPlan, LinkFaults, OutageWindow};
+pub use json::{Json, ToJson};
 pub use link::LinkSpec;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

@@ -9,10 +9,9 @@
 //! this model.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Latency + bandwidth description of a (directed) network link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
     /// Fixed one-way latency.
     pub latency: SimDuration,
@@ -68,7 +67,7 @@ mod tests {
     #[test]
     fn transfer_time_includes_latency_and_serialization() {
         let link = LinkSpec::new(SimDuration::from_millis(1), 1_000_000.0); // 1 MB/s
-        // 500 KB at 1 MB/s = 0.5 s serialization + 1 ms latency.
+                                                                            // 500 KB at 1 MB/s = 0.5 s serialization + 1 ms latency.
         let t = link.transfer_time(500_000);
         assert_eq!(t.as_millis(), 501);
     }

@@ -11,10 +11,9 @@
 //!   directly matching the paper's "per half second" plots (Fig. 3, 5c).
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Welford's online algorithm for mean and variance.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Welford {
     n: u64,
     mean: f64,
@@ -88,9 +87,7 @@ impl Welford {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -101,7 +98,7 @@ impl Welford {
 
 /// Fixed-width-bucket histogram over `[0, width * buckets)`, with an
 /// overflow bucket at the top.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     width: f64,
     counts: Vec<u64>,
@@ -167,7 +164,7 @@ impl Histogram {
 ///
 /// Matches the paper's measurement scheme: "in each time period, we measured
 /// the number of queries executed and the average query response time".
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     period: SimDuration,
     bins: Vec<Welford>,

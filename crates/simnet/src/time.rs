@@ -6,17 +6,16 @@
 //! each other or with raw integers. The paper's time period `T` (500 ms by
 //! default) and all query execution times are expressed as [`SimDuration`]s.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// An absolute instant on the virtual clock, in microseconds since the start
 /// of the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -205,6 +204,20 @@ impl Div<u64> for SimDuration {
     type Output = SimDuration;
     fn div(self, rhs: u64) -> SimDuration {
         SimDuration(self.0 / rhs)
+    }
+}
+
+impl crate::json::ToJson for SimTime {
+    /// Serializes as microseconds since the origin.
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::ToJson::to_json(&self.0)
+    }
+}
+
+impl crate::json::ToJson for SimDuration {
+    /// Serializes as microseconds.
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::ToJson::to_json(&self.0)
     }
 }
 

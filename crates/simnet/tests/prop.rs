@@ -1,16 +1,19 @@
-//! Property tests for the simulation kernel.
+//! Property tests for the simulation kernel, driven by seeded [`DetRng`]
+//! loops (the hermetic-build substitute for proptest): each property runs
+//! over 200 random cases from a fixed seed, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use qa_simnet::stats::Welford;
 use qa_simnet::{DetRng, EventQueue, SimTime, Zipf};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
+const CASES: usize = 200;
 
-    /// Events pop in non-decreasing time order with FIFO ties, regardless
-    /// of insertion order.
-    #[test]
-    fn event_queue_is_stably_ordered(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+/// Events pop in non-decreasing time order with FIFO ties, regardless of
+/// insertion order.
+#[test]
+fn event_queue_is_stably_ordered() {
+    let mut rng = DetRng::seed_from_u64(0x51B1_0001);
+    for case in 0..CASES {
+        let times: Vec<u64> = (0..rng.index(200)).map(|_| rng.int_in(0, 999)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_millis(t), (t, i));
@@ -19,22 +22,25 @@ proptest! {
         while let Some(ev) = q.pop() {
             let (t, i) = ev.payload;
             if let Some((lt, li)) = last {
-                prop_assert!(lt <= t, "time order violated");
+                assert!(lt <= t, "case {case}: time order violated");
                 if lt == t {
-                    prop_assert!(li < i, "FIFO tie-break violated");
+                    assert!(li < i, "case {case}: FIFO tie-break violated");
                 }
             }
             last = Some((t, i));
         }
     }
+}
 
-    /// Parallel Welford merge equals sequential accumulation.
-    #[test]
-    fn welford_merge_matches_sequential(
-        xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
-        split in 0usize..100,
-    ) {
-        let split = split.min(xs.len());
+/// Parallel Welford merge equals sequential accumulation.
+#[test]
+fn welford_merge_matches_sequential() {
+    let mut rng = DetRng::seed_from_u64(0x51B1_0002);
+    for case in 0..CASES {
+        let xs: Vec<f64> = (0..1 + rng.index(99))
+            .map(|_| rng.float_in(-1e3, 1e3))
+            .collect();
+        let split = rng.index(100).min(xs.len());
         let mut all = Welford::new();
         for &x in &xs {
             all.add(x);
@@ -48,53 +54,76 @@ proptest! {
             right.add(x);
         }
         left.merge(&right);
-        prop_assert_eq!(left.count(), all.count());
+        assert_eq!(left.count(), all.count(), "case {case}");
         let (a, b) = (left.mean().unwrap(), all.mean().unwrap());
-        prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+            "case {case}: {a} vs {b}"
+        );
         if xs.len() > 1 {
             let (va, vb) = (left.variance().unwrap(), all.variance().unwrap());
-            prop_assert!((va - vb).abs() < 1e-6 * (1.0 + vb.abs()), "{va} vs {vb}");
+            assert!(
+                (va - vb).abs() < 1e-6 * (1.0 + vb.abs()),
+                "case {case}: {va} vs {vb}"
+            );
         }
     }
+}
 
-    /// Zipf PMFs are normalized and monotone for any support/exponent.
-    #[test]
-    fn zipf_pmf_normalized_and_monotone(n in 1usize..200, a in 0.0f64..3.0) {
+/// Zipf PMFs are normalized and monotone for any support/exponent.
+#[test]
+fn zipf_pmf_normalized_and_monotone() {
+    let mut rng = DetRng::seed_from_u64(0x51B1_0003);
+    for case in 0..CASES {
+        let n = 1 + rng.index(199);
+        let a = rng.float_in(0.0, 3.0);
         let z = Zipf::new(n, a);
         let total: f64 = (1..=n).map(|k| z.pmf(k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9, "case {case} (n={n}, a={a})");
         for k in 1..n {
-            prop_assert!(z.pmf(k) >= z.pmf(k + 1) - 1e-12);
+            assert!(
+                z.pmf(k) >= z.pmf(k + 1) - 1e-12,
+                "case {case} (n={n}, a={a})"
+            );
         }
     }
+}
 
-    /// Derived RNG streams are reproducible and label-sensitive.
-    #[test]
-    fn rng_derivation_properties(seed in any::<u64>()) {
+/// Derived RNG streams are reproducible and label-sensitive.
+#[test]
+fn rng_derivation_properties() {
+    let mut meta = DetRng::seed_from_u64(0x51B1_0004);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
         let mut p1 = DetRng::seed_from_u64(seed);
         let mut p2 = DetRng::seed_from_u64(seed);
         let mut a = p1.derive("x");
         let mut b = p2.derive("x");
         for _ in 0..8 {
-            prop_assert_eq!(a.int_in(0, u64::MAX - 1), b.int_in(0, u64::MAX - 1));
+            assert_eq!(a.int_in(0, u64::MAX - 1), b.int_in(0, u64::MAX - 1));
         }
         let mut p3 = DetRng::seed_from_u64(seed);
         let mut c = p3.derive("y");
         // Extremely unlikely to collide on the first draw.
         let _ = c.int_in(0, u64::MAX - 1);
     }
+}
 
-    /// sample_indices yields distinct, in-range indices.
-    #[test]
-    fn sample_indices_distinct(seed in any::<u64>(), n in 1usize..100, frac in 0usize..100) {
-        let k = (n * frac / 100).min(n);
+/// sample_indices yields distinct, in-range indices.
+#[test]
+fn sample_indices_distinct() {
+    let mut meta = DetRng::seed_from_u64(0x51B1_0005);
+    for case in 0..CASES {
+        let seed = meta.next_u64();
+        let n = 1 + meta.index(99);
+        let k = (n * meta.index(100) / 100).min(n);
         let mut rng = DetRng::seed_from_u64(seed);
         let s = rng.sample_indices(n, k);
-        prop_assert_eq!(s.len(), k);
+        assert_eq!(s.len(), k, "case {case}");
         let mut u = s.clone();
         u.sort_unstable();
         u.dedup();
-        prop_assert_eq!(u.len(), k);
-        prop_assert!(s.iter().all(|&i| i < n));
+        assert_eq!(u.len(), k, "case {case}");
+        assert!(s.iter().all(|&i| i < n), "case {case}");
     }
 }

@@ -16,7 +16,6 @@
 
 use crate::ids::ClassId;
 use qa_simnet::{DetRng, SimDuration, SimTime, Zipf};
-use serde::{Deserialize, Serialize};
 
 /// Generates raw `(arrival time, class)` pairs over a horizon.
 pub trait ArrivalProcess {
@@ -30,7 +29,7 @@ pub trait ArrivalProcess {
 ///
 /// oscillating between 0 and `peak`. Sampled by thinning against the
 /// constant bound `peak`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SinusoidProcess {
     /// The class every arrival belongs to.
     pub class: ClassId,
@@ -66,7 +65,10 @@ impl SinusoidProcess {
 
     /// The paper's canonical two-class sinusoid workload: Q1 (class 0) at
     /// `peak_q1` queries/s and Q2 (class 1) at half that, 90° out of phase.
-    pub fn paper_pair(frequency_hz: f64, peak_q1_per_sec: f64) -> (SinusoidProcess, SinusoidProcess) {
+    pub fn paper_pair(
+        frequency_hz: f64,
+        peak_q1_per_sec: f64,
+    ) -> (SinusoidProcess, SinusoidProcess) {
         (
             SinusoidProcess::new(ClassId(0), frequency_hz, peak_q1_per_sec, 0.0),
             SinusoidProcess::new(
@@ -111,7 +113,7 @@ impl ArrivalProcess for SinusoidProcess {
 /// `[min_gap, max_gap]` with zipf(a) rank probabilities — rank 1 (= the
 /// minimum gap) carries the most mass, so small `min_gap` makes classes
 /// fiercely bursty while `min_gap → max_gap` smooths the process out.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ZipfProcess {
     /// Number of classes; arrivals are generated independently per class.
     pub num_classes: usize,
@@ -177,7 +179,7 @@ impl ArrivalProcess for ZipfProcess {
 }
 
 /// Uniform inter-arrival process over a class mix (§5.2 workload).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UniformProcess {
     /// Mean inter-arrival gap; individual gaps are uniform on
     /// `[0.5·mean, 1.5·mean)`.
@@ -231,7 +233,7 @@ mod tests {
             min = min.min(r);
             max = max.max(r);
         }
-        assert!(min >= 0.0 && min < 0.5, "min {min}");
+        assert!((0.0..0.5).contains(&min), "min {min}");
         assert!(max > 9.5 && max <= 10.0, "max {max}");
     }
 
@@ -244,7 +246,10 @@ mod tests {
         let arrivals = p.generate(SimTime::from_secs(20), &mut r);
         assert!(!arrivals.is_empty());
         // phase 0: sin positive on (0,10)s, negative on (10,20)s.
-        let first_half = arrivals.iter().filter(|(t, _)| t.as_secs_f64() < 10.0).count();
+        let first_half = arrivals
+            .iter()
+            .filter(|(t, _)| t.as_secs_f64() < 10.0)
+            .count();
         let second_half = arrivals.len() - first_half;
         assert!(
             first_half as f64 > 2.0 * second_half as f64,
@@ -284,7 +289,10 @@ mod tests {
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        assert!((mean - expected).abs() < 0.2 * expected, "mean gap {mean}s vs {expected}s");
+        assert!(
+            (mean - expected).abs() < 0.2 * expected,
+            "mean gap {mean}s vs {expected}s"
+        );
     }
 
     #[test]
@@ -295,7 +303,7 @@ mod tests {
         let times: Vec<f64> = arrivals.iter().map(|(t, _)| t.as_secs_f64()).collect();
         for w in times.windows(2) {
             let gap = w[1] - w[0];
-            assert!(gap >= 5.0 - 1e-6 && gap <= 30.0 + 1e-6, "gap {gap}");
+            assert!((5.0 - 1e-6..=30.0 + 1e-6).contains(&gap), "gap {gap}");
         }
     }
 
@@ -331,7 +339,11 @@ mod tests {
         let arrivals = p.generate(SimTime::from_secs(3_000), &mut r);
         let times: Vec<f64> = arrivals.iter().map(|(t, _)| t.as_secs_f64()).collect();
         for w in times.windows(2) {
-            assert!(w[1] - w[0] <= 30.0 + 1e-6, "gap {} exceeds cap", w[1] - w[0]);
+            assert!(
+                w[1] - w[0] <= 30.0 + 1e-6,
+                "gap {} exceeds cap",
+                w[1] - w[0]
+            );
         }
     }
 

@@ -15,10 +15,9 @@
 use crate::ids::{NodeId, RelationId};
 use crate::template::QueryTemplate;
 use qa_simnet::DetRng;
-use serde::{Deserialize, Serialize};
 
 /// One relation of the common schema.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Relation {
     /// The relation id.
     pub id: RelationId,
@@ -31,7 +30,7 @@ pub struct Relation {
 }
 
 /// Dataset generation parameters (Table 3 defaults).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetConfig {
     /// Nodes in the federation (paper: 100).
     pub num_nodes: usize,
@@ -61,7 +60,7 @@ impl Default for DatasetConfig {
 }
 
 /// The generated dataset: relations plus the node → relations index.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     relations: Vec<Relation>,
     /// `per_node[n]` = sorted relation ids held by node `n`.

@@ -1,16 +1,22 @@
 //! Identifier newtypes shared across the stack.
 
-use serde::{Deserialize, Serialize};
+use qa_simnet::json::{Json, ToJson};
 use std::fmt;
 
 /// Identifies a node (an autonomous DBMS) in the federation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
     /// The numeric index (nodes are dense, `0..I`).
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+impl ToJson for NodeId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
     }
 }
 
@@ -21,13 +27,19 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifies a query class/template (§2.1: one of the `K` disjoint classes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClassId(pub u32);
 
 impl ClassId {
     /// The numeric index (classes are dense, `0..K`).
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+impl ToJson for ClassId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
     }
 }
 
@@ -38,7 +50,7 @@ impl fmt::Display for ClassId {
 }
 
 /// Identifies a relation in the federation's common schema.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RelationId(pub u32);
 
 impl RelationId {

@@ -15,10 +15,9 @@
 
 use crate::ids::{ClassId, RelationId};
 use qa_simnet::{DetRng, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// One query class (template).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryTemplate {
     /// The class identifier.
     pub id: ClassId,
@@ -43,7 +42,7 @@ impl QueryTemplate {
 }
 
 /// Parameters for synthetic template generation (Table 3 defaults).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TemplateConfig {
     /// Number of classes `K` (paper: 100).
     pub num_classes: usize,
@@ -73,7 +72,7 @@ impl Default for TemplateConfig {
 }
 
 /// A generated set of query templates, indexed by [`ClassId`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TemplateSet {
     templates: Vec<QueryTemplate>,
 }
@@ -195,7 +194,12 @@ mod tests {
             let mut rels: Vec<_> = t.relations.clone();
             rels.sort();
             rels.dedup();
-            assert_eq!(rels.len(), t.relations.len(), "duplicate relation in {:?}", t.id);
+            assert_eq!(
+                rels.len(),
+                t.relations.len(),
+                "duplicate relation in {:?}",
+                t.id
+            );
             assert_eq!(t.relations.len() as u32, t.joins + 1);
         }
     }

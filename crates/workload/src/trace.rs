@@ -7,11 +7,11 @@
 //! (paired comparison, same arrivals for QA-NT and all baselines).
 
 use crate::ids::{ClassId, NodeId};
-use qa_simnet::{DetRng, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use qa_simnet::json::Json;
+use qa_simnet::{json_obj, DetRng, SimDuration, SimTime};
 
 /// A single query arrival.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryEvent {
     /// Unique id within the trace (dense, in arrival order).
     pub id: u64,
@@ -24,7 +24,7 @@ pub struct QueryEvent {
 }
 
 /// A time-ordered sequence of query arrivals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     events: Vec<QueryEvent>,
 }
@@ -112,25 +112,59 @@ impl Trace {
     }
 
     /// Serializes the trace to JSON (recorded workloads are replayed across
-    /// mechanisms and sessions).
+    /// mechanisms and sessions). Times are stored in microseconds.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serializes")
+        let events: Vec<Json> = self
+            .events
+            .iter()
+            .map(|e| {
+                json_obj! {
+                    "id": e.id,
+                    "at_us": e.at.as_micros(),
+                    "class": e.class.index(),
+                    "origin": e.origin.index(),
+                }
+            })
+            .collect();
+        json_obj! { "events": events }.dump()
     }
 
     /// Deserializes a trace from [`Trace::to_json`] output, re-validating
     /// the time ordering.
     pub fn from_json(json: &str) -> Result<Trace, String> {
-        let t: Trace = serde_json::from_str(json).map_err(|e| e.to_string())?;
-        if !t.events.windows(2).all(|w| w[0].at <= w[1].at) {
+        let doc = Json::parse(json)?;
+        let items = doc
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or("missing 'events' array")?;
+        let mut events = Vec::with_capacity(items.len());
+        for item in items {
+            let field = |key: &str| {
+                item.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("missing or invalid '{key}'"))
+            };
+            let narrow = |v: u64, what: &str| {
+                u32::try_from(v).map_err(|_| format!("{what} {v} out of range"))
+            };
+            events.push(QueryEvent {
+                id: field("id")?,
+                at: SimTime::from_micros(field("at_us")?),
+                class: ClassId(narrow(field("class")?, "class")?),
+                origin: NodeId(narrow(field("origin")?, "origin")?),
+            });
+        }
+        if !events.windows(2).all(|w| w[0].at <= w[1].at) {
             return Err("trace events out of order".to_string());
         }
-        Ok(t)
+        Ok(Trace { events })
     }
 
     /// Merges two traces (re-sorting and re-numbering ids).
     pub fn merge(mut self, other: Trace) -> Trace {
         self.events.extend(other.events);
-        self.events.sort_by_key(|e| (e.at, e.class.index(), e.origin.index()));
+        self.events
+            .sort_by_key(|e| (e.at, e.class.index(), e.origin.index()));
         for (i, e) in self.events.iter_mut().enumerate() {
             e.id = i as u64;
         }
@@ -184,16 +218,8 @@ mod tests {
 
     #[test]
     fn merge_preserves_order_and_renumbers() {
-        let a = Trace::from_arrivals(
-            vec![(SimTime::from_millis(10), ClassId(0))],
-            1,
-            &mut rng(),
-        );
-        let b = Trace::from_arrivals(
-            vec![(SimTime::from_millis(5), ClassId(1))],
-            1,
-            &mut rng(),
-        );
+        let a = Trace::from_arrivals(vec![(SimTime::from_millis(10), ClassId(0))], 1, &mut rng());
+        let b = Trace::from_arrivals(vec![(SimTime::from_millis(5), ClassId(1))], 1, &mut rng());
         let m = a.merge(b);
         assert_eq!(m.len(), 2);
         assert_eq!(m.events()[0].at, SimTime::from_millis(5));
@@ -250,6 +276,8 @@ mod tests {
         let t = Trace::from_events(vec![]);
         assert!(t.is_empty());
         assert_eq!(t.horizon(), SimTime::ZERO);
-        assert!(t.arrivals_per_period(SimDuration::from_millis(500), None).is_empty());
+        assert!(t
+            .arrivals_per_period(SimDuration::from_millis(500), None)
+            .is_empty());
     }
 }

@@ -1,20 +1,21 @@
-//! Property tests for workload generation.
+//! Property tests for workload generation, driven by seeded [`DetRng`]
+//! loops (the hermetic-build substitute for proptest): each property runs
+//! over 64 random cases from a fixed seed, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use qa_simnet::{DetRng, SimDuration, SimTime};
 use qa_workload::arrival::{ArrivalProcess, SinusoidProcess, UniformProcess, ZipfProcess};
 use qa_workload::{ClassId, Trace};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// Traces are always time-sorted with dense ids and in-range origins.
-    #[test]
-    fn trace_invariants(
-        seed in any::<u64>(),
-        n in 0usize..200,
-        nodes in 1usize..50,
-    ) {
+/// Traces are always time-sorted with dense ids and in-range origins.
+#[test]
+fn trace_invariants() {
+    let mut meta = DetRng::seed_from_u64(0x0A10_0001);
+    for case in 0..CASES {
+        let seed = meta.next_u64();
+        let n = meta.index(200);
+        let nodes = 1 + meta.index(49);
         let mut rng = DetRng::seed_from_u64(seed);
         let arrivals: Vec<(SimTime, ClassId)> = (0..n)
             .map(|_| {
@@ -25,28 +26,33 @@ proptest! {
             })
             .collect();
         let t = Trace::from_arrivals(arrivals, nodes, &mut rng);
-        prop_assert_eq!(t.len(), n);
+        assert_eq!(t.len(), n, "case {case}");
         for (i, e) in t.iter().enumerate() {
-            prop_assert_eq!(e.id, i as u64);
-            prop_assert!(e.origin.index() < nodes);
+            assert_eq!(e.id, i as u64, "case {case}");
+            assert!(e.origin.index() < nodes, "case {case}");
         }
         for w in t.events().windows(2) {
-            prop_assert!(w[0].at <= w[1].at);
+            assert!(w[0].at <= w[1].at, "case {case}");
         }
     }
+}
 
-    /// Every arrival process respects the horizon.
-    #[test]
-    fn processes_respect_horizon(seed in any::<u64>(), secs in 1u64..30) {
+/// Every arrival process respects the horizon.
+#[test]
+fn processes_respect_horizon() {
+    let mut meta = DetRng::seed_from_u64(0x0A10_0002);
+    for case in 0..CASES {
+        let seed = meta.next_u64();
+        let secs = 1 + meta.index(29) as u64;
         let horizon = SimTime::from_secs(secs);
         let mut rng = DetRng::seed_from_u64(seed);
         let sin = SinusoidProcess::new(ClassId(0), 0.1, 20.0, 0.0);
         for (t, _) in sin.generate(horizon, &mut rng) {
-            prop_assert!(t < horizon);
+            assert!(t < horizon, "case {case}");
         }
         let zipf = ZipfProcess::paper(3, SimDuration::from_millis(500));
         for (t, _) in zipf.generate(horizon, &mut rng) {
-            prop_assert!(t < horizon);
+            assert!(t < horizon, "case {case}");
         }
         let uni = UniformProcess {
             mean_gap: SimDuration::from_millis(200),
@@ -54,28 +60,39 @@ proptest! {
             max_queries: None,
         };
         for (t, _) in uni.generate(horizon, &mut rng) {
-            prop_assert!(t < horizon);
+            assert!(t < horizon, "case {case}");
         }
     }
+}
 
-    /// The sinusoid's empirical rate is bounded by its peak.
-    #[test]
-    fn sinusoid_rate_bounded(seed in any::<u64>(), peak in 1.0f64..50.0) {
+/// The sinusoid's empirical rate is bounded by its peak.
+#[test]
+fn sinusoid_rate_bounded() {
+    let mut meta = DetRng::seed_from_u64(0x0A10_0003);
+    for case in 0..CASES {
+        let seed = meta.next_u64();
+        let peak = meta.float_in(1.0, 50.0);
         let p = SinusoidProcess::new(ClassId(0), 0.2, peak, 0.0);
         let mut rng = DetRng::seed_from_u64(seed);
         let arrivals = p.generate(SimTime::from_secs(30), &mut rng);
         // Expected count = peak/2 × 30; allow generous stochastic slack.
         let expected = peak / 2.0 * 30.0;
-        prop_assert!(
+        assert!(
             (arrivals.len() as f64) < 2.0 * expected + 30.0,
-            "{} arrivals for expected {expected}",
+            "case {case}: {} arrivals for expected {expected}",
             arrivals.len()
         );
     }
+}
 
-    /// Merging traces preserves every event and global order.
-    #[test]
-    fn trace_merge_preserves_events(seed in any::<u64>(), n1 in 0usize..50, n2 in 0usize..50) {
+/// Merging traces preserves every event and global order.
+#[test]
+fn trace_merge_preserves_events() {
+    let mut meta = DetRng::seed_from_u64(0x0A10_0004);
+    for case in 0..CASES {
+        let seed = meta.next_u64();
+        let n1 = meta.index(50);
+        let n2 = meta.index(50);
         let mut rng = DetRng::seed_from_u64(seed);
         let mk = |n: usize, rng: &mut DetRng| {
             let arrivals: Vec<(SimTime, ClassId)> = (0..n)
@@ -86,9 +103,9 @@ proptest! {
         let a = mk(n1, &mut rng);
         let b = mk(n2, &mut rng);
         let merged = a.clone().merge(b.clone());
-        prop_assert_eq!(merged.len(), a.len() + b.len());
+        assert_eq!(merged.len(), a.len() + b.len(), "case {case}");
         for w in merged.events().windows(2) {
-            prop_assert!(w[0].at <= w[1].at);
+            assert!(w[0].at <= w[1].at, "case {case}");
         }
     }
 }

@@ -7,9 +7,7 @@
 //! cargo run --example federated_analytics
 //! ```
 
-use query_markets::cluster::{
-    run_experiment, ClusterConfig, ClusterMechanism, ClusterSpec,
-};
+use query_markets::cluster::{run_experiment, ClusterConfig, ClusterMechanism, ClusterSpec};
 
 fn main() {
     // 5 nodes, 10 tables (2–4 copies each), 20 select-project views, 8
@@ -18,11 +16,7 @@ fn main() {
     let spec = ClusterSpec::generate(2024, 5, 10, 20, 8, 120);
     println!("deployment:");
     for (i, slow) in spec.slowdown.iter().enumerate() {
-        let tables = spec
-            .tables
-            .iter()
-            .filter(|t| t.copies.contains(&i))
-            .count();
+        let tables = spec.tables.iter().filter(|t| t.copies.contains(&i)).count();
         println!(
             "  node {i}: {tables} table copies, slowdown ×{slow:.1}, link {} µs",
             spec.link_latency_us[i]

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Guard the hermetic build: every dependency in every Cargo.toml must be an
+# in-tree path/workspace dependency. Fails (exit 1) listing any line inside a
+# [*dependencies*] section that is not a `path = ...` / `workspace = true`
+# entry, i.e. anything that would pull from a registry or git.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+for manifest in $(find . -name Cargo.toml -not -path './target/*' | sort); do
+    bad=$(awk '
+        /^\[/ { in_dep = ($0 ~ /dependencies/) }
+        in_dep && !/^\[/ && !/^[ \t]*(#|$)/ \
+            && !/path[ \t]*=/ && !/workspace[ \t]*=[ \t]*true/ {
+            printf "%d: %s\n", NR, $0
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "non-path dependency in $manifest:" >&2
+        echo "$bad" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "External dependencies are not allowed; use in-tree qa-* crates." >&2
+fi
+exit "$status"

@@ -15,7 +15,12 @@ fn greedy_and_qant_both_finish_the_workload() {
         cfg.num_queries = 25;
         let r = run_experiment(&s, &cfg).expect("spec has evaluable classes");
         assert_eq!(r.outcomes.len(), 25, "{mech}");
-        assert_eq!(r.failed, 0, "{mech}: {:?}", r.outcomes.iter().find(|o| o.error.is_some()));
+        assert_eq!(
+            r.failed,
+            0,
+            "{mech}: {:?}",
+            r.outcomes.iter().find(|o| o.error.is_some())
+        );
         assert!(r.mean_total_ms >= r.mean_assign_ms, "{mech}");
         assert!(r.mean_assign_ms > 0.0, "{mech}");
     }

@@ -11,19 +11,14 @@
 //! * **reproducibility** — same seed + same [`FaultPlan`] gives the same
 //!   run, a different fault seed gives a different loss realization.
 
-use query_markets::cluster::{
-    run_experiment, ClusterConfig, ClusterMechanism, ClusterSpec,
-};
+use query_markets::cluster::{run_experiment, ClusterConfig, ClusterMechanism, ClusterSpec};
 use query_markets::prelude::*;
 use std::sync::mpsc;
 use std::time::Duration;
 
 /// Runs `f` on its own thread and panics if it does not finish in time —
 /// the "never deadlocks" bound for runs that wait on channels.
-fn with_watchdog<T: Send + 'static>(
-    secs: u64,
-    f: impl FnOnce() -> T + Send + 'static,
-) -> T {
+fn with_watchdog<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
         let _ = tx.send(f());
@@ -43,8 +38,7 @@ fn sim_qant_survives_lossy_slow_link_and_mid_run_crash() {
         // 10% loss fleet-wide, a 40%-lossy "slow wireless" link on node 7,
         // and node 3 dies at t = 8 s with whatever it owned.
         f.set_fault_plan(
-            FaultPlan::uniform(LinkFaults::lossy(0.10))
-                .with_link(7, LinkFaults::lossy(0.40)),
+            FaultPlan::uniform(LinkFaults::lossy(0.10)).with_link(7, LinkFaults::lossy(0.40)),
         );
         f.kill_node_at(NodeId(3), SimTime::from_secs(8));
         (f.run(&trace), n)
@@ -61,7 +55,10 @@ fn sim_qant_survives_lossy_slow_link_and_mid_run_crash() {
         out.metrics.completed
     );
     assert!(out.metrics.lost_messages > 0, "faults must actually fire");
-    assert!(out.metrics.retries > 0, "losses surface as §2.2 resubmissions");
+    assert!(
+        out.metrics.retries > 0,
+        "losses surface as §2.2 resubmissions"
+    );
 }
 
 #[test]
@@ -86,7 +83,11 @@ fn sim_fault_runs_reproducible_and_fault_seed_sensitive() {
         )
     };
     let a = fingerprint(None);
-    assert_eq!(a, fingerprint(None), "same seed + plan ⇒ identical RunOutcome");
+    assert_eq!(
+        a,
+        fingerprint(None),
+        "same seed + plan ⇒ identical RunOutcome"
+    );
     assert!(a.2 > 0, "losses occurred");
     assert_ne!(
         a,

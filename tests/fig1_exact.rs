@@ -6,15 +6,15 @@
 //! Pareto-dominated.
 
 use query_markets::economics::{
-    dominates, enumerate_solutions, is_pareto_optimal, LinearCapacitySet, QuantityVector,
-    Solution, ThroughputPreference,
+    dominates, enumerate_solutions, is_pareto_optimal, LinearCapacitySet, QuantityVector, Solution,
+    ThroughputPreference,
 };
 
 const TIMES: [[u64; 2]; 2] = [[400, 100], [450, 500]];
 
 fn arrivals() -> Vec<usize> {
     let mut v = vec![0, 0];
-    v.extend(std::iter::repeat(1).take(6));
+    v.extend(std::iter::repeat_n(1, 6));
     v
 }
 
@@ -70,7 +70,10 @@ fn qa_average_is_431_25_ms() {
     assert!((mean(&resp) - 431.25).abs() < 1e-9, "{resp:?}");
     // QA leaves N1 idle after 600 ms (the paper's overload-duration
     // point): the six q2 responses are the last six entries.
-    assert!(resp[2..].iter().all(|&t| t <= 600), "all six q2 done by 600 ms: {resp:?}");
+    assert!(
+        resp[2..].iter().all(|&t| t <= 600),
+        "all six q2 done by 600 ms: {resp:?}"
+    );
 }
 
 #[test]
@@ -78,7 +81,10 @@ fn lb_is_54_percent_slower() {
     let lb = mean(&response_times(&lb_assignment()));
     let qa = 431.25;
     let pct = 100.0 * (lb / qa - 1.0);
-    assert!((pct - 53.6).abs() < 1.0, "LB slower by {pct:.1}% (paper: 54%)");
+    assert!(
+        (pct - 53.6).abs() < 1.0,
+        "LB slower by {pct:.1}% (paper: 54%)"
+    );
 }
 
 #[test]
@@ -115,6 +121,9 @@ fn first_period_lb_dominated_qa_optimal() {
     let prefs = vec![ThroughputPreference, ThroughputPreference];
     assert!(dominates(&qa, &lb, &prefs));
     let all = enumerate_solutions(&sets, &demands);
-    assert!(!is_pareto_optimal(&lb, &all, &prefs), "LB is not Pareto optimal");
+    assert!(
+        !is_pareto_optimal(&lb, &all, &prefs),
+        "LB is not Pareto optimal"
+    );
     assert!(is_pareto_optimal(&qa, &all, &prefs), "QA is Pareto optimal");
 }

@@ -25,10 +25,7 @@ fn ftwe_holds_on_the_paper_economy() {
     let demands = vec![qv(&[0, 5]), qv(&[1, 0])];
     match check_ftwe(&sellers(), &demands, &Tatonnement::default()) {
         FtweCheck::Holds { solution } => {
-            assert!(is_equilibrium(
-                &demands,
-                &solution.supplies
-            ));
+            assert!(is_equilibrium(&demands, &solution.supplies));
         }
         other => panic!("FTWE should hold: {other:?}"),
     }
@@ -96,7 +93,7 @@ fn prices_stay_private_to_the_node() {
     let offered = n.on_request(ClassId(0));
     assert!(offered);
     // The only observable effects are boolean offers and supply counts.
-    assert_eq!(n.supply().unwrap().get(0) > 0, true);
+    assert!(n.supply().unwrap().get(0) > 0);
 }
 
 #[test]

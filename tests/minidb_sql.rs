@@ -105,10 +105,8 @@ fn same_results_under_all_join_strategies() {
 #[test]
 fn views_compose_with_joins() {
     let mut db = warehouse();
-    db.execute(
-        "CREATE VIEW big_orders AS SELECT id, cust, amount FROM orders WHERE amount > 80.0",
-    )
-    .unwrap();
+    db.execute("CREATE VIEW big_orders AS SELECT id, cust, amount FROM orders WHERE amount > 80.0")
+        .unwrap();
     let r = db
         .query(
             "SELECT c.name, COUNT(*) FROM big_orders AS b JOIN customers AS c \
@@ -163,7 +161,9 @@ fn error_paths_are_graceful() {
     assert!(db.query("SELECT amount + region FROM orders").is_err());
     assert!(db.query("SELECT nope FROM orders").is_err());
     assert!(db.query("SELECT region, SUM(amount) FROM orders").is_err()); // missing GROUP BY
-    assert!(db.query("SELECT COUNT(*) FROM orders WHERE amount / 0.0 > 1.0").is_err());
+    assert!(db
+        .query("SELECT COUNT(*) FROM orders WHERE amount / 0.0 > 1.0")
+        .is_err());
 }
 
 #[test]

@@ -31,12 +31,24 @@ fn every_query_is_accounted_for() {
 fn identical_seeds_identical_results() {
     let s = scenario(12, 9);
     let trace = two_class_trace(&s, 0.05, 0.7, 20);
-    for m in [MechanismKind::QaNt, MechanismKind::TwoProbes, MechanismKind::Random] {
+    for m in [
+        MechanismKind::QaNt,
+        MechanismKind::TwoProbes,
+        MechanismKind::Random,
+    ] {
         let a = Federation::new(&s, m, &trace).run(&trace);
         let b = Federation::new(&s, m, &trace).run(&trace);
-        assert_eq!(a.metrics.mean_response_ms(), b.metrics.mean_response_ms(), "{m}");
+        assert_eq!(
+            a.metrics.mean_response_ms(),
+            b.metrics.mean_response_ms(),
+            "{m}"
+        );
         assert_eq!(a.metrics.messages, b.metrics.messages, "{m}");
-        assert_eq!(a.metrics.executed_per_period(), b.metrics.executed_per_period(), "{m}");
+        assert_eq!(
+            a.metrics.executed_per_period(),
+            b.metrics.executed_per_period(),
+            "{m}"
+        );
     }
 }
 
@@ -134,7 +146,10 @@ fn assignment_latency_reflects_protocol_weight() {
     let random = Federation::new(&s, MechanismKind::Random, &trace).run(&trace);
     let q = qant.metrics.assign_latency.mean().unwrap();
     let r = random.metrics.assign_latency.mean().unwrap();
-    assert!(q > r, "negotiation ({q:.3}ms) costs more than direct send ({r:.3}ms)");
+    assert!(
+        q > r,
+        "negotiation ({q:.3}ms) costs more than direct send ({r:.3}ms)"
+    );
 }
 
 #[test]
@@ -166,7 +181,10 @@ fn fairness_metric_is_populated_by_runs() {
     let s = scenario(12, 19);
     let trace = two_class_trace(&s, 0.05, 0.8, 15);
     let out = Federation::new(&s, MechanismKind::QaNt, &trace).run(&trace);
-    let j = out.metrics.origin_fairness().expect("many origins completed");
+    let j = out
+        .metrics
+        .origin_fairness()
+        .expect("many origins completed");
     assert!((0.0..=1.0 + 1e-9).contains(&j));
     assert!(j > 0.5, "origins should be treated comparably: {j}");
 }
