@@ -4,6 +4,9 @@
 //! * the non-tâtonnement price adjustment,
 //! * the per-query allocation decision of each mechanism (end-to-end
 //!   simulator arrival handling),
+//! * telemetry: the disabled-path overhead contract (an emit with no
+//!   sink installed must cost one `Option` branch — the closure never
+//!   runs) against the enabled path for contrast,
 //! * minidb: parse/plan/execute of a representative star query.
 //!
 //! A plain `harness = false` timing binary (the hermetic-build substitute
@@ -114,6 +117,56 @@ fn bench_allocation() {
     }
 }
 
+fn bench_telemetry() {
+    use qa_simnet::telemetry::{CountingSink, PriceReason, Telemetry, TelemetryEvent};
+
+    // The zero-cost contract: with no sink installed, an emit is one
+    // `Option` branch and the event-building closure never runs. Compare
+    // against the pricer baseline above (which runs with telemetry
+    // disabled) to see the overhead is unmeasurable.
+    let disabled = Telemetry::disabled();
+    bench("telemetry/emit_disabled", || {
+        disabled.emit(|| TelemetryEvent::PriceAdjusted {
+            node: black_box(3),
+            class: 7,
+            old: 1.0,
+            new: 1.1,
+            reason: PriceReason::Rejection,
+        });
+    });
+    bench("telemetry/span_disabled", || disabled.span("bench.noop"));
+
+    // Enabled path for contrast: event built, sink invoked (counting
+    // sink, so no allocation growth distorts the numbers).
+    let enabled = Telemetry::with_sink(Box::new(CountingSink::new()));
+    bench("telemetry/emit_enabled_counting_sink", || {
+        enabled.emit(|| TelemetryEvent::PriceAdjusted {
+            node: black_box(3),
+            class: 7,
+            old: 1.0,
+            new: 1.1,
+            reason: PriceReason::Rejection,
+        });
+    });
+    bench("telemetry/span_enabled", || enabled.span("bench.span"));
+
+    // The full pricer loop with telemetry attached to a counting sink —
+    // the realistic "tracing a run" cost next to
+    // pricer/reject_and_period_end_100_classes.
+    let leftover = QuantityVector::from_counts((0..100).map(|i| i % 3).collect());
+    bench("pricer/reject_and_period_end_traced", || {
+        let mut p = NonTatonnementPricer::new(100, PricerConfig::default());
+        p.set_telemetry(enabled.with_label(0));
+        for k in 0..100 {
+            if k % 2 == 0 {
+                p.on_rejection(k);
+            }
+        }
+        p.on_period_end(black_box(&leftover));
+        p
+    });
+}
+
 fn bench_minidb() {
     use qa_minidb::{Database, Value};
     let mut db = Database::new();
@@ -160,5 +213,6 @@ fn main() {
     bench_supply_solvers();
     bench_price_adjustment();
     bench_allocation();
+    bench_telemetry();
     bench_minidb();
 }

@@ -1,0 +1,107 @@
+//! Trace validator: proves a JSONL telemetry trace is well-formed.
+//!
+//! Usage: `check_trace <trace.jsonl> [--require kind1,kind2,...]`
+//!
+//! For every line the validator runs the strict parser
+//! ([`qa_simnet::telemetry::TraceRecord::parse_line`]) and then re-dumps
+//! the record, requiring byte equality with the input line — any schema
+//! drift between the emitters and the parser fails CI here, not in a
+//! downstream consumer. It also checks timestamps are monotone
+//! non-decreasing (traces are emitted in event-loop order) and, with
+//! `--require`, that every listed event kind actually occurs. Exits
+//! non-zero on any violation, printing the first offending line.
+
+use qa_simnet::json::ToJson;
+use qa_simnet::telemetry::TraceRecord;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn run(path: &str, required: &[String]) -> Result<BTreeMap<String, u64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut last_t = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            return Err(format!("{path}:{lineno}: empty line"));
+        }
+        let record = TraceRecord::parse_line(line)
+            .map_err(|e| format!("{path}:{lineno}: parse error: {e}"))?;
+        let redumped = record.to_json().dump();
+        if redumped != line {
+            return Err(format!(
+                "{path}:{lineno}: not canonical\n  input:  {line}\n  redump: {redumped}"
+            ));
+        }
+        if record.t_us < last_t {
+            return Err(format!(
+                "{path}:{lineno}: timestamp regression {} -> {}",
+                last_t, record.t_us
+            ));
+        }
+        last_t = record.t_us;
+        *counts.entry(record.event.kind().to_string()).or_insert(0) += 1;
+    }
+    if counts.is_empty() {
+        return Err(format!("{path}: trace is empty"));
+    }
+    for kind in required {
+        if !counts.contains_key(kind) {
+            return Err(format!(
+                "{path}: required event kind '{kind}' never occurs (saw: {})",
+                counts.keys().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+    Ok(counts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--require" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--require needs a comma-separated kind list");
+                    return ExitCode::FAILURE;
+                }
+                required.extend(
+                    args[i + 1]
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.to_string()),
+                );
+                i += 2;
+            }
+            other if path.is_none() => {
+                path = Some(other.to_string());
+                i += 1;
+            }
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: check_trace <trace.jsonl> [--require kind1,kind2,...]");
+        return ExitCode::FAILURE;
+    };
+    match run(&path, &required) {
+        Ok(counts) => {
+            let total: u64 = counts.values().sum();
+            println!("{path}: {total} records OK");
+            for (kind, n) in &counts {
+                println!("  {kind}: {n}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check_trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

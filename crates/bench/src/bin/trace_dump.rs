@@ -1,0 +1,84 @@
+//! Telemetry trace dump: a seeded full-observability QA-NT replay.
+//!
+//! Runs [`qa_sim::run_trace_dump`] and writes two artifacts under
+//! `bench_results/`:
+//!
+//! * `trace_dump.jsonl` — every telemetry event of the run, one JSON
+//!   object per line. Sim-time timestamps and seeded randomness make this
+//!   file **byte-deterministic**: two runs at the same scale and seed are
+//!   identical (pinned by `tests/telemetry.rs`, validated in CI by
+//!   `scripts/check_trace.sh`).
+//! * `trace_dump_convergence.json` — run summary: outcome metrics, the
+//!   convergence report over per-node price trajectories, and the metrics
+//!   registry snapshot (wall-clock span timings — *not* deterministic).
+//!
+//! Scale via `QA_SCALE` (ci = 10 nodes / 20 s, full = 100 nodes / 120 s);
+//! seed via `QA_SEED` (default 2007).
+
+use qa_bench::{render_table, scale, write_json, Scale};
+use qa_sim::{run_trace_dump, TraceDumpSpec};
+use std::path::PathBuf;
+
+fn main() {
+    let seed = std::env::var("QA_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(2007);
+    let spec = match scale() {
+        Scale::Ci => TraceDumpSpec::ci(seed),
+        Scale::Full => TraceDumpSpec::full(seed),
+    };
+    let dump = run_trace_dump(&spec);
+
+    let dir = PathBuf::from("bench_results");
+    std::fs::create_dir_all(&dir).expect("create bench_results/");
+    let jsonl_path = dir.join("trace_dump.jsonl");
+    std::fs::write(&jsonl_path, &dump.jsonl).expect("write trace JSONL");
+
+    println!(
+        "Trace dump — QA-NT, seed {seed}, {} nodes, {} s horizon\n",
+        spec.config.num_nodes, spec.secs
+    );
+
+    // Event census.
+    let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for r in &dump.records {
+        *counts.entry(r.event.kind()).or_insert(0) += 1;
+    }
+    let rows: Vec<Vec<String>> = counts
+        .iter()
+        .map(|(k, v)| vec![k.to_string(), v.to_string()])
+        .collect();
+    println!("{}", render_table(&["event", "count"], &rows));
+
+    // Convergence digest.
+    let report = &dump.report;
+    println!(
+        "periods = {}, nodes = {}, price adjustments = {}, rejections = {}, \
+         dropped = {}, crashes = {}",
+        report.periods,
+        report.nodes,
+        report.price_adjustments,
+        report.rejections,
+        report.dropped_messages,
+        report.crashes
+    );
+    for c in &report.per_class {
+        let settled = match c.stabilized_at_period {
+            Some(p) => format!("stabilized at period {p}"),
+            None => "still moving in the final period".to_string(),
+        };
+        println!(
+            "  class {}: {} adjustments, final mean price {:.4}, {} (tol {})",
+            c.class, c.adjustments, c.final_mean_price, settled, spec.convergence_tol
+        );
+    }
+
+    println!(
+        "\nwrote {} ({} records)",
+        jsonl_path.display(),
+        dump.records.len()
+    );
+    let path = write_json("trace_dump_convergence", &dump.summary).expect("write summary");
+    println!("wrote {}", path.display());
+}

@@ -32,6 +32,7 @@ use crate::node::{
 };
 use crate::setup::ClusterSpec;
 use qa_core::QantConfig;
+use qa_simnet::telemetry::{Telemetry, TelemetryEvent};
 use qa_simnet::{DetRng, FaultPlan, SimDuration};
 use qa_workload::ClassId;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -93,6 +94,11 @@ pub struct ClusterConfig {
     /// Crash schedule: `(node, delay after start)`. Crashed nodes drop out
     /// of the candidate set; the run finishes without them.
     pub crashes: Vec<(usize, Duration)>,
+    /// Telemetry sink observing the run ([`Telemetry::disabled`] by
+    /// default). Market events carry per-node labels; timestamps are
+    /// wall-clock microseconds since experiment start, so — unlike the
+    /// simulator's traces — cluster traces are not byte-deterministic.
+    pub telemetry: Telemetry,
 }
 
 impl ClusterConfig {
@@ -109,6 +115,7 @@ impl ClusterConfig {
             reply_timeout: Duration::from_secs(60),
             faults: FaultPlan::none(),
             crashes: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -131,6 +138,7 @@ impl ClusterConfig {
             reply_timeout: Duration::from_secs(60),
             faults: FaultPlan::none(),
             crashes: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -200,11 +208,27 @@ struct Shared {
     /// Nodes known to be gone; maintained cooperatively by whoever
     /// observes a disconnected channel (and by the crash injector).
     dead: Vec<AtomicBool>,
+    /// Driver-side telemetry (query lifecycle, crashes, lost sends).
+    telemetry: Telemetry,
+    /// Wall-clock origin for trace timestamps.
+    epoch: Instant,
 }
 
 impl Shared {
     fn mark_dead(&self, node: usize) {
         self.dead[node].store(true, Ordering::Relaxed);
+    }
+
+    /// Stamps the telemetry clock with wall-clock-µs-since-start and
+    /// returns the handle, so call sites read
+    /// `shared.telemetry().emit(..)`. One atomic store when enabled, one
+    /// `Option` branch when not.
+    fn telemetry(&self) -> &Telemetry {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .set_now_us(self.epoch.elapsed().as_micros() as u64);
+        }
+        &self.telemetry
     }
 
     fn live_candidates(&self, capable: &[usize]) -> Vec<usize> {
@@ -257,6 +281,7 @@ pub fn run_experiment(
                 qant_cfg,
                 config.faults.link(n).clone(),
                 epoch,
+                config.telemetry.clone(),
             )
         })
         .collect();
@@ -270,6 +295,8 @@ pub fn run_experiment(
         dead: (0..spec.num_nodes)
             .map(|_| AtomicBool::new(false))
             .collect(),
+        telemetry: config.telemetry.clone(),
+        epoch,
     });
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -278,11 +305,17 @@ pub fn run_experiment(
     let ticker = {
         let stop = Arc::clone(&stop);
         let senders = senders.clone();
+        let shared = Arc::clone(&shared);
         let period = config.period;
         let ticking = matches!(config.mechanism, ClusterMechanism::QaNt);
         std::thread::spawn(move || {
+            let mut index = 0u64;
             while ticking && !stop.load(Ordering::Relaxed) {
                 std::thread::sleep(period);
+                index += 1;
+                shared
+                    .telemetry()
+                    .emit(|| TelemetryEvent::PeriodStarted { index });
                 for s in &senders {
                     let _ = s.send(NodeMsg::PeriodTick);
                 }
@@ -309,6 +342,9 @@ pub fn run_experiment(
                 }
                 if node < shared.senders.len() {
                     shared.mark_dead(node);
+                    shared
+                        .telemetry()
+                        .emit(|| TelemetryEvent::NodeCrashed { node: node as u32 });
                     let _ = shared.senders[node].send(NodeMsg::Shutdown);
                 }
             }
@@ -425,6 +461,7 @@ fn poll_round(
     if live.is_empty() {
         return Err(ClusterError::NoCandidates);
     }
+    let _span = shared.telemetry.span("cluster.poll_round");
     let deadline = Instant::now() + shared.reply_timeout;
     match shared.mechanism {
         ClusterMechanism::Greedy => {
@@ -437,6 +474,10 @@ fn poll_round(
                 };
                 if shared.senders[n].send(msg).is_err() {
                     shared.mark_dead(n);
+                    shared.telemetry().emit(|| TelemetryEvent::MessageDropped {
+                        node: n as u32,
+                        context: "estimate_send".to_string(),
+                    });
                 } else {
                     sent += 1;
                 }
@@ -465,6 +506,10 @@ fn poll_round(
                 };
                 if shared.senders[n].send(msg).is_err() {
                     shared.mark_dead(n);
+                    shared.telemetry().emit(|| TelemetryEvent::MessageDropped {
+                        node: n as u32,
+                        context: "offer_send".to_string(),
+                    });
                 } else {
                     sent += 1;
                 }
@@ -499,14 +544,21 @@ fn run_one(
     shared: &Shared,
 ) -> QueryOutcome {
     let issued = Instant::now();
-    let fail = |err: ClusterError, retries: u32| QueryOutcome {
-        query: idx,
-        class: class.0,
-        node: None,
-        assign_ms: issued.elapsed().as_secs_f64() * 1e3,
-        total_ms: issued.elapsed().as_secs_f64() * 1e3,
-        retries,
-        error: Some(err.to_string()),
+    let fail = |err: ClusterError, retries: u32| {
+        shared.telemetry().emit(|| TelemetryEvent::QueryUnserved {
+            query: idx as u64,
+            class: class.0,
+            retries,
+        });
+        QueryOutcome {
+            query: idx,
+            class: class.0,
+            node: None,
+            assign_ms: issued.elapsed().as_secs_f64() * 1e3,
+            total_ms: issued.elapsed().as_secs_f64() * 1e3,
+            retries,
+            error: Some(err.to_string()),
+        }
     };
 
     let mut retries = 0u32;
@@ -528,6 +580,12 @@ fn run_one(
             }
         };
         let assign_ms = issued.elapsed().as_secs_f64() * 1e3;
+        shared.telemetry().emit(|| TelemetryEvent::QueryAssigned {
+            query: idx as u64,
+            class: class.0,
+            node: chosen as u32,
+            retries,
+        });
 
         // Execution. A disconnect means the chosen node crashed with our
         // query: drop it from the candidate set and re-allocate (the
@@ -540,6 +598,10 @@ fn run_one(
         };
         if shared.senders[chosen].send(msg).is_err() {
             shared.mark_dead(chosen);
+            shared.telemetry().emit(|| TelemetryEvent::MessageDropped {
+                node: chosen as u32,
+                context: "execute_send".to_string(),
+            });
             retries += 1;
             if retries > shared.max_retries {
                 return fail(ClusterError::RetriesExhausted { retries }, retries);
@@ -548,15 +610,22 @@ fn run_one(
         }
         match rx.recv_timeout(EXEC_TIMEOUT) {
             Ok(r) => {
+                let total_ms = issued.elapsed().as_secs_f64() * 1e3;
+                shared.telemetry().emit(|| TelemetryEvent::QueryCompleted {
+                    query: idx as u64,
+                    class: class.0,
+                    node: chosen as u32,
+                    response_ms: total_ms,
+                });
                 return QueryOutcome {
                     query: idx,
                     class: class.0,
                     node: Some(chosen),
                     assign_ms,
-                    total_ms: issued.elapsed().as_secs_f64() * 1e3,
+                    total_ms,
                     retries,
                     error: r.error,
-                }
+                };
             }
             Err(RecvTimeoutError::Disconnected) => {
                 shared.mark_dead(chosen);
@@ -715,6 +784,48 @@ mod tests {
             r.completion_rate >= 0.95,
             "QA-NT must ride out 20% negotiation loss: {}",
             r.completion_rate
+        );
+    }
+
+    #[test]
+    fn telemetry_captures_cluster_market_and_query_lifecycle() {
+        let s = spec();
+        let mut cfg = ClusterConfig::ci_scale(ClusterMechanism::QaNt, 29);
+        cfg.num_queries = 20;
+        cfg.reply_timeout = Duration::from_secs(5);
+        cfg.crashes = vec![(0, Duration::from_millis(30))];
+        let (telemetry, buffer) = Telemetry::buffered();
+        cfg.telemetry = telemetry.clone();
+        let r = run_experiment(&s, &cfg).expect("healthy spec");
+        assert_eq!(r.outcomes.len(), cfg.num_queries);
+
+        let records = buffer.records();
+        let kinds: std::collections::BTreeSet<&str> =
+            records.iter().map(|r| r.event.kind()).collect();
+        for expected in [
+            "supply_computed",
+            "query_assigned",
+            "query_completed",
+            "node_crashed",
+            "period_started",
+        ] {
+            assert!(kinds.contains(expected), "missing {expected}: {kinds:?}");
+        }
+        // Market events carry the emitting node's label; the crash event
+        // names the scheduled victim.
+        assert!(records.iter().any(
+            |rec| matches!(rec.event, TelemetryEvent::SupplyComputed { node, .. } if node > 0)
+        ));
+        assert!(records
+            .iter()
+            .any(|rec| matches!(rec.event, TelemetryEvent::NodeCrashed { node: 0 })));
+        // Negotiation rounds were timed into the registry.
+        let snapshot = telemetry.registry().expect("enabled handle").snapshot();
+        let stats = snapshot.get("stats").expect("stats section");
+        assert!(
+            stats.get("span.cluster.poll_round_us").is_some(),
+            "poll_round span missing: {}",
+            snapshot.dump()
         );
     }
 

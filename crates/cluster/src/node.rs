@@ -13,6 +13,7 @@
 use crate::setup::ClusterSpec;
 use qa_core::{PlanHistoryEstimator, QantConfig, QantNode};
 use qa_minidb::Database;
+use qa_simnet::telemetry::{Telemetry, TelemetryEvent};
 use qa_simnet::{DetRng, LinkFaults, SimTime};
 use qa_workload::ClassId;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -128,6 +129,11 @@ struct NodeWorker {
     /// Wall-clock origin mapping outage windows (virtual [`SimTime`]
     /// offsets) onto this run's elapsed time.
     epoch: Instant,
+    /// Telemetry handle labelled with this node's index. The shared clock
+    /// is stamped from `epoch.elapsed()` per message, so cluster traces
+    /// carry wall-clock timestamps (and are *not* byte-deterministic,
+    /// unlike the simulator's).
+    telemetry: Telemetry,
 }
 
 /// Spawns a node thread: loads its share of the data, optionally arms the
@@ -146,6 +152,7 @@ pub fn spawn_node(
         qant_config,
         LinkFaults::none(),
         Instant::now(),
+        Telemetry::disabled(),
     )
 }
 
@@ -157,6 +164,12 @@ pub fn spawn_node(
 /// deployment where only the chatty estimate traffic crossed the flaky
 /// wireless link. The fault stream is seeded from `data_seed` and the node
 /// index, so a run is reproducible given its spec and seed.
+///
+/// `telemetry` observes the node's market events and reply losses; it is
+/// relabelled with the node index, and its clock is stamped from
+/// `epoch.elapsed()` (wall-clock) per message. Pass
+/// [`Telemetry::disabled`] for a silent node.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_node_with_faults(
     spec: &ClusterSpec,
     node: usize,
@@ -164,6 +177,7 @@ pub fn spawn_node_with_faults(
     qant_config: Option<QantConfig>,
     faults: LinkFaults,
     epoch: Instant,
+    telemetry: Telemetry,
 ) -> NodeHandle {
     let (tx, rx) = channel();
     let statements = spec.node_statements(node);
@@ -184,9 +198,12 @@ pub fn spawn_node_with_faults(
     let slowdown = spec.slowdown[node];
     let link_latency = Duration::from_micros(spec.link_latency_us[node]);
     let num_classes = spec.classes.len();
+    let telemetry = telemetry.with_label(node as u32);
     let qant = qant_config.map(|cfg| {
         let mut rng = DetRng::seed_from_u64(data_seed ^ (node as u64).wrapping_mul(0x9E37));
-        QantNode::with_jitter(num_classes, cfg, &mut rng)
+        let mut q = QantNode::with_jitter(num_classes, cfg, &mut rng);
+        q.set_telemetry(telemetry.clone());
+        q
     });
 
     let fault_rng =
@@ -219,6 +236,7 @@ pub fn spawn_node_with_faults(
                 faults,
                 fault_rng,
                 epoch,
+                telemetry,
             };
             worker.init_market();
             worker.run();
@@ -241,6 +259,8 @@ impl NodeWorker {
     /// units, not milliseconds, and a cold market would reject everything
     /// until the first executions land.
     fn init_market(&mut self) {
+        self.telemetry
+            .set_now_us(self.epoch.elapsed().as_micros() as u64);
         let warmups: Vec<String> = self
             .spec_classes
             .iter()
@@ -317,8 +337,19 @@ impl NodeWorker {
         Duration::from_micros(self.faults.sample_jitter(&mut self.fault_rng).as_micros())
     }
 
+    /// Emits a [`TelemetryEvent::MessageDropped`] for a fault-eaten reply.
+    fn note_reply_dropped(&self, context: &'static str) {
+        let telemetry = &self.telemetry;
+        telemetry.emit(|| TelemetryEvent::MessageDropped {
+            node: telemetry.label(),
+            context: context.to_string(),
+        });
+    }
+
     fn run(&mut self) {
         while let Ok(msg) = self.inbox.recv() {
+            self.telemetry
+                .set_now_us(self.epoch.elapsed().as_micros() as u64);
             // One-way link latency before any reply leaves the node.
             match msg {
                 NodeMsg::Estimate { sql, reply } => {
@@ -331,6 +362,8 @@ impl NodeWorker {
                             node: self.id,
                             exec_ms,
                         });
+                    } else {
+                        self.note_reply_dropped("estimate_reply");
                     }
                 }
                 NodeMsg::CallForOffers { class, sql, reply } => {
@@ -350,6 +383,8 @@ impl NodeWorker {
                             offered,
                             completion_ms,
                         });
+                    } else {
+                        self.note_reply_dropped("offer_reply");
                     }
                 }
                 NodeMsg::Execute { sql, class, reply } => {
@@ -471,7 +506,15 @@ mod tests {
         let s = spec();
         let class = &s.classes[0];
         let node = s.capable_nodes(class.id)[0];
-        let h = spawn_node_with_faults(&s, node, 99, None, LinkFaults::lossy(1.0), Instant::now());
+        let h = spawn_node_with_faults(
+            &s,
+            node,
+            99,
+            None,
+            LinkFaults::lossy(1.0),
+            Instant::now(),
+            Telemetry::disabled(),
+        );
         let sql = class.instantiate(100);
 
         // Negotiation reply is dropped: the reply sender is discarded, so

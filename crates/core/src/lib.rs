@@ -37,6 +37,7 @@ pub mod qant;
 /// use it too; re-exported here as the canonical entry point for the
 /// upper layers — see DESIGN.md, "Hermetic build").
 pub use qa_simnet::json;
+pub use qa_simnet::telemetry;
 
 pub use bnqrd::BnqrdCoordinator;
 pub use client::{choose_best_offer, RoundRobinState, TwoProbesChooser};

@@ -28,6 +28,7 @@
 //! overload-control mechanism).
 
 use qa_economics::{NonTatonnementPricer, PriceVector, PricerConfig, QuantityVector};
+use qa_simnet::telemetry::{Telemetry, TelemetryEvent};
 use qa_simnet::{DetRng, SimDuration};
 use qa_workload::ClassId;
 
@@ -87,6 +88,8 @@ pub struct QantNode {
     /// The node's per-class execution times used to build the supply set
     /// (refreshed each period — estimates may improve over time).
     unit_costs_ms: Vec<Option<f64>>,
+    /// Market-event sink (disabled by default: one branch per emit site).
+    telemetry: Telemetry,
 }
 
 impl QantNode {
@@ -99,6 +102,7 @@ impl QantNode {
             supply: None,
             carry: vec![0.0; k],
             unit_costs_ms: vec![None; k],
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -134,7 +138,17 @@ impl QantNode {
             supply: None,
             carry: vec![0.0; k],
             unit_costs_ms: vec![None; k],
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle (label it with this node's id via
+    /// [`Telemetry::with_label`]); supply solves, request rejections and
+    /// the pricer's adjustments emit through it. Install *before* the
+    /// first `begin_period` to capture the initial supply solve.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.pricer.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Number of classes.
@@ -187,6 +201,7 @@ impl QantNode {
     ) {
         assert_eq!(unit_costs_ms.len(), self.num_classes());
         assert!(budget_ms.is_finite() && budget_ms >= 0.0);
+        let _span = self.telemetry.span("qant.supply_solve");
         self.unit_costs_ms = unit_costs_ms;
         let period_ms = budget_ms;
 
@@ -226,6 +241,12 @@ impl QantNode {
             self.carry[k] = (alloc - units as f64).clamp(0.0, 0.999_999);
             remaining = (remaining - units as f64 * t).max(0.0);
         }
+        let telemetry = &self.telemetry;
+        telemetry.emit(|| TelemetryEvent::SupplyComputed {
+            node: telemetry.label(),
+            budget_ms,
+            supply: supply.as_slice().to_vec(),
+        });
         self.supply = Some(supply);
     }
 
@@ -261,7 +282,15 @@ impl QantNode {
         if !available {
             self.pricer.on_rejection(k);
         }
-        available || self.threshold_bypass()
+        let offered = available || self.threshold_bypass();
+        if !offered {
+            let telemetry = &self.telemetry;
+            telemetry.emit(|| TelemetryEvent::RequestRejected {
+                node: telemetry.label(),
+                class: k as u32,
+            });
+        }
+        offered
     }
 
     /// Step 6: the node's offer was accepted — consume one supply unit
@@ -275,6 +304,7 @@ impl QantNode {
     /// Steps 12–14: the period elapsed; leftover supply lowers prices.
     /// Call `begin_period` afterwards to start the next round.
     pub fn end_period(&mut self) {
+        let _span = self.telemetry.span("qant.price_update");
         let leftover = self
             .supply
             .take()
@@ -415,6 +445,40 @@ mod tests {
         let mut n = QantNode::new(3, QantConfig::default());
         n.end_period(); // no supply yet: all-zero leftover, prices unchanged
         assert_eq!(n.prices().get(0), 1.0);
+    }
+
+    #[test]
+    fn node_emits_supply_and_rejection_events() {
+        use qa_simnet::Telemetry;
+        let (tel, buf) = Telemetry::buffered();
+        let mut n = QantNode::new(2, QantConfig::default());
+        n.set_telemetry(tel.with_label(4));
+        n.begin_period(vec![Some(400.0), Some(100.0)], None);
+        let _ = n.on_request(ClassId(0)); // q1 supply is 0: refused
+        let kinds: Vec<&str> = buf.records().iter().map(|r| r.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec!["supply_computed", "price_adjusted", "request_rejected"]
+        );
+        match &buf.records()[0].event {
+            TelemetryEvent::SupplyComputed {
+                node,
+                budget_ms,
+                supply,
+            } => {
+                assert_eq!(*node, 4);
+                assert_eq!(*budget_ms, 500.0);
+                assert_eq!(supply, &vec![0, 5]);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // Spans landed in the registry, not the trace.
+        let snap = tel.registry().unwrap().snapshot();
+        assert!(snap
+            .get("stats")
+            .unwrap()
+            .get("span.qant.supply_solve_us")
+            .is_some());
     }
 
     #[test]

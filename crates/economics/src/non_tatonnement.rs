@@ -16,6 +16,7 @@
 //! threaded cluster (`qa-cluster`).
 
 use crate::vectors::{PriceVector, QuantityVector};
+use qa_simnet::telemetry::{PriceReason, Telemetry, TelemetryEvent};
 
 /// Tuning knobs of the price dynamics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +78,10 @@ pub struct NonTatonnementPricer {
     prices: PriceVector,
     /// Rejections recorded this period, per class (diagnostics).
     rejections: Vec<u64>,
+    /// Event sink for `PriceAdjusted` telemetry; disabled (a single
+    /// branch per adjustment) unless [`NonTatonnementPricer::set_telemetry`]
+    /// installs a labeled handle.
+    telemetry: Telemetry,
 }
 
 impl NonTatonnementPricer {
@@ -92,7 +97,15 @@ impl NonTatonnementPricer {
             prices,
             rejections: vec![0; k],
             config,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle (label it with the owning node id via
+    /// [`Telemetry::with_label`] first); price adjustments emit
+    /// [`TelemetryEvent::PriceAdjusted`] through it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Rescales all prices so their geometric mean is 1.
@@ -113,12 +126,24 @@ impl NonTatonnementPricer {
             return;
         }
         for kk in 0..k {
-            let p = self.prices.get(kk) / scale;
+            let old = self.prices.get(kk);
+            let p = old / scale;
             self.prices.set(
                 kk,
                 p.clamp(self.config.price_floor, self.config.price_ceiling),
                 self.config.price_floor,
             );
+            let new = self.prices.get(kk);
+            if new != old {
+                let telemetry = &self.telemetry;
+                telemetry.emit(|| TelemetryEvent::PriceAdjusted {
+                    node: telemetry.label(),
+                    class: kk as u32,
+                    old,
+                    new,
+                    reason: PriceReason::Renormalize,
+                });
+            }
         }
     }
 }
@@ -131,6 +156,7 @@ impl NonTatonnementPricer {
             prices: PriceVector::uniform(k, config.initial_price),
             rejections: vec![0; k],
             config,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -156,6 +182,15 @@ impl NonTatonnementPricer {
         let raised = (p * (1.0 + self.config.lambda)).min(self.config.price_ceiling);
         self.prices.set(k, raised, self.config.price_floor);
         self.rejections[k] += 1;
+        let new = self.prices.get(k);
+        let telemetry = &self.telemetry;
+        telemetry.emit(|| TelemetryEvent::PriceAdjusted {
+            node: telemetry.label(),
+            class: k as u32,
+            old: p,
+            new,
+            reason: PriceReason::Rejection,
+        });
     }
 
     /// Steps 12–14 of QA-NT: the period ended with `leftover` unsold supply;
@@ -176,6 +211,15 @@ impl NonTatonnementPricer {
                     (p * factor).max(self.config.price_floor),
                     self.config.price_floor,
                 );
+                let new = self.prices.get(k);
+                let telemetry = &self.telemetry;
+                telemetry.emit(|| TelemetryEvent::PriceAdjusted {
+                    node: telemetry.label(),
+                    class: k as u32,
+                    old: p,
+                    new,
+                    reason: PriceReason::PeriodDecay,
+                });
             }
         }
         self.rejections.iter_mut().for_each(|r| *r = 0);
@@ -330,6 +374,38 @@ mod tests {
         assert!(!trade_exhausts_pair(&qv(&[0, 2]), &qv(&[0, 3]), &set));
         // Buyer wants nothing: trivially exhausted.
         assert!(trade_exhausts_pair(&qv(&[0, 0]), &qv(&[0, 0]), &set));
+    }
+
+    #[test]
+    fn adjustments_emit_labeled_telemetry() {
+        let (tel, buf) = Telemetry::buffered();
+        let mut p = NonTatonnementPricer::new(2, PricerConfig::default());
+        p.set_telemetry(tel.with_label(7));
+        p.on_rejection(0);
+        p.on_period_end(&qv(&[0, 2]));
+        let records = buf.records();
+        assert_eq!(records.len(), 2);
+        match &records[0].event {
+            TelemetryEvent::PriceAdjusted {
+                node,
+                class,
+                old,
+                new,
+                reason,
+            } => {
+                assert_eq!((*node, *class), (7, 0));
+                assert_eq!(*reason, PriceReason::Rejection);
+                assert!((new / old - 1.1).abs() < 1e-12);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        match &records[1].event {
+            TelemetryEvent::PriceAdjusted { class, reason, .. } => {
+                assert_eq!(*class, 1);
+                assert_eq!(*reason, PriceReason::PeriodDecay);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ use qa_core::{
     choose_best_offer, BnqrdCoordinator, MarkovAllocator, MechanismKind, Offer, RoundRobinState,
     TwoProbesChooser,
 };
+use qa_simnet::telemetry::{Telemetry, TelemetryEvent};
 use qa_simnet::{DetRng, EventQueue, FaultPlan, SimDuration, SimTime};
 use qa_workload::{ClassId, NodeId, Trace};
 
@@ -146,12 +147,28 @@ pub struct Federation<'a> {
     /// Dedicated stream for fault draws; never touched while `faults` is
     /// the disabled plan, keeping fault-free runs bit-identical.
     fault_rng: DetRng,
+    /// Structured event sink; disabled by default (one branch per emit
+    /// site). The run loop stamps sim-time on its shared clock, so trace
+    /// timestamps are exactly as deterministic as the simulation itself.
+    telemetry: Telemetry,
 }
 
 impl<'a> Federation<'a> {
     /// Builds a run. The trace is needed at build time for sizing and, for
     /// the Markov allocator, its static per-class rates.
     pub fn new(scenario: &'a Scenario, mechanism: MechanismKind, trace: &Trace) -> Federation<'a> {
+        Federation::with_telemetry(scenario, mechanism, trace, Telemetry::disabled())
+    }
+
+    /// [`Federation::new`] with a telemetry handle. Must be used (rather
+    /// than installing a sink later) to capture the market's t=0 supply
+    /// solves: QA-NT nodes begin their first period during construction.
+    pub fn with_telemetry(
+        scenario: &'a Scenario,
+        mechanism: MechanismKind,
+        trace: &Trace,
+        telemetry: Telemetry,
+    ) -> Federation<'a> {
         let cfg = &scenario.config;
         let nodes: Vec<NodeState> = scenario
             .hardware
@@ -166,6 +183,7 @@ impl<'a> Federation<'a> {
                     nodes: (0..cfg.num_nodes)
                         .map(|i| {
                             let mut n = qa_core::QantNode::with_jitter(k, cfg.qant, &mut price_rng);
+                            n.set_telemetry(telemetry.with_label(i as u32));
                             n.begin_period(scenario.exec_times_ms[i].clone(), None);
                             Some(n)
                         })
@@ -210,6 +228,7 @@ impl<'a> Federation<'a> {
             recoveries: Vec::new(),
             faults: FaultPlan::none(),
             fault_rng: DetRng::seed_from_u64(cfg.seed ^ mechanism_salt(mechanism) ^ FAULT_SALT),
+            telemetry,
         }
     }
 
@@ -284,6 +303,7 @@ impl<'a> Federation<'a> {
 
         while let Some(ev) = queue.pop() {
             let now = ev.time;
+            self.telemetry.set_now_us(now.as_micros());
             match ev.payload {
                 Event::Arrival { idx, retries } => {
                     self.attempts[idx] = retries;
@@ -295,12 +315,23 @@ impl<'a> Federation<'a> {
                             delay,
                         } => {
                             self.metrics.assign_latency.add(delay.as_millis_f64());
+                            self.telemetry.emit(|| TelemetryEvent::QueryAssigned {
+                                query: idx as u64,
+                                class: q.class.0,
+                                node: node.0,
+                                retries,
+                            });
                             let gen = self.assign_gen[idx];
                             queue.schedule(finish, Event::Completion { idx, node, gen });
                         }
                         Allocation::NoOffers => {
                             if retries >= MAX_RETRIES {
                                 self.metrics.unserved += 1;
+                                self.telemetry.emit(|| TelemetryEvent::QueryUnserved {
+                                    query: idx as u64,
+                                    class: q.class.0,
+                                    retries,
+                                });
                             } else {
                                 self.metrics.retries += 1;
                                 let next = SimTime::from_micros(
@@ -317,6 +348,11 @@ impl<'a> Federation<'a> {
                         }
                         Allocation::Impossible => {
                             self.metrics.unserved += 1;
+                            self.telemetry.emit(|| TelemetryEvent::QueryUnserved {
+                                query: idx as u64,
+                                class: q.class.0,
+                                retries,
+                            });
                         }
                     }
                 }
@@ -331,6 +367,12 @@ impl<'a> Federation<'a> {
                     let q = trace.events()[idx];
                     self.metrics
                         .record_completion_from(q.class, q.origin, q.at, now);
+                    self.telemetry.emit(|| TelemetryEvent::QueryCompleted {
+                        query: idx as u64,
+                        class: q.class.0,
+                        node: node.0,
+                        response_ms: now.saturating_since(q.at).as_millis_f64(),
+                    });
                     if let MechState::Bnqrd { coordinator } = &mut self.state {
                         let ref_cost = self
                             .scenario
@@ -342,6 +384,10 @@ impl<'a> Federation<'a> {
                     }
                 }
                 Event::PeriodStart => {
+                    self.telemetry.emit(|| TelemetryEvent::PeriodStarted {
+                        index: now.period_index(cfg_period),
+                    });
+                    let _span = self.telemetry.span("federation.period_update");
                     match &mut self.state {
                         MechState::QaNt { nodes } => {
                             // Sellers have no reason to reserve more supply
@@ -402,6 +448,8 @@ impl<'a> Federation<'a> {
                 }
                 Event::Kill { node } => {
                     self.nodes[node.index()].kill();
+                    self.telemetry
+                        .emit(|| TelemetryEvent::NodeCrashed { node: node.0 });
                     // §2.2 semantics for crash victims: whatever the dead
                     // node owned re-enters the next period's demand vector
                     // as a fresh arrival, rather than silently vanishing.
@@ -418,6 +466,11 @@ impl<'a> Federation<'a> {
                         let tried = self.attempts[q];
                         if tried >= MAX_RETRIES {
                             self.metrics.unserved += 1;
+                            self.telemetry.emit(|| TelemetryEvent::QueryUnserved {
+                                query: q as u64,
+                                class: trace.events()[q].class.0,
+                                retries: tried,
+                            });
                         } else {
                             self.metrics.retries += 1;
                             let next = SimTime::from_micros(
@@ -435,6 +488,8 @@ impl<'a> Federation<'a> {
                 }
                 Event::Recover { node } => {
                     self.nodes[node.index()].revive(now);
+                    self.telemetry
+                        .emit(|| TelemetryEvent::NodeRecovered { node: node.0 });
                 }
             }
         }
@@ -451,6 +506,7 @@ impl<'a> Federation<'a> {
 
     /// Runs the allocation protocol for one query at `now`.
     fn allocate(&mut self, now: SimTime, class: ClassId, origin: NodeId, idx: usize) -> Allocation {
+        let _span = self.telemetry.span("federation.allocate");
         let link = self.scenario.config.link;
         let capable: Vec<NodeId> = self.scenario.capable[class.index()]
             .iter()
@@ -493,6 +549,10 @@ impl<'a> Federation<'a> {
                     v.push(n);
                 } else {
                     self.metrics.lost_messages += 1;
+                    self.telemetry.emit(|| TelemetryEvent::MessageDropped {
+                        node: n.0,
+                        context: "poll".to_string(),
+                    });
                 }
             }
             v
@@ -623,6 +683,10 @@ impl<'a> Federation<'a> {
                 .delivers(choice.index(), now, &mut self.fault_rng)
             {
                 self.metrics.lost_messages += 1;
+                self.telemetry.emit(|| TelemetryEvent::MessageDropped {
+                    node: choice.0,
+                    context: "assign".to_string(),
+                });
                 return Allocation::NoOffers;
             }
             delay += self
@@ -914,6 +978,58 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_captures_market_and_query_lifecycle() {
+        let s = scenario();
+        let t = trace_for(&s, 10, 0.8);
+        let (tel, buf) = Telemetry::buffered();
+        let mut f = Federation::with_telemetry(&s, MechanismKind::QaNt, &t, tel);
+        f.kill_node_at(NodeId(0), SimTime::from_secs(3));
+        f.recover_node_at(NodeId(0), SimTime::from_secs(6));
+        let out = f.run(&t);
+        assert!(out.metrics.completed > 0);
+        let records = buf.records();
+        let kinds: std::collections::BTreeSet<&str> =
+            records.iter().map(|r| r.event.kind()).collect();
+        for expected in [
+            "supply_computed",
+            "price_adjusted",
+            "query_assigned",
+            "query_completed",
+            "period_started",
+            "node_crashed",
+            "node_recovered",
+        ] {
+            assert!(kinds.contains(expected), "missing {expected}: {kinds:?}");
+        }
+        // Timestamps follow the event loop's sim-clock: non-decreasing.
+        assert!(records.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+        // The t=0 supply solves of all 10 nodes were captured (telemetry
+        // was installed before construction's first begin_period).
+        let t0_supplies = records
+            .iter()
+            .filter(|r| r.t_us == 0 && matches!(r.event, TelemetryEvent::SupplyComputed { .. }))
+            .count();
+        assert_eq!(t0_supplies, s.config.num_nodes);
+    }
+
+    #[test]
+    fn telemetry_enabled_run_matches_disabled_run() {
+        // Observing the market must not change it.
+        let s = scenario();
+        let t = trace_for(&s, 10, 0.6);
+        let plain = run(&s, MechanismKind::QaNt, &t);
+        let (tel, buf) = Telemetry::buffered();
+        let traced = Federation::with_telemetry(&s, MechanismKind::QaNt, &t, tel).run(&t);
+        assert!(!buf.is_empty());
+        assert_eq!(
+            plain.metrics.mean_response_ms(),
+            traced.metrics.mean_response_ms()
+        );
+        assert_eq!(plain.metrics.messages, traced.metrics.messages);
+        assert_eq!(plain.metrics.completed, traced.metrics.completed);
+    }
+
+    #[test]
     fn impossible_class_counts_unserved() {
         let s = scenario();
         // Kill every Q2-capable node up front, then send Q2 queries.
@@ -938,11 +1054,14 @@ mod diag {
     use super::*;
     use crate::config::SimConfig;
     use crate::scenario::TwoClassParams;
+    use qa_simnet::telemetry::Severity;
     use qa_workload::arrival::{ArrivalProcess, SinusoidProcess};
 
     #[test]
     #[ignore]
     fn diagnose_overload() {
+        // Silent by default; set QA_TELEMETRY=stderr to see the report.
+        let tel = Telemetry::from_env();
         let frac: f64 = std::env::var("DIAG_FRAC")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -967,25 +1086,29 @@ mod diag {
         let mut arrivals = p1.generate(horizon, &mut rng);
         arrivals.extend(p2.generate(horizon, &mut rng));
         let t = Trace::from_arrivals(arrivals, s.config.num_nodes, &mut rng);
-        eprintln!(
-            "--- frac={frac} nodes={nodes} secs={secs} queries={}",
-            t.len()
-        );
+        tel.diag(Severity::Info, "sim.diag", || {
+            format!(
+                "overload sweep: frac={frac} nodes={nodes} secs={secs} queries={}",
+                t.len()
+            )
+        });
         for m in [MechanismKind::QaNt, MechanismKind::Greedy] {
             let f = Federation::new(&s, m, &t);
             // run inline to inspect node state afterwards
             let scenario = f.scenario;
             let out = f.run(&t);
             let _ = scenario;
-            eprintln!(
-                "{m}: completed={} retries={} mean={:?} q1={:?} q2={:?} busy={:.0}s",
-                out.metrics.completed,
-                out.metrics.retries,
-                out.metrics.mean_response_ms(),
-                out.metrics.mean_response_ms_of(ClassId(0)),
-                out.metrics.mean_response_ms_of(ClassId(1)),
-                out.total_busy.as_secs_f64()
-            );
+            tel.diag(Severity::Info, "sim.diag", || {
+                format!(
+                    "{m}: completed={} retries={} mean={:?} q1={:?} q2={:?} busy={:.0}s",
+                    out.metrics.completed,
+                    out.metrics.retries,
+                    out.metrics.mean_response_ms(),
+                    out.metrics.mean_response_ms_of(ClassId(0)),
+                    out.metrics.mean_response_ms_of(ClassId(1)),
+                    out.total_busy.as_secs_f64()
+                )
+            });
         }
     }
 }
@@ -994,6 +1117,7 @@ mod diag {
 mod diag_zipf {
     use super::*;
     use crate::config::SimConfig;
+    use qa_simnet::telemetry::Severity;
     use qa_workload::arrival::{ArrivalProcess, ZipfProcess};
 
     #[test]
@@ -1013,16 +1137,20 @@ mod diag_zipf {
         arrivals.sort_by_key(|(t, c)| (*t, c.index()));
         arrivals.truncate(10_000);
         let t = Trace::from_arrivals(arrivals, s.config.num_nodes, &mut rng);
+        // Silent by default; set QA_TELEMETRY=stderr to see the report.
+        let tel = Telemetry::from_env();
         for m in [MechanismKind::QaNt, MechanismKind::Greedy] {
             let out = Federation::new(&s, m, &t).run(&t);
-            eprintln!(
-                "{m}: completed={} retries={} mean={:?} exec@choice={:?} backlog@choice={:?}",
-                out.metrics.completed,
-                out.metrics.retries,
-                out.metrics.mean_response_ms(),
-                out.metrics.chosen_exec_ms.mean(),
-                out.metrics.chosen_backlog_ms.mean()
-            );
+            tel.diag(Severity::Info, "sim.diag_zipf", || {
+                format!(
+                    "{m}: completed={} retries={} mean={:?} exec@choice={:?} backlog@choice={:?}",
+                    out.metrics.completed,
+                    out.metrics.retries,
+                    out.metrics.mean_response_ms(),
+                    out.metrics.chosen_exec_ms.mean(),
+                    out.metrics.chosen_backlog_ms.mean()
+                )
+            });
         }
     }
 }

@@ -19,7 +19,9 @@
 //! * [`scenario`] — canned setups: the two-class sinusoid world of
 //!   Figures 4/5 and the Table-3 zipf world of Figure 6,
 //! * [`experiments`] — one function per figure, returning serializable
-//!   series for the bench harness.
+//!   series for the bench harness,
+//! * [`tracedump`] — seeded full-telemetry replay producing a
+//!   byte-deterministic JSONL market trace plus convergence diagnostics.
 
 pub mod config;
 pub mod experiments;
@@ -27,8 +29,10 @@ pub mod federation;
 pub mod metrics;
 pub mod node;
 pub mod scenario;
+pub mod tracedump;
 
 pub use config::SimConfig;
 pub use federation::{Federation, RunOutcome};
 pub use metrics::RunMetrics;
 pub use scenario::{Scenario, TwoClassParams};
+pub use tracedump::{run_trace_dump, TraceDump, TraceDumpSpec};

@@ -6,6 +6,7 @@
 //! respective response time of QA-NT."
 
 use qa_simnet::stats::{TimeSeries, Welford};
+use qa_simnet::telemetry::MetricsRegistry;
 use qa_simnet::{SimDuration, SimTime};
 use qa_workload::{ClassId, NodeId};
 
@@ -161,6 +162,33 @@ impl RunMetrics {
         }
     }
 
+    /// Publishes the run's aggregates into a telemetry
+    /// [`MetricsRegistry`] under the `sim.` prefix, so simulator results
+    /// land in the same snapshot as the telemetry layer's own spans.
+    pub fn publish_to(&self, registry: &MetricsRegistry) {
+        registry.counter("sim.completed").add(self.completed);
+        registry.counter("sim.unserved").add(self.unserved);
+        registry.counter("sim.retries").add(self.retries);
+        registry.counter("sim.messages").add(self.messages);
+        registry
+            .counter("sim.lost_messages")
+            .add(self.lost_messages);
+        registry.welford("sim.response_ms").merge(&self.response);
+        registry
+            .welford("sim.assign_latency_ms")
+            .merge(&self.assign_latency);
+        registry
+            .welford("sim.chosen_exec_ms")
+            .merge(&self.chosen_exec_ms);
+        registry
+            .welford("sim.chosen_backlog_ms")
+            .merge(&self.chosen_backlog_ms);
+        registry.gauge("sim.service_rate").set(self.service_rate());
+        if let Some(j) = self.origin_fairness() {
+            registry.gauge("sim.origin_fairness").set(j);
+        }
+    }
+
     /// Fraction of arrivals that were served.
     pub fn service_rate(&self) -> f64 {
         let total = self.completed + self.unserved;
@@ -296,5 +324,82 @@ mod tests {
             SimTime::from_millis(1),
         );
         assert_eq!(m.origin_fairness(), None);
+    }
+
+    #[test]
+    fn origin_fairness_all_zero_means_is_perfectly_fair() {
+        // Instantaneous completions (0 ms) from two origins: the Jain
+        // formula's denominator is 0, handled as perfectly even.
+        let mut m = metrics();
+        m.record_completion_from(ClassId(0), NodeId(0), SimTime::ZERO, SimTime::ZERO);
+        m.record_completion_from(ClassId(0), NodeId(1), SimTime::ZERO, SimTime::ZERO);
+        assert_eq!(m.origin_fairness(), Some(1.0));
+    }
+
+    #[test]
+    fn origin_fairness_skips_empty_origins_between_active_ones() {
+        // Origins 0 and 5 completed; 1–4 never did and must not count as
+        // zero-mean clients dragging the index down.
+        let mut m = metrics();
+        m.record_completion_from(
+            ClassId(0),
+            NodeId(0),
+            SimTime::ZERO,
+            SimTime::from_millis(200),
+        );
+        m.record_completion_from(
+            ClassId(0),
+            NodeId(5),
+            SimTime::ZERO,
+            SimTime::from_millis(200),
+        );
+        assert!((m.origin_fairness().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_response_vs_empty_or_zero_reference_is_none() {
+        let mut m = metrics();
+        m.record_completion(ClassId(0), SimTime::ZERO, SimTime::from_millis(100));
+        // Empty reference: no mean to normalize by.
+        assert_eq!(m.normalized_response_vs(&metrics()), None);
+        // Reference whose mean is exactly 0 ms: division guarded.
+        let mut zero_ref = metrics();
+        zero_ref.record_completion(ClassId(0), SimTime::ZERO, SimTime::ZERO);
+        assert_eq!(m.normalized_response_vs(&zero_ref), None);
+        // And an empty self against a valid reference.
+        assert_eq!(metrics().normalized_response_vs(&m), None);
+    }
+
+    #[test]
+    fn publish_to_registry_exports_counters_stats_and_gauges() {
+        let mut m = metrics();
+        m.record_completion_from(
+            ClassId(0),
+            NodeId(0),
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+        );
+        m.record_completion_from(
+            ClassId(0),
+            NodeId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(300),
+        );
+        m.unserved = 2;
+        m.messages = 7;
+        let reg = MetricsRegistry::new();
+        m.publish_to(&reg);
+        let snap = reg.snapshot();
+        let counters = snap.get("counters").unwrap();
+        assert_eq!(counters.get("sim.completed").unwrap().as_u64(), Some(2));
+        assert_eq!(counters.get("sim.messages").unwrap().as_u64(), Some(7));
+        let resp = snap.get("stats").unwrap().get("sim.response_ms").unwrap();
+        assert_eq!(resp.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(resp.get("mean").unwrap(), &qa_simnet::Json::Float(200.0));
+        assert_eq!(
+            snap.get("gauges").unwrap().get("sim.service_rate").unwrap(),
+            &qa_simnet::Json::Float(0.5)
+        );
+        assert!((reg.gauge("sim.origin_fairness").get() - 0.8).abs() < 1e-12);
     }
 }

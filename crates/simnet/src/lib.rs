@@ -19,7 +19,10 @@
 //! * [`FaultPlan`] — deterministic fault injection layered over the links:
 //!   per-link drop probability, latency jitter, scheduled outage windows,
 //! * [`stats`] — streaming statistics (Welford mean/variance, histograms,
-//!   fixed-bin time series) used to produce the paper's figures.
+//!   fixed-bin time series) used to produce the paper's figures,
+//! * [`telemetry`] — structured market tracing (typed events, JSONL
+//!   sinks, metrics registry, convergence diagnostics), zero-cost when
+//!   disabled.
 //!
 //! Everything here is deliberately generic: the same kernel drives the
 //! 100-node simulation (`qa-sim`) and the synthetic-workload generators
@@ -32,6 +35,7 @@ pub mod json;
 pub mod link;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use dist::{Exponential, Uniform, Zipf};
@@ -40,4 +44,5 @@ pub use fault::{FaultPlan, LinkFaults, OutageWindow};
 pub use json::{Json, ToJson};
 pub use link::LinkSpec;
 pub use rng::DetRng;
+pub use telemetry::{ConvergenceReport, MetricsRegistry, Telemetry, TelemetryEvent, TraceRecord};
 pub use time::{SimDuration, SimTime};

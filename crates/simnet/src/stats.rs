@@ -10,6 +10,7 @@
 //! * [`TimeSeries`] — per-period bins of a [`Welford`] plus a counter,
 //!   directly matching the paper's "per half second" plots (Fig. 3, 5c).
 
+use crate::json::{Json, ToJson};
 use crate::time::{SimDuration, SimTime};
 
 /// Welford's online algorithm for mean and variance.
@@ -96,6 +97,18 @@ impl Welford {
     }
 }
 
+impl ToJson for Welford {
+    fn to_json(&self) -> Json {
+        crate::json_obj! {
+            "count": self.count(),
+            "mean": self.mean(),
+            "std_dev": self.std_dev(),
+            "min": self.min(),
+            "max": self.max(),
+        }
+    }
+}
+
 /// Fixed-width-bucket histogram over `[0, width * buckets)`, with an
 /// overflow bucket at the top.
 #[derive(Debug, Clone)]
@@ -136,22 +149,28 @@ impl Histogram {
         self.total
     }
 
-    /// Approximate `q`-quantile (`0 < q <= 1`) using the upper edge of the
-    /// bucket containing it. Returns `None` when empty.
+    /// Approximate `q`-quantile (`q` clamped to `[0, 1]`) using the upper
+    /// edge of the bucket containing it, capped at the histogram's range
+    /// top `width * buckets` (observations in the overflow bucket have no
+    /// finite upper edge, so the range top is the tightest honest answer).
+    /// Returns `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.total == 0 {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
         let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let range_top = (self.counts.len() - 1) as f64 * self.width;
         let mut acc = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             acc += c;
             if acc >= target {
-                return Some((i as f64 + 1.0) * self.width);
+                return Some(((i as f64 + 1.0) * self.width).min(range_top));
             }
         }
-        Some(self.counts.len() as f64 * self.width)
+        // Unreachable: `target <= total` and the loop sums every bucket,
+        // but stay total-function anyway.
+        Some(range_top)
     }
 
     /// Raw bucket counts (last bucket is overflow).
@@ -299,6 +318,72 @@ mod tests {
     fn histogram_empty_quantile_none() {
         let h = Histogram::new(1.0, 4);
         assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn histogram_overflow_quantile_caps_at_range_top() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(1_000.0);
+        // Everything is in the overflow bucket; the old code answered
+        // `(buckets + 1) * width = 5`, outside the histogram's range.
+        assert_eq!(h.quantile(0.5), Some(4.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn histogram_extreme_quantiles_single_observation() {
+        let mut h = Histogram::new(10.0, 4);
+        h.record(15.0); // bucket 1: (10, 20]
+                        // p0 clamps to the smallest non-empty target (first observation).
+        assert_eq!(h.quantile(0.0), Some(20.0));
+        assert_eq!(h.quantile(0.5), Some(20.0));
+        assert_eq!(h.quantile(1.0), Some(20.0));
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile(-1.0), Some(20.0));
+        assert_eq!(h.quantile(2.0), Some(20.0));
+    }
+
+    #[test]
+    fn histogram_single_bucket_histogram() {
+        let mut h = Histogram::new(5.0, 1);
+        h.record(0.0);
+        h.record(2.5);
+        assert_eq!(h.quantile(0.5), Some(5.0));
+        h.record(100.0); // overflow
+        assert_eq!(h.quantile(1.0), Some(5.0));
+        assert_eq!(h.buckets(), &[2, 1]);
+    }
+
+    #[test]
+    fn histogram_quantile_monotone_in_q() {
+        let mut h = Histogram::new(1.0, 50);
+        for i in 0..200 {
+            h.record((i % 60) as f64);
+        }
+        let mut last = 0.0;
+        for step in 0..=20 {
+            let q = step as f64 / 20.0;
+            let v = h.quantile(q).unwrap();
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            assert!(v <= 50.0, "quantile({q}) = {v} beyond range top");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn welford_to_json_round_trips_fields() {
+        let mut w = Welford::new();
+        w.add(1.0);
+        w.add(3.0);
+        let j = w.to_json();
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("mean").unwrap(), &Json::Float(2.0));
+        assert_eq!(j.get("min").unwrap(), &Json::Float(1.0));
+        assert_eq!(j.get("max").unwrap(), &Json::Float(3.0));
+        // Empty accumulators serialize their optionals as null.
+        assert_eq!(Welford::new().to_json().get("mean").unwrap(), &Json::Null);
     }
 
     #[test]

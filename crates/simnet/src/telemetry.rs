@@ -1,0 +1,1349 @@
+//! Structured market telemetry: typed events, sinks, a metrics registry,
+//! and convergence diagnostics.
+//!
+//! The paper's central claim (§3, §5) is that QA-NT's decentralized price
+//! adjustments *converge*; end-of-run aggregates cannot show that. This
+//! module is the observability plane shared by the simulator and the real
+//! cluster:
+//!
+//! * [`TelemetryEvent`] — the typed market-event taxonomy (price
+//!   adjustments, supply solves, rejections, assignments, faults),
+//! * [`Telemetry`] — a cloneable handle that is **zero-cost when
+//!   disabled**: every emit site compiles to one branch on an
+//!   `Option<Arc<_>>`, and event construction is deferred behind a
+//!   closure so no formatting or allocation happens unless a sink is
+//!   installed,
+//! * [`EventSink`] / [`TraceBuffer`] / [`WriterSink`] /
+//!   [`CountingSink`] — pluggable destinations (in-memory for tests and
+//!   `trace_dump`, JSONL writers for files/stderr, a counter for
+//!   overhead benches),
+//! * [`MetricsRegistry`] — named counters, gauges and [`Welford`]
+//!   handles with a deterministic JSON snapshot,
+//! * [`Span`] — wall-clock timing guards around hot paths (supply
+//!   solve, assignment round, price update) that record into the
+//!   registry, *not* the event stream, so traces stay byte-deterministic,
+//! * [`ConvergenceReport`] — per-class cross-node price-variance series
+//!   and time-to-stabilization computed from a trace.
+//!
+//! # Time
+//!
+//! Events are stamped from a shared microsecond clock set by the driver:
+//! the simulator writes sim-time before dispatching each event, the
+//! cluster writes wall-clock-since-epoch. Timestamps are therefore
+//! deterministic exactly when the driver's clock is (sim yes, cluster no).
+//!
+//! # Serialization
+//!
+//! Records serialize as flattened JSONL objects
+//! (`{"t_us":…,"type":"price_adjusted",…}`) through the in-tree
+//! [`crate::json`] module, and parse back via [`TraceRecord::from_json`]
+//! for strict round-trip validation (`scripts/check_trace.sh`).
+
+use crate::json::{Json, ToJson};
+use crate::stats::Welford;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// Why a price moved (§3.1 rejection raises, §3.2 leftover-supply decay,
+/// plus the implementation's periodic renormalization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriceReason {
+    /// A rejected request raised the price by `×(1 + λ)`.
+    Rejection,
+    /// Leftover supply at period end lowered the price.
+    PeriodDecay,
+    /// Geometric-mean renormalization rescaled the whole vector.
+    Renormalize,
+}
+
+impl PriceReason {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PriceReason::Rejection => "rejection",
+            PriceReason::PeriodDecay => "period_decay",
+            PriceReason::Renormalize => "renormalize",
+        }
+    }
+
+    fn parse(s: &str) -> Result<PriceReason, String> {
+        match s {
+            "rejection" => Ok(PriceReason::Rejection),
+            "period_decay" => Ok(PriceReason::PeriodDecay),
+            "renormalize" => Ok(PriceReason::Renormalize),
+            other => Err(format!("unknown price reason {other:?}")),
+        }
+    }
+}
+
+/// Severity of a [`TelemetryEvent::Diag`] message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Verbose diagnostics.
+    Debug,
+    /// Normal progress notes.
+    Info,
+    /// Something surprising but survivable.
+    Warn,
+    /// Something went wrong.
+    Error,
+}
+
+impl Severity {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Severity, String> {
+        match s {
+            "debug" => Ok(Severity::Debug),
+            "info" => Ok(Severity::Info),
+            "warn" => Ok(Severity::Warn),
+            "error" => Ok(Severity::Error),
+            other => Err(format!("unknown severity {other:?}")),
+        }
+    }
+}
+
+/// A typed market event. Field names are the wire schema; changing them
+/// breaks `scripts/check_trace.sh` deliberately.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// A node's private price for one class changed.
+    PriceAdjusted {
+        /// The adjusting node.
+        node: u32,
+        /// The query class whose price moved.
+        class: u32,
+        /// Price before the adjustment.
+        old: f64,
+        /// Price after the adjustment.
+        new: f64,
+        /// What triggered the move.
+        reason: PriceReason,
+    },
+    /// A node solved its per-period supply (§3.2 quantity allocation).
+    SupplyComputed {
+        /// The supplying node.
+        node: u32,
+        /// The period's capacity budget in milliseconds.
+        budget_ms: f64,
+        /// Offered units per class.
+        supply: Vec<u64>,
+    },
+    /// A node refused a request it was capable of serving (out of supply).
+    RequestRejected {
+        /// The refusing node.
+        node: u32,
+        /// The class of the refused request.
+        class: u32,
+    },
+    /// The allocation protocol assigned a query to a node.
+    QueryAssigned {
+        /// Trace index of the query.
+        query: u64,
+        /// The query's class.
+        class: u32,
+        /// The chosen node.
+        node: u32,
+        /// Resubmissions before this assignment.
+        retries: u32,
+    },
+    /// A query finished executing.
+    QueryCompleted {
+        /// Trace index of the query.
+        query: u64,
+        /// The query's class.
+        class: u32,
+        /// The node that executed it.
+        node: u32,
+        /// Arrival-to-completion response time in milliseconds.
+        response_ms: f64,
+    },
+    /// A query exhausted its retries (or had no capable node).
+    QueryUnserved {
+        /// Trace index of the query.
+        query: u64,
+        /// The query's class.
+        class: u32,
+        /// Resubmissions spent before giving up.
+        retries: u32,
+    },
+    /// A protocol message to/from a node was lost (fault injection or a
+    /// dead mailbox).
+    MessageDropped {
+        /// The unreachable node.
+        node: u32,
+        /// Which protocol step lost the message.
+        context: String,
+    },
+    /// A node crashed (§2.2 autonomy: the market must route around it).
+    NodeCrashed {
+        /// The crashed node.
+        node: u32,
+    },
+    /// A crashed node rejoined the federation.
+    NodeRecovered {
+        /// The recovered node.
+        node: u32,
+    },
+    /// A new market period began.
+    PeriodStarted {
+        /// Zero-based period index.
+        index: u64,
+    },
+    /// A free-form severity-tagged diagnostic (replaces `eprintln!`).
+    Diag {
+        /// Message severity.
+        severity: Severity,
+        /// Emitting component, e.g. `"sim.federation"`.
+        component: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl TelemetryEvent {
+    /// The stable `"type"` discriminator used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::PriceAdjusted { .. } => "price_adjusted",
+            TelemetryEvent::SupplyComputed { .. } => "supply_computed",
+            TelemetryEvent::RequestRejected { .. } => "request_rejected",
+            TelemetryEvent::QueryAssigned { .. } => "query_assigned",
+            TelemetryEvent::QueryCompleted { .. } => "query_completed",
+            TelemetryEvent::QueryUnserved { .. } => "query_unserved",
+            TelemetryEvent::MessageDropped { .. } => "message_dropped",
+            TelemetryEvent::NodeCrashed { .. } => "node_crashed",
+            TelemetryEvent::NodeRecovered { .. } => "node_recovered",
+            TelemetryEvent::PeriodStarted { .. } => "period_started",
+            TelemetryEvent::Diag { .. } => "diag",
+        }
+    }
+}
+
+/// One timestamped event, as written to a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Timestamp in microseconds (sim-time or wall-clock-since-epoch,
+    /// depending on the driver).
+    pub t_us: u64,
+    /// The event payload.
+    pub event: TelemetryEvent,
+}
+
+impl ToJson for TraceRecord {
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("t_us".into(), self.t_us.to_json()),
+            ("type".into(), Json::Str(self.event.kind().into())),
+        ];
+        match &self.event {
+            TelemetryEvent::PriceAdjusted {
+                node,
+                class,
+                old,
+                new,
+                reason,
+            } => {
+                pairs.push(("node".into(), node.to_json()));
+                pairs.push(("class".into(), class.to_json()));
+                pairs.push(("old".into(), old.to_json()));
+                pairs.push(("new".into(), new.to_json()));
+                pairs.push(("reason".into(), Json::Str(reason.as_str().into())));
+            }
+            TelemetryEvent::SupplyComputed {
+                node,
+                budget_ms,
+                supply,
+            } => {
+                pairs.push(("node".into(), node.to_json()));
+                pairs.push(("budget_ms".into(), budget_ms.to_json()));
+                pairs.push(("supply".into(), Json::array(supply.iter().copied())));
+            }
+            TelemetryEvent::RequestRejected { node, class } => {
+                pairs.push(("node".into(), node.to_json()));
+                pairs.push(("class".into(), class.to_json()));
+            }
+            TelemetryEvent::QueryAssigned {
+                query,
+                class,
+                node,
+                retries,
+            } => {
+                pairs.push(("query".into(), query.to_json()));
+                pairs.push(("class".into(), class.to_json()));
+                pairs.push(("node".into(), node.to_json()));
+                pairs.push(("retries".into(), retries.to_json()));
+            }
+            TelemetryEvent::QueryCompleted {
+                query,
+                class,
+                node,
+                response_ms,
+            } => {
+                pairs.push(("query".into(), query.to_json()));
+                pairs.push(("class".into(), class.to_json()));
+                pairs.push(("node".into(), node.to_json()));
+                pairs.push(("response_ms".into(), response_ms.to_json()));
+            }
+            TelemetryEvent::QueryUnserved {
+                query,
+                class,
+                retries,
+            } => {
+                pairs.push(("query".into(), query.to_json()));
+                pairs.push(("class".into(), class.to_json()));
+                pairs.push(("retries".into(), retries.to_json()));
+            }
+            TelemetryEvent::MessageDropped { node, context } => {
+                pairs.push(("node".into(), node.to_json()));
+                pairs.push(("context".into(), Json::Str(context.clone())));
+            }
+            TelemetryEvent::NodeCrashed { node } => {
+                pairs.push(("node".into(), node.to_json()));
+            }
+            TelemetryEvent::NodeRecovered { node } => {
+                pairs.push(("node".into(), node.to_json()));
+            }
+            TelemetryEvent::PeriodStarted { index } => {
+                pairs.push(("index".into(), index.to_json()));
+            }
+            TelemetryEvent::Diag {
+                severity,
+                component,
+                message,
+            } => {
+                pairs.push(("severity".into(), Json::Str(severity.as_str().into())));
+                pairs.push(("component".into(), Json::Str(component.clone())));
+                pairs.push(("message".into(), Json::Str(message.clone())));
+            }
+        }
+        Json::Obj(pairs)
+    }
+}
+
+fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    req(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not a non-negative integer"))
+}
+
+fn u32_field(v: &Json, key: &str) -> Result<u32, String> {
+    u32::try_from(u64_field(v, key)?).map_err(|_| format!("field {key:?} exceeds u32"))
+}
+
+fn f64_field(v: &Json, key: &str) -> Result<f64, String> {
+    match req(v, key)? {
+        Json::Float(x) => Ok(*x),
+        Json::Int(x) => Ok(*x as f64),
+        _ => Err(format!("field {key:?} is not a number")),
+    }
+}
+
+fn str_field<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    match req(v, key)? {
+        Json::Str(s) => Ok(s),
+        _ => Err(format!("field {key:?} is not a string")),
+    }
+}
+
+fn u64_array_field(v: &Json, key: &str) -> Result<Vec<u64>, String> {
+    req(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field {key:?} is not an array"))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| format!("field {key:?} has a non-integer element"))
+        })
+        .collect()
+}
+
+impl TraceRecord {
+    /// Parses a record back from its JSON form (strict: unknown `type`
+    /// or a missing/ill-typed field is an error).
+    pub fn from_json(v: &Json) -> Result<TraceRecord, String> {
+        let t_us = u64_field(v, "t_us")?;
+        let event = match str_field(v, "type")? {
+            "price_adjusted" => TelemetryEvent::PriceAdjusted {
+                node: u32_field(v, "node")?,
+                class: u32_field(v, "class")?,
+                old: f64_field(v, "old")?,
+                new: f64_field(v, "new")?,
+                reason: PriceReason::parse(str_field(v, "reason")?)?,
+            },
+            "supply_computed" => TelemetryEvent::SupplyComputed {
+                node: u32_field(v, "node")?,
+                budget_ms: f64_field(v, "budget_ms")?,
+                supply: u64_array_field(v, "supply")?,
+            },
+            "request_rejected" => TelemetryEvent::RequestRejected {
+                node: u32_field(v, "node")?,
+                class: u32_field(v, "class")?,
+            },
+            "query_assigned" => TelemetryEvent::QueryAssigned {
+                query: u64_field(v, "query")?,
+                class: u32_field(v, "class")?,
+                node: u32_field(v, "node")?,
+                retries: u32_field(v, "retries")?,
+            },
+            "query_completed" => TelemetryEvent::QueryCompleted {
+                query: u64_field(v, "query")?,
+                class: u32_field(v, "class")?,
+                node: u32_field(v, "node")?,
+                response_ms: f64_field(v, "response_ms")?,
+            },
+            "query_unserved" => TelemetryEvent::QueryUnserved {
+                query: u64_field(v, "query")?,
+                class: u32_field(v, "class")?,
+                retries: u32_field(v, "retries")?,
+            },
+            "message_dropped" => TelemetryEvent::MessageDropped {
+                node: u32_field(v, "node")?,
+                context: str_field(v, "context")?.to_string(),
+            },
+            "node_crashed" => TelemetryEvent::NodeCrashed {
+                node: u32_field(v, "node")?,
+            },
+            "node_recovered" => TelemetryEvent::NodeRecovered {
+                node: u32_field(v, "node")?,
+            },
+            "period_started" => TelemetryEvent::PeriodStarted {
+                index: u64_field(v, "index")?,
+            },
+            "diag" => TelemetryEvent::Diag {
+                severity: Severity::parse(str_field(v, "severity")?)?,
+                component: str_field(v, "component")?.to_string(),
+                message: str_field(v, "message")?.to_string(),
+            },
+            other => return Err(format!("unknown event type {other:?}")),
+        };
+        Ok(TraceRecord { t_us, event })
+    }
+
+    /// Parses one JSONL line (strict JSON, then [`TraceRecord::from_json`]).
+    pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
+        TraceRecord::from_json(&Json::parse(line)?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Destination for emitted records. Implementations must tolerate being
+/// called from multiple threads in turn (the handle serializes calls
+/// behind a mutex).
+pub trait EventSink: Send {
+    /// Consumes one record.
+    fn record(&mut self, record: &TraceRecord);
+}
+
+#[derive(Default)]
+struct BufferSink {
+    records: Arc<Mutex<Vec<TraceRecord>>>,
+}
+
+impl EventSink for BufferSink {
+    fn record(&mut self, record: &TraceRecord) {
+        self.records.lock().unwrap().push(record.clone());
+    }
+}
+
+/// Shared view of an in-memory trace, returned by [`Telemetry::buffered`].
+#[derive(Clone, Default)]
+pub struct TraceBuffer {
+    records: Arc<Mutex<Vec<TraceRecord>>>,
+}
+
+impl TraceBuffer {
+    /// Snapshot of the records captured so far.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Number of records captured so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap().len()
+    }
+
+    /// `true` iff nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the whole buffer as JSONL (one compact object per line,
+    /// each line newline-terminated).
+    pub fn to_jsonl(&self) -> String {
+        let records = self.records.lock().unwrap();
+        let mut out = String::new();
+        for r in records.iter() {
+            out.push_str(&r.to_json().dump());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Streams each record as a compact JSONL line to any writer
+/// (`stderr`, a file, …).
+pub struct WriterSink<W: std::io::Write + Send> {
+    writer: W,
+}
+
+impl<W: std::io::Write + Send> WriterSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        WriterSink { writer }
+    }
+}
+
+impl<W: std::io::Write + Send> EventSink for WriterSink<W> {
+    fn record(&mut self, record: &TraceRecord) {
+        // Telemetry is best-effort: a broken pipe must not kill the run.
+        let _ = writeln!(self.writer, "{}", record.to_json().dump());
+    }
+}
+
+/// Counts records without storing them — the enabled-path overhead bench
+/// uses this so the buffer doesn't grow unboundedly.
+#[derive(Clone, Default)]
+pub struct CountingSink {
+    count: Arc<AtomicU64>,
+}
+
+impl CountingSink {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Records seen so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for CountingSink {
+    fn record(&mut self, _record: &TraceRecord) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// A named monotonic counter.
+#[derive(Clone, Default, Debug)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named last-write-wins float gauge.
+#[derive(Clone, Default, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, x: f64) {
+        self.bits.store(x.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A named streaming mean/variance accumulator.
+#[derive(Clone, Default, Debug)]
+pub struct WelfordHandle {
+    inner: Arc<Mutex<Welford>>,
+}
+
+impl WelfordHandle {
+    /// Adds one observation.
+    pub fn observe(&self, x: f64) {
+        self.inner.lock().unwrap().add(x);
+    }
+
+    /// Merges a whole accumulator in.
+    pub fn merge(&self, other: &Welford) {
+        self.inner.lock().unwrap().merge(other);
+    }
+
+    /// Snapshot of the accumulator.
+    pub fn snapshot(&self) -> Welford {
+        self.inner.lock().unwrap().clone()
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    stats: BTreeMap<String, WelfordHandle>,
+}
+
+/// Registry of named metrics. Cloning shares the underlying store;
+/// `BTreeMap` keys make [`MetricsRegistry::snapshot`] order-deterministic.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Gets or creates the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the Welford accumulator named `name`.
+    pub fn welford(&self, name: &str) -> WelfordHandle {
+        let mut inner = self.inner.lock().unwrap();
+        inner.stats.entry(name.to_string()).or_default().clone()
+    }
+
+    /// JSON snapshot: `{"counters":{…},"gauges":{…},"stats":{…}}`, keys
+    /// sorted, empty sections omitted from their maps but the three keys
+    /// always present.
+    pub fn snapshot(&self) -> Json {
+        let inner = self.inner.lock().unwrap();
+        let counters = Json::object(
+            inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get().to_json())),
+        );
+        let gauges = Json::object(
+            inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get().to_json())),
+        );
+        let stats = Json::object(
+            inner
+                .stats
+                .iter()
+                .map(|(k, w)| (k.clone(), w.snapshot().to_json())),
+        );
+        Json::object([("counters", counters), ("gauges", gauges), ("stats", stats)])
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MetricsRegistry({})", self.snapshot().dump())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry handle
+// ---------------------------------------------------------------------------
+
+struct TelemetryInner {
+    now_us: AtomicU64,
+    sink: Mutex<Box<dyn EventSink>>,
+    registry: MetricsRegistry,
+}
+
+/// Cloneable telemetry handle. A disabled handle (the default) carries a
+/// `None` and every [`Telemetry::emit`] / [`Telemetry::span`] call is a
+/// single branch; clones share the sink, clock and registry.
+///
+/// `label` is the node id stamped on market events emitted *by* that
+/// node's pricer/market state; derive per-node handles with
+/// [`Telemetry::with_label`].
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+    label: u32,
+}
+
+impl Telemetry {
+    /// A handle that drops everything (the zero-cost default).
+    pub fn disabled() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// A handle writing into an in-memory buffer; returns the buffer too.
+    pub fn buffered() -> (Telemetry, TraceBuffer) {
+        let buffer = TraceBuffer::default();
+        let sink = BufferSink {
+            records: Arc::clone(&buffer.records),
+        };
+        (Telemetry::with_sink(Box::new(sink)), buffer)
+    }
+
+    /// A handle driving an arbitrary sink.
+    pub fn with_sink(sink: Box<dyn EventSink>) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                now_us: AtomicU64::new(0),
+                sink: Mutex::new(sink),
+                registry: MetricsRegistry::new(),
+            })),
+            label: 0,
+        }
+    }
+
+    /// Builds a handle from the `QA_TELEMETRY` environment variable:
+    /// `stderr` / `stdout` stream JSONL there; anything else (or unset)
+    /// is disabled. This is how opt-in diagnostics replace `eprintln!`.
+    pub fn from_env() -> Telemetry {
+        match std::env::var("QA_TELEMETRY").as_deref() {
+            Ok("stderr") => Telemetry::with_sink(Box::new(WriterSink::new(std::io::stderr()))),
+            Ok("stdout") => Telemetry::with_sink(Box::new(WriterSink::new(std::io::stdout()))),
+            _ => Telemetry::disabled(),
+        }
+    }
+
+    /// `true` iff a sink is installed.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The node label stamped by this handle.
+    #[inline]
+    pub fn label(&self) -> u32 {
+        self.label
+    }
+
+    /// A clone of this handle that stamps `node` as its label.
+    pub fn with_label(&self, node: u32) -> Telemetry {
+        Telemetry {
+            inner: self.inner.clone(),
+            label: node,
+        }
+    }
+
+    /// Sets the shared event clock (microseconds). The simulator writes
+    /// sim-time here before dispatching each event; the cluster writes
+    /// wall-clock-since-epoch.
+    #[inline]
+    pub fn set_now_us(&self, t_us: u64) {
+        if let Some(inner) = &self.inner {
+            inner.now_us.store(t_us, Ordering::Relaxed);
+        }
+    }
+
+    /// The current event clock (0 when disabled).
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.now_us.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Emits one event. The closure only runs when a sink is installed,
+    /// so a disabled handle pays exactly one branch — no allocation, no
+    /// formatting.
+    #[inline]
+    pub fn emit(&self, build: impl FnOnce() -> TelemetryEvent) {
+        if let Some(inner) = &self.inner {
+            let record = TraceRecord {
+                t_us: inner.now_us.load(Ordering::Relaxed),
+                event: build(),
+            };
+            inner.sink.lock().unwrap().record(&record);
+        }
+    }
+
+    /// Severity-tagged diagnostic; the message closure only runs when
+    /// enabled (no `format!` cost otherwise).
+    #[inline]
+    pub fn diag(&self, severity: Severity, component: &str, message: impl FnOnce() -> String) {
+        self.emit(|| TelemetryEvent::Diag {
+            severity,
+            component: component.to_string(),
+            message: message(),
+        });
+    }
+
+    /// The shared metrics registry, when enabled.
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_ref().map(|i| &i.registry)
+    }
+
+    /// Starts a wall-clock timing span. On drop the elapsed microseconds
+    /// are recorded into the registry Welford named `span.{name}_us` —
+    /// *not* the event stream, which keeps traces byte-deterministic.
+    /// Disabled handles return an inert guard without reading the clock.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            state: self
+                .inner
+                .as_ref()
+                .map(|inner| (Arc::clone(inner), Instant::now())),
+            name,
+        }
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+/// Timing guard returned by [`Telemetry::span`].
+pub struct Span {
+    state: Option<(Arc<TelemetryInner>, Instant)>,
+    name: &'static str,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((inner, start)) = self.state.take() {
+            let elapsed_us = start.elapsed().as_secs_f64() * 1e6;
+            inner
+                .registry
+                .welford(&format!("span.{}_us", self.name))
+                .observe(elapsed_us);
+        }
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Span")
+            .field("name", &self.name)
+            .field("enabled", &self.state.is_some())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convergence diagnostics
+// ---------------------------------------------------------------------------
+
+/// Per-class convergence series extracted from a trace.
+#[derive(Debug, Clone)]
+pub struct ClassConvergence {
+    /// The query class.
+    pub class: u32,
+    /// Total price adjustments for this class across all nodes.
+    pub adjustments: u64,
+    /// Mean final price across nodes that ever priced this class.
+    pub final_mean_price: f64,
+    /// Per-period population variance of `ln(price)` across nodes —
+    /// the paper's price-dispersion view of convergence.
+    pub log_price_variance: Vec<f64>,
+    /// Per-period mean `|Δ ln(price)|` over the period's adjustments
+    /// (0 for quiet periods).
+    pub mean_abs_log_step: Vec<f64>,
+    /// First period after which `mean_abs_log_step` stays at or below
+    /// the tolerance for the rest of the run; `None` if prices were
+    /// still moving in the final period.
+    pub stabilized_at_period: Option<u64>,
+}
+
+impl ToJson for ClassConvergence {
+    fn to_json(&self) -> Json {
+        crate::json_obj! {
+            "class": self.class,
+            "adjustments": self.adjustments,
+            "final_mean_price": self.final_mean_price,
+            "log_price_variance": self.log_price_variance,
+            "mean_abs_log_step": self.mean_abs_log_step,
+            "stabilized_at_period": self.stabilized_at_period,
+        }
+    }
+}
+
+/// Convergence summary computed from a trace: did the decentralized
+/// price adjustments settle, and how fast?
+#[derive(Debug, Clone)]
+pub struct ConvergenceReport {
+    /// Period length (µs) the trace was bucketed by.
+    pub period_us: u64,
+    /// Number of periods covered.
+    pub periods: u64,
+    /// Distinct nodes that emitted price or supply events.
+    pub nodes: u64,
+    /// Total price-adjustment events.
+    pub price_adjustments: u64,
+    /// Total request-rejection events.
+    pub rejections: u64,
+    /// Total supply-solve events.
+    pub supply_events: u64,
+    /// Total dropped-message events.
+    pub dropped_messages: u64,
+    /// Total node-crash events.
+    pub crashes: u64,
+    /// Per-class series, sorted by class id.
+    pub per_class: Vec<ClassConvergence>,
+}
+
+impl ToJson for ConvergenceReport {
+    fn to_json(&self) -> Json {
+        crate::json_obj! {
+            "period_us": self.period_us,
+            "periods": self.periods,
+            "nodes": self.nodes,
+            "price_adjustments": self.price_adjustments,
+            "rejections": self.rejections,
+            "supply_events": self.supply_events,
+            "dropped_messages": self.dropped_messages,
+            "crashes": self.crashes,
+            "per_class": self.per_class,
+        }
+    }
+}
+
+/// Population variance of `ln(x)` over the values.
+fn log_variance(values: impl Iterator<Item = f64> + Clone) -> f64 {
+    let mut n = 0u64;
+    let mut sum = 0.0;
+    for v in values.clone() {
+        n += 1;
+        sum += v.ln();
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = sum / n as f64;
+    let mut ss = 0.0;
+    for v in values {
+        let d = v.ln() - mean;
+        ss += d * d;
+    }
+    ss / n as f64
+}
+
+impl ConvergenceReport {
+    /// Computes the report from a trace. Records must be in emission
+    /// order (traces are); `period_us` buckets them, `tol` is the
+    /// `mean_abs_log_step` threshold below which a period counts as
+    /// quiet.
+    ///
+    /// # Panics
+    /// Panics if `period_us == 0`.
+    pub fn from_records(records: &[TraceRecord], period_us: u64, tol: f64) -> ConvergenceReport {
+        assert!(period_us > 0, "period_us must be positive");
+        // Latest price per (class, node), plus per-class/per-period step
+        // accumulators.
+        let mut prices: BTreeMap<u32, BTreeMap<u32, f64>> = BTreeMap::new();
+        let mut variance: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+        let mut steps: BTreeMap<u32, Vec<Welford>> = BTreeMap::new();
+        let mut nodes: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        let mut price_adjustments = 0u64;
+        let mut rejections = 0u64;
+        let mut supply_events = 0u64;
+        let mut dropped_messages = 0u64;
+        let mut crashes = 0u64;
+        let mut adjustments: BTreeMap<u32, u64> = BTreeMap::new();
+
+        let mut cur_period = 0u64;
+        let close_period = |prices: &BTreeMap<u32, BTreeMap<u32, f64>>,
+                            variance: &mut BTreeMap<u32, Vec<f64>>,
+                            period: u64| {
+            for (&class, by_node) in prices {
+                let series = variance.entry(class).or_default();
+                let v = log_variance(by_node.values().copied());
+                while (series.len() as u64) <= period {
+                    // Pad with the last known value so late-appearing
+                    // classes still get a full-length series.
+                    let last = series.last().copied().unwrap_or(0.0);
+                    series.push(last);
+                }
+                series[period as usize] = v;
+            }
+        };
+
+        for rec in records {
+            let period = rec.t_us / period_us;
+            while cur_period < period {
+                close_period(&prices, &mut variance, cur_period);
+                cur_period += 1;
+            }
+            match &rec.event {
+                TelemetryEvent::PriceAdjusted {
+                    node,
+                    class,
+                    old,
+                    new,
+                    ..
+                } => {
+                    price_adjustments += 1;
+                    *adjustments.entry(*class).or_default() += 1;
+                    nodes.insert(*node);
+                    prices.entry(*class).or_default().insert(*node, *new);
+                    if *old > 0.0 && *new > 0.0 {
+                        let series = steps.entry(*class).or_default();
+                        while (series.len() as u64) <= period {
+                            series.push(Welford::new());
+                        }
+                        series[period as usize].add((new.ln() - old.ln()).abs());
+                    }
+                }
+                TelemetryEvent::RequestRejected { node, .. } => {
+                    rejections += 1;
+                    nodes.insert(*node);
+                }
+                TelemetryEvent::SupplyComputed { node, .. } => {
+                    supply_events += 1;
+                    nodes.insert(*node);
+                }
+                TelemetryEvent::MessageDropped { .. } => dropped_messages += 1,
+                TelemetryEvent::NodeCrashed { .. } => crashes += 1,
+                _ => {}
+            }
+        }
+        close_period(&prices, &mut variance, cur_period);
+        let periods = cur_period + 1;
+
+        let per_class = prices
+            .iter()
+            .map(|(&class, by_node)| {
+                let var_series = variance.get(&class).cloned().unwrap_or_default();
+                let mut step_series: Vec<f64> = steps
+                    .get(&class)
+                    .map(|ws| ws.iter().map(|w| w.mean().unwrap_or(0.0)).collect())
+                    .unwrap_or_default();
+                step_series.resize(periods as usize, 0.0);
+                // Trailing-quiet scan: the first period of the final
+                // all-quiet suffix.
+                let mut stabilized = Some(0u64);
+                for (i, &s) in step_series.iter().enumerate() {
+                    if s > tol {
+                        stabilized = if i + 1 < step_series.len() {
+                            Some(i as u64 + 1)
+                        } else {
+                            None
+                        };
+                    }
+                }
+                let final_mean_price = if by_node.is_empty() {
+                    0.0
+                } else {
+                    by_node.values().sum::<f64>() / by_node.len() as f64
+                };
+                ClassConvergence {
+                    class,
+                    adjustments: adjustments.get(&class).copied().unwrap_or(0),
+                    final_mean_price,
+                    log_price_variance: var_series,
+                    mean_abs_log_step: step_series,
+                    stabilized_at_period: stabilized,
+                }
+            })
+            .collect();
+
+        ConvergenceReport {
+            period_us,
+            periods,
+            nodes: nodes.len() as u64,
+            price_adjustments,
+            rejections,
+            supply_events,
+            dropped_messages,
+            crashes,
+            per_class,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_event_kinds() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::PriceAdjusted {
+                node: 3,
+                class: 1,
+                old: 1.0,
+                new: 1.25,
+                reason: PriceReason::Rejection,
+            },
+            TelemetryEvent::SupplyComputed {
+                node: 3,
+                budget_ms: 500.0,
+                supply: vec![4, 0, 7],
+            },
+            TelemetryEvent::RequestRejected { node: 2, class: 0 },
+            TelemetryEvent::QueryAssigned {
+                query: 42,
+                class: 1,
+                node: 5,
+                retries: 2,
+            },
+            TelemetryEvent::QueryCompleted {
+                query: 42,
+                class: 1,
+                node: 5,
+                response_ms: 123.5,
+            },
+            TelemetryEvent::QueryUnserved {
+                query: 43,
+                class: 0,
+                retries: 8,
+            },
+            TelemetryEvent::MessageDropped {
+                node: 7,
+                context: "poll".to_string(),
+            },
+            TelemetryEvent::NodeCrashed { node: 7 },
+            TelemetryEvent::NodeRecovered { node: 7 },
+            TelemetryEvent::PeriodStarted { index: 9 },
+            TelemetryEvent::Diag {
+                severity: Severity::Warn,
+                component: "sim.federation".to_string(),
+                message: "something \"quoted\"".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_strict_parser() {
+        for (i, event) in all_event_kinds().into_iter().enumerate() {
+            let rec = TraceRecord {
+                t_us: i as u64 * 500_000,
+                event,
+            };
+            let line = rec.to_json().dump();
+            let back = TraceRecord::parse_line(&line)
+                .unwrap_or_else(|e| panic!("round-trip failed for {line}: {e}"));
+            assert_eq!(back, rec);
+            // Canonical: re-serializing the parsed record reproduces the
+            // exact line (this is what check_trace enforces).
+            assert_eq!(back.to_json().dump(), line);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_type_and_missing_fields() {
+        assert!(TraceRecord::parse_line(r#"{"t_us":0,"type":"nope"}"#).is_err());
+        assert!(TraceRecord::parse_line(r#"{"t_us":0,"type":"node_crashed"}"#).is_err());
+        assert!(TraceRecord::parse_line(r#"{"type":"node_crashed","node":1}"#).is_err());
+        assert!(TraceRecord::parse_line("not json").is_err());
+    }
+
+    #[test]
+    fn disabled_handle_runs_no_closures() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        tel.emit(|| panic!("closure must not run when disabled"));
+        tel.diag(Severity::Error, "x", || {
+            panic!("message must not build when disabled")
+        });
+        tel.set_now_us(123);
+        assert_eq!(tel.now_us(), 0);
+        let _span = tel.span("noop");
+        assert!(tel.registry().is_none());
+    }
+
+    #[test]
+    fn buffered_handle_captures_in_order_with_clock_and_label() {
+        let (tel, buf) = Telemetry::buffered();
+        let node3 = tel.with_label(3);
+        tel.set_now_us(1_000);
+        node3.emit(|| TelemetryEvent::NodeCrashed {
+            node: node3.label(),
+        });
+        // The clock is shared across labeled clones.
+        node3.set_now_us(2_000);
+        tel.emit(|| TelemetryEvent::NodeRecovered { node: 3 });
+        let records = buf.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].t_us, 1_000);
+        assert_eq!(records[0].event, TelemetryEvent::NodeCrashed { node: 3 });
+        assert_eq!(records[1].t_us, 2_000);
+        let jsonl = buf.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            TraceRecord::parse_line(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.count").add(2);
+        reg.counter("a.count").incr();
+        reg.gauge("fairness").set(0.5);
+        reg.welford("latency_us").observe(10.0);
+        reg.welford("latency_us").observe(20.0);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("counters").unwrap().keys().unwrap(),
+            vec!["a.count", "b.count"]
+        );
+        assert_eq!(
+            snap.get("counters").unwrap().get("b.count").unwrap(),
+            &Json::Int(2)
+        );
+        assert_eq!(
+            snap.get("stats")
+                .unwrap()
+                .get("latency_us")
+                .unwrap()
+                .get("count")
+                .unwrap(),
+            &Json::Int(2)
+        );
+        assert_eq!(reg.welford("latency_us").snapshot().count(), 2);
+    }
+
+    #[test]
+    fn span_records_into_registry() {
+        let (tel, _buf) = Telemetry::buffered();
+        {
+            let _span = tel.span("work");
+        }
+        let snap = tel.registry().unwrap().snapshot();
+        let count = snap
+            .get("stats")
+            .unwrap()
+            .get("span.work_us")
+            .unwrap()
+            .get("count")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert_eq!(count, 1);
+        // Spans never touch the event stream (byte-determinism contract).
+        assert!(_buf.is_empty());
+    }
+
+    #[test]
+    fn counting_sink_counts_without_storing() {
+        let sink = CountingSink::new();
+        let tel = Telemetry::with_sink(Box::new(sink.clone()));
+        for _ in 0..5 {
+            tel.emit(|| TelemetryEvent::PeriodStarted { index: 0 });
+        }
+        assert_eq!(sink.count(), 5);
+    }
+
+    fn adj(t_us: u64, node: u32, class: u32, old: f64, new: f64) -> TraceRecord {
+        TraceRecord {
+            t_us,
+            event: TelemetryEvent::PriceAdjusted {
+                node,
+                class,
+                old,
+                new,
+                reason: PriceReason::Rejection,
+            },
+        }
+    }
+
+    #[test]
+    fn convergence_report_detects_stabilization() {
+        let period = 1_000u64;
+        // Class 0: big moves in periods 0–1 on two nodes, silent after.
+        let records = vec![
+            adj(0, 0, 0, 1.0, 2.0),
+            adj(10, 1, 0, 1.0, 1.5),
+            adj(1_500, 0, 0, 2.0, 2.5),
+            TraceRecord {
+                t_us: 3_500,
+                event: TelemetryEvent::SupplyComputed {
+                    node: 0,
+                    budget_ms: 500.0,
+                    supply: vec![1],
+                },
+            },
+        ];
+        let report = ConvergenceReport::from_records(&records, period, 1e-3);
+        assert_eq!(report.periods, 4);
+        assert_eq!(report.nodes, 2);
+        assert_eq!(report.price_adjustments, 3);
+        assert_eq!(report.supply_events, 1);
+        let c0 = &report.per_class[0];
+        assert_eq!(c0.class, 0);
+        assert_eq!(c0.adjustments, 3);
+        assert_eq!(c0.mean_abs_log_step.len(), 4);
+        assert!(c0.mean_abs_log_step[0] > 0.0);
+        assert!(c0.mean_abs_log_step[1] > 0.0);
+        assert_eq!(c0.mean_abs_log_step[2], 0.0);
+        // Quiet from period 2 onward.
+        assert_eq!(c0.stabilized_at_period, Some(2));
+        // Final prices 2.5 and 1.5 → mean 2.0, nonzero dispersion.
+        assert!((c0.final_mean_price - 2.0).abs() < 1e-12);
+        assert!(c0.log_price_variance[3] > 0.0);
+    }
+
+    #[test]
+    fn convergence_report_unstable_to_the_end_is_none() {
+        let records = vec![adj(0, 0, 0, 1.0, 2.0), adj(2_500, 0, 0, 2.0, 4.0)];
+        let report = ConvergenceReport::from_records(&records, 1_000, 1e-3);
+        assert_eq!(report.per_class[0].stabilized_at_period, None);
+    }
+
+    #[test]
+    fn convergence_report_empty_trace() {
+        let report = ConvergenceReport::from_records(&[], 1_000, 1e-3);
+        assert_eq!(report.periods, 1);
+        assert_eq!(report.nodes, 0);
+        assert!(report.per_class.is_empty());
+        // The report itself serializes.
+        assert!(report.to_json().dump().contains("\"periods\":1"));
+    }
+}
