@@ -1,218 +1,6 @@
-//! Microbenchmarks for the hot paths of the allocation stack:
-//!
-//! * the eq.-4 supply solvers (greedy vs exact DP),
-//! * the non-tâtonnement price adjustment,
-//! * the per-query allocation decision of each mechanism (end-to-end
-//!   simulator arrival handling),
-//! * telemetry: the disabled-path overhead contract (an emit with no
-//!   sink installed must cost one `Option` branch — the closure never
-//!   runs) against the enabled path for contrast,
-//! * minidb: parse/plan/execute of a representative star query.
-//!
-//! A plain `harness = false` timing binary (the hermetic-build substitute
-//! for criterion): each case is warmed up, then timed over enough
-//! iterations to smooth scheduler noise, reporting mean ns/iter. Set
-//! `QA_BENCH_SECONDS` to change the per-case time budget (default 1s;
-//! `cargo test`/`cargo bench` smoke-runs use the same binary).
-
-use qa_core::MechanismKind;
-use qa_economics::{
-    solve_supply_greedy, solve_supply_optimal, LinearCapacitySet, NonTatonnementPricer,
-    PriceVector, PricerConfig, QuantityVector,
-};
-use qa_sim::config::SimConfig;
-use qa_sim::experiments::two_class_trace;
-use qa_sim::federation::Federation;
-use qa_sim::scenario::{Scenario, TwoClassParams};
-use std::hint::black_box;
-use std::time::{Duration, Instant};
-
-/// Per-case time budget.
-fn budget() -> Duration {
-    let secs = std::env::var("QA_BENCH_SECONDS")
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(1.0);
-    Duration::from_secs_f64(secs.clamp(0.05, 120.0))
-}
-
-/// Times `f` by doubling batch sizes until the budget is spent; prints the
-/// mean ns/iter of the largest batch (warm caches, amortized clock reads).
-fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
-    let budget = budget();
-    // Warm-up: one call, also yields a duration estimate.
-    let start = Instant::now();
-    black_box(f());
-    let mut per_iter = start.elapsed().max(Duration::from_nanos(1));
-
-    let mut batch: u64 = 1;
-    let started = Instant::now();
-    let mut last = per_iter;
-    while started.elapsed() < budget {
-        // Size the batch to ~1/4 of the remaining budget, at least 1.
-        let remaining = budget.saturating_sub(started.elapsed());
-        batch = ((remaining.as_secs_f64() / 4.0 / per_iter.as_secs_f64()) as u64).max(1);
-        let t = Instant::now();
-        for _ in 0..batch {
-            black_box(f());
-        }
-        last = t.elapsed() / (batch as u32).max(1);
-        per_iter = last.max(Duration::from_nanos(1));
-    }
-    println!(
-        "{name:<44} {:>12.0} ns/iter  ({batch} iters/batch)",
-        last.as_nanos() as f64
-    );
-}
-
-fn bench_supply_solvers() {
-    // 100 classes, realistic cost spread.
-    let costs: Vec<Option<f64>> = (0..100)
-        .map(|i| {
-            if i % 10 == 0 {
-                None
-            } else {
-                Some(50.0 + (i as f64 * 37.0) % 2_000.0)
-            }
-        })
-        .collect();
-    let set = LinearCapacitySet::new(costs, 500.0);
-    let prices = PriceVector::from_prices((0..100).map(|i| 0.5 + (i as f64 % 7.0)).collect());
-
-    bench("supply/greedy_100_classes", || {
-        solve_supply_greedy(black_box(&prices), black_box(&set), None)
-    });
-    bench("supply/optimal_dp_100_classes", || {
-        solve_supply_optimal(black_box(&prices), black_box(&set), None, 500)
-    });
-}
-
-fn bench_price_adjustment() {
-    let leftover = QuantityVector::from_counts((0..100).map(|i| i % 3).collect());
-    bench("pricer/reject_and_period_end_100_classes", || {
-        let mut p = NonTatonnementPricer::new(100, PricerConfig::default());
-        for k in 0..100 {
-            if k % 2 == 0 {
-                p.on_rejection(k);
-            }
-        }
-        p.on_period_end(black_box(&leftover));
-        p
-    });
-}
-
-fn bench_allocation() {
-    let mut cfg = SimConfig::small_test(42);
-    cfg.num_nodes = 50;
-    let scenario = Scenario::two_class(cfg, TwoClassParams::default());
-    let trace = two_class_trace(&scenario, 0.05, 0.6, 10);
-    for m in [
-        MechanismKind::QaNt,
-        MechanismKind::Greedy,
-        MechanismKind::Random,
-    ] {
-        bench(&format!("allocate_run_10s_50_nodes/{m}"), || {
-            Federation::new(black_box(&scenario), m, black_box(&trace)).run(&trace)
-        });
-    }
-}
-
-fn bench_telemetry() {
-    use qa_simnet::telemetry::{CountingSink, PriceReason, Telemetry, TelemetryEvent};
-
-    // The zero-cost contract: with no sink installed, an emit is one
-    // `Option` branch and the event-building closure never runs. Compare
-    // against the pricer baseline above (which runs with telemetry
-    // disabled) to see the overhead is unmeasurable.
-    let disabled = Telemetry::disabled();
-    bench("telemetry/emit_disabled", || {
-        disabled.emit(|| TelemetryEvent::PriceAdjusted {
-            node: black_box(3),
-            class: 7,
-            old: 1.0,
-            new: 1.1,
-            reason: PriceReason::Rejection,
-        });
-    });
-    bench("telemetry/span_disabled", || disabled.span("bench.noop"));
-
-    // Enabled path for contrast: event built, sink invoked (counting
-    // sink, so no allocation growth distorts the numbers).
-    let enabled = Telemetry::with_sink(Box::new(CountingSink::new()));
-    bench("telemetry/emit_enabled_counting_sink", || {
-        enabled.emit(|| TelemetryEvent::PriceAdjusted {
-            node: black_box(3),
-            class: 7,
-            old: 1.0,
-            new: 1.1,
-            reason: PriceReason::Rejection,
-        });
-    });
-    bench("telemetry/span_enabled", || enabled.span("bench.span"));
-
-    // The full pricer loop with telemetry attached to a counting sink —
-    // the realistic "tracing a run" cost next to
-    // pricer/reject_and_period_end_100_classes.
-    let leftover = QuantityVector::from_counts((0..100).map(|i| i % 3).collect());
-    bench("pricer/reject_and_period_end_traced", || {
-        let mut p = NonTatonnementPricer::new(100, PricerConfig::default());
-        p.set_telemetry(enabled.with_label(0));
-        for k in 0..100 {
-            if k % 2 == 0 {
-                p.on_rejection(k);
-            }
-        }
-        p.on_period_end(black_box(&leftover));
-        p
-    });
-}
-
-fn bench_minidb() {
-    use qa_minidb::{Database, Value};
-    let mut db = Database::new();
-    db.execute("CREATE TABLE fact (id INT, a INT, b FLOAT, g INT)")
-        .unwrap();
-    db.execute("CREATE TABLE dim (id INT, v FLOAT)").unwrap();
-    db.load_rows(
-        "fact",
-        (0..2_000)
-            .map(|i| {
-                vec![
-                    Value::Int(i),
-                    Value::Int(i % 997),
-                    Value::Float(i as f64),
-                    Value::Int(i % 20),
-                ]
-            })
-            .collect(),
-    )
-    .unwrap();
-    db.load_rows(
-        "dim",
-        (0..500)
-            .map(|i| vec![Value::Int(i * 4), Value::Float(i as f64)])
-            .collect(),
-    )
-    .unwrap();
-    let sql = "SELECT f.g, COUNT(*), SUM(d.v) FROM fact AS f JOIN dim AS d ON f.id = d.id \
-               WHERE f.a > 100 GROUP BY f.g ORDER BY f.g";
-
-    bench("minidb/plan_star_query", || {
-        db.plan(black_box(sql)).unwrap()
-    });
-    bench("minidb/explain_star_query", || {
-        db.explain(black_box(sql)).unwrap()
-    });
-    bench("minidb/execute_star_query_2k_rows", || {
-        db.query(black_box(sql)).unwrap()
-    });
-}
+//! Thin `harness = false` wrapper over [`qa_bench::micro`], so
+//! `cargo bench` and the `perf_baseline` bin time the same cases.
 
 fn main() {
-    println!("qa-bench micro (budget {:?}/case)\n", budget());
-    bench_supply_solvers();
-    bench_price_adjustment();
-    bench_allocation();
-    bench_telemetry();
-    bench_minidb();
+    qa_bench::micro::run_all();
 }

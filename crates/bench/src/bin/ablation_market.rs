@@ -10,11 +10,10 @@
 //! Each variant runs the near-capacity and 2× overload sinusoid scenarios;
 //! lower mean response is better.
 
-use qa_bench::{fmt_ms, render_table, scale, write_json, Scale};
+use qa_bench::{fmt_ms, render_table, scale, write_json, Scale, Sweep};
 use qa_core::MechanismKind;
 use qa_sim::config::SimConfig;
-use qa_sim::experiments::two_class_trace;
-use qa_sim::federation::Federation;
+use qa_sim::experiments::{run_cell, two_class_trace};
 use qa_sim::scenario::{Scenario, TwoClassParams};
 
 struct AblationRow {
@@ -31,19 +30,17 @@ qa_simnet::impl_to_json!(AblationRow {
     retries_at_2_0
 });
 
-fn run_variant(base: &SimConfig, secs: u64) -> (f64, f64, u64) {
-    let scenario = Scenario::two_class(base.clone(), TwoClassParams::default());
-    let mut out = [f64::NAN; 2];
-    let mut retries = 0;
-    for (i, frac) in [0.9, 2.0].into_iter().enumerate() {
-        let trace = two_class_trace(&scenario, 0.05, frac, secs);
-        let r = Federation::new(&scenario, MechanismKind::QaNt, &trace).run(&trace);
-        out[i] = r.metrics.mean_response_ms().unwrap_or(f64::NAN);
-        if i == 1 {
-            retries = r.metrics.retries;
-        }
-    }
-    (out[0], out[1], retries)
+/// One cell: QA-NT under `config` at load `frac`; returns (mean ms,
+/// retries). The scenario rebuild is a pure function of the config, so
+/// cells are independent and the sweep can fan them over threads.
+fn variant_cell(config: &SimConfig, frac: f64, secs: u64) -> (f64, u64) {
+    let scenario = Scenario::two_class(config.clone(), TwoClassParams::default());
+    let trace = two_class_trace(&scenario, 0.05, frac, secs);
+    let r = run_cell(&scenario, &trace, MechanismKind::QaNt);
+    (
+        r.metrics.mean_response_ms().unwrap_or(f64::NAN),
+        r.metrics.retries,
+    )
 }
 
 fn main() {
@@ -85,16 +82,23 @@ fn main() {
     }
 
     println!("Market-design ablation — QA-NT mean response (ms)\n");
-    let mut results = Vec::new();
-    for (name, cfg) in variants {
-        let (a, b, r) = run_variant(&cfg, secs);
-        results.push(AblationRow {
-            variant: name,
-            mean_ms_at_0_9: a,
-            mean_ms_at_2_0: b,
-            retries_at_2_0: r,
-        });
-    }
+    // One cell per (variant, load): 12 independent runs.
+    let cells: Vec<(usize, f64)> = (0..variants.len())
+        .flat_map(|i| [(i, 0.9), (i, 2.0)])
+        .collect();
+    let cell_out = Sweep::from_env().map(&cells, |_, &(i, frac)| {
+        variant_cell(&variants[i].1, frac, secs)
+    });
+    let results: Vec<AblationRow> = variants
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| AblationRow {
+            variant: name.clone(),
+            mean_ms_at_0_9: cell_out[2 * i].0,
+            mean_ms_at_2_0: cell_out[2 * i + 1].0,
+            retries_at_2_0: cell_out[2 * i + 1].1,
+        })
+        .collect();
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {

@@ -6,11 +6,10 @@
 //! *client* nodes under overload: Jain's fairness index over the
 //! per-origin mean response times (1.0 = perfectly even).
 
-use qa_bench::{fmt_ms, render_table, scale, write_json, Scale};
+use qa_bench::{fmt_ms, render_table, scale, write_json, Scale, Sweep};
 use qa_core::MechanismKind;
 use qa_sim::config::SimConfig;
-use qa_sim::experiments::two_class_trace;
-use qa_sim::federation::Federation;
+use qa_sim::experiments::{run_cell, two_class_trace};
 use qa_sim::scenario::{Scenario, TwoClassParams};
 
 struct FairnessRow {
@@ -42,15 +41,14 @@ fn main() {
         frac * 100.0
     );
 
-    let mut rows = Vec::new();
-    for m in MechanismKind::DYNAMIC {
-        let out = Federation::new(&scenario, m, &trace).run(&trace);
-        rows.push(FairnessRow {
+    let rows = Sweep::from_env().map(&MechanismKind::DYNAMIC, |_, &m| {
+        let out = run_cell(&scenario, &trace, m);
+        FairnessRow {
             mechanism: m.to_string(),
             mean_response_ms: out.metrics.mean_response_ms().unwrap_or(f64::NAN),
             origin_fairness: out.metrics.origin_fairness().unwrap_or(f64::NAN),
-        });
-    }
+        }
+    });
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

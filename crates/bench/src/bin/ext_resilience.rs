@@ -12,7 +12,7 @@
 //! §2.2 resubmission rule is QA-NT's built-in retransmission: a lost
 //! negotiation behaves exactly like a period with no offers.
 
-use qa_bench::{fmt_ms, render_table, scale, write_json, Scale};
+use qa_bench::{fmt_ms, render_table, scale, write_json, Scale, Sweep};
 use qa_cluster::{run_experiment, ClusterConfig, ClusterMechanism, ClusterSpec};
 use qa_core::MechanismKind;
 use qa_sim::config::SimConfig;
@@ -89,9 +89,18 @@ fn main() {
         trace.len()
     );
 
-    let mut sim_rows: Vec<SimRow> = Vec::new();
+    // One cell per (crash schedule, drop probability); both mechanisms run
+    // inside the cell because normalization is intra-cell (vs QA-NT at the
+    // same condition).
+    let mut conditions: Vec<(usize, f64)> = Vec::new();
     for &crashes in &[0usize, 2] {
         for &p in &DROP_PROBS {
+            conditions.push((crashes, p));
+        }
+    }
+    let sim_rows: Vec<SimRow> = Sweep::from_env()
+        .map(&conditions, |_, &(crashes, p)| {
+            let mut rows = Vec::with_capacity(2);
             let mut qant_mean = f64::NAN;
             for m in [MechanismKind::QaNt, MechanismKind::Greedy] {
                 let mut f = Federation::new(&scenario, m, &trace);
@@ -110,7 +119,7 @@ fn main() {
                 if m == MechanismKind::QaNt {
                     qant_mean = mean;
                 }
-                sim_rows.push(SimRow {
+                rows.push(SimRow {
                     mechanism: m.to_string(),
                     drop_prob: p,
                     crashes,
@@ -121,8 +130,11 @@ fn main() {
                     retries: out.metrics.retries,
                 });
             }
-        }
-    }
+            rows
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     let table: Vec<Vec<String>> = sim_rows
         .iter()
         .map(|r| {

@@ -3,16 +3,30 @@
 //! Prints Q1/Q2 arrivals per half-second for the canonical two-class
 //! workload (0.05 Hz, 90° phase offset, peak Q1 = 2 × peak Q2).
 
-use qa_bench::{render_table, scale, write_json, Scale};
+use qa_bench::{render_table, scale, write_json, Scale, Sweep};
 use qa_sim::config::SimConfig;
-use qa_sim::experiments::fig3_sinusoid_workload;
+use qa_sim::experiments::{two_class_trace, Fig3Result};
+use qa_sim::scenario::{Scenario, TwoClassParams};
+use qa_workload::ClassId;
 
 fn main() {
     let (config, secs) = match scale() {
         Scale::Ci => (SimConfig::small_test(2007), 40),
         Scale::Full => (SimConfig::paper_defaults(), 60),
     };
-    let r = fig3_sinusoid_workload(&config, 0.05, 0.6, secs);
+    let scenario = Scenario::two_class(config.clone(), TwoClassParams::default());
+    let trace = two_class_trace(&scenario, 0.05, 0.6, secs);
+    let classes = [ClassId(0), ClassId(1)];
+    let mut series = Sweep::from_env()
+        .map(&classes, |_, &c| {
+            trace.arrivals_per_period(config.period, Some(c))
+        })
+        .into_iter();
+    let r = Fig3Result {
+        period_ms: config.period.as_millis(),
+        q1_per_period: series.next().expect("two series"),
+        q2_per_period: series.next().expect("two series"),
+    };
 
     println!(
         "Figure 3 — example sinusoid workload (arrivals per {} ms)\n",

@@ -4,16 +4,21 @@
 //! every dynamic mechanism runs the same trace; responses are normalized by
 //! QA-NT's (the paper's y-axis).
 
-use qa_bench::{fmt_ms, render_table, scale, write_json, Scale};
+use qa_bench::{fmt_ms, render_table, scale, write_json, Scale, Sweep};
+use qa_core::MechanismKind;
 use qa_sim::config::SimConfig;
-use qa_sim::experiments::fig4_all_algorithms;
+use qa_sim::experiments::{fig4_summarize, fig4_workload, run_cell};
 
 fn main() {
     let (config, secs) = match scale() {
         Scale::Ci => (SimConfig::small_test(2007), 30),
         Scale::Full => (SimConfig::paper_defaults(), 120),
     };
-    let r = fig4_all_algorithms(&config, secs);
+    let (scenario, trace) = fig4_workload(&config, secs);
+    let outcomes = Sweep::from_env().map(&MechanismKind::DYNAMIC, |_, &m| {
+        run_cell(&scenario, &trace, m)
+    });
+    let r = fig4_summarize(&outcomes);
 
     println!(
         "Figure 4 — normalized average query response time (0.05 Hz sinusoid, peak ≈ capacity)\n"

@@ -1,9 +1,10 @@
 //! Figure 5a: Greedy's normalized response time vs average workload
 //! (10–300 % of total system capacity, 0.05 Hz sinusoid).
 
-use qa_bench::{fmt_ms, render_table, scale, write_json, Scale};
+use qa_bench::{fmt_ms, render_table, scale, write_json, Scale, Sweep};
 use qa_sim::config::SimConfig;
-use qa_sim::experiments::fig5a_load_sweep;
+use qa_sim::experiments::fig5a_point;
+use qa_sim::scenario::{Scenario, TwoClassParams};
 
 fn main() {
     let (config, fractions, secs): (SimConfig, Vec<f64>, u64) = match scale() {
@@ -14,7 +15,8 @@ fn main() {
             60,
         ),
     };
-    let pts = fig5a_load_sweep(&config, &fractions, secs);
+    let scenario = Scenario::two_class(config, TwoClassParams::default());
+    let pts = Sweep::from_env().map(&fractions, |_, &f| fig5a_point(&scenario, f, secs));
 
     println!("Figure 5a — Greedy normalized response vs average load (fraction of capacity)\n");
     let rows: Vec<Vec<String>> = pts

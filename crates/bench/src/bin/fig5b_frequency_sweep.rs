@@ -1,9 +1,10 @@
 //! Figure 5b: Greedy's normalized response vs sinusoid frequency
 //! (0.05–2 Hz at 80 % average load).
 
-use qa_bench::{fmt_ms, render_table, scale, write_json, Scale};
+use qa_bench::{fmt_ms, render_table, scale, write_json, Scale, Sweep};
 use qa_sim::config::SimConfig;
-use qa_sim::experiments::fig5b_frequency_sweep;
+use qa_sim::experiments::fig5b_point;
+use qa_sim::scenario::{Scenario, TwoClassParams};
 
 fn main() {
     let (config, freqs, secs): (SimConfig, Vec<f64>, u64) = match scale() {
@@ -14,7 +15,8 @@ fn main() {
             60,
         ),
     };
-    let pts = fig5b_frequency_sweep(&config, &freqs, secs);
+    let scenario = Scenario::two_class(config, TwoClassParams::default());
+    let pts = Sweep::from_env().map(&freqs, |_, &f| fig5b_point(&scenario, f, secs));
 
     println!("Figure 5b — Greedy normalized response vs workload frequency (80% load)\n");
     let rows: Vec<Vec<String>> = pts

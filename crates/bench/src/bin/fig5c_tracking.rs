@@ -1,16 +1,20 @@
 //! Figure 5c: Q1 arrivals vs Q1 executions per half-second, near system
 //! capacity — QA-NT tracks the load curve, Greedy falls behind.
 
-use qa_bench::{render_table, scale, write_json, Scale};
+use qa_bench::{render_table, scale, write_json, Scale, Sweep};
+use qa_core::MechanismKind;
 use qa_sim::config::SimConfig;
-use qa_sim::experiments::fig5c_tracking;
+use qa_sim::experiments::{fig5c_from_outcomes, fig5c_workload, run_cell};
 
 fn main() {
     let (config, secs) = match scale() {
         Scale::Ci => (SimConfig::small_test(2007), 15),
         Scale::Full => (SimConfig::paper_defaults(), 30),
     };
-    let r = fig5c_tracking(&config, secs);
+    let (scenario, trace) = fig5c_workload(&config, secs);
+    let mechanisms = [MechanismKind::QaNt, MechanismKind::Greedy];
+    let outcomes = Sweep::from_env().map(&mechanisms, |_, &m| run_cell(&scenario, &trace, m));
+    let r = fig5c_from_outcomes(&config, &trace, &outcomes[0], &outcomes[1]);
 
     println!(
         "Figure 5c — Q1 arrivals vs executions per {} ms window\n",

@@ -2,9 +2,9 @@
 //! response vs per-class mean inter-arrival time (Table 3 world: 100
 //! classes, 0–49 joins, 1 000 relations, ~5 mirrors).
 
-use qa_bench::{fmt_ms, render_table, scale, write_json, Scale};
+use qa_bench::{fmt_ms, render_table, scale, write_json, Scale, Sweep};
 use qa_sim::config::SimConfig;
-use qa_sim::experiments::fig6_zipf_sweep;
+use qa_sim::experiments::{fig6_point, fig6_scenario};
 
 fn main() {
     let (config, gaps, max_queries): (SimConfig, Vec<u64>, usize) = match scale() {
@@ -19,7 +19,8 @@ fn main() {
             10_000,
         ),
     };
-    let pts = fig6_zipf_sweep(&config, &gaps, max_queries);
+    let scenario = fig6_scenario(&config);
+    let pts = Sweep::from_env().map(&gaps, |_, &gap| fig6_point(&scenario, gap, max_queries));
 
     println!("Figure 6 — zipf workload: Greedy normalized response vs inter-arrival time\n");
     let rows: Vec<Vec<String>> = pts

@@ -1,0 +1,120 @@
+//! Pins the performance baseline: wall-clock of every sweep-shaped bench
+//! bin (serial `QA_THREADS=1` vs parallel at the full thread budget) plus
+//! the micro-bench suite, written to `bench_results/perf_baseline.json`.
+//!
+//! Each bin is timed as a subprocess (found next to this executable), so
+//! the numbers include exactly what a user-invoked run pays. The real
+//! cluster bin (`fig7_real_cluster`) is excluded — it spawns its own
+//! threads and sleeps on wall-clock timers, so its duration measures the
+//! experiment design, not the simulator.
+//!
+//! Scale and budget follow the usual env vars: `QA_SCALE` (ci/full) for
+//! the bins, `QA_BENCH_SECONDS` for the micro cases.
+//! `scripts/bench_baseline.sh` wraps this with a `--quick` mode for CI.
+
+use qa_bench::micro::{self, MicroResult};
+use qa_bench::write_json;
+use qa_simnet::thread_budget;
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+/// The sweep-shaped bins the parallel runner accelerates.
+const SWEEP_BINS: [&str; 11] = [
+    "fig3_sinusoid_workload",
+    "fig4_all_algorithms",
+    "fig5a_load_sweep",
+    "fig5b_frequency_sweep",
+    "fig5c_tracking",
+    "fig6_zipf_sweep",
+    "table2_comparison",
+    "table3_parameters",
+    "ablation_market",
+    "ext_fairness",
+    "ext_resilience",
+];
+
+#[derive(Debug, Clone)]
+struct BinTiming {
+    bin: String,
+    serial_s: f64,
+    parallel_s: f64,
+    speedup: f64,
+}
+
+qa_simnet::impl_to_json!(BinTiming {
+    bin,
+    serial_s,
+    parallel_s,
+    speedup
+});
+
+struct PerfBaseline {
+    scale: String,
+    threads: usize,
+    bins: Vec<BinTiming>,
+    micro: Vec<MicroResult>,
+}
+
+qa_simnet::impl_to_json!(PerfBaseline {
+    scale,
+    threads,
+    bins,
+    micro
+});
+
+/// Runs a sibling bin once with the given thread budget, returning its
+/// wall-clock seconds. Output is discarded — only the JSON the bin writes
+/// under `bench_results/` remains, same as a user run.
+fn time_bin(name: &str, threads: Option<usize>) -> f64 {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin directory");
+    let mut cmd = Command::new(dir.join(name));
+    match threads {
+        Some(n) => {
+            cmd.env("QA_THREADS", n.to_string());
+        }
+        None => {
+            cmd.env_remove("QA_THREADS");
+        }
+    }
+    cmd.stdout(Stdio::null()).stderr(Stdio::inherit());
+    let t = Instant::now();
+    let status = cmd.status().unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+    assert!(status.success(), "{name} exited with {status}");
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let scale = match qa_bench::scale() {
+        qa_bench::Scale::Ci => "ci",
+        qa_bench::Scale::Full => "full",
+    };
+    let threads = thread_budget();
+    println!("perf baseline — scale {scale}, thread budget {threads}\n");
+
+    let mut bins = Vec::new();
+    for name in SWEEP_BINS {
+        let serial_s = time_bin(name, Some(1));
+        let parallel_s = time_bin(name, None);
+        let speedup = serial_s / parallel_s.max(1e-9);
+        println!("{name:<28} serial {serial_s:>8.3}s   parallel {parallel_s:>8.3}s   speedup {speedup:>5.2}x");
+        bins.push(BinTiming {
+            bin: name.to_string(),
+            serial_s,
+            parallel_s,
+            speedup,
+        });
+    }
+    println!();
+
+    let micro = micro::run_all();
+
+    let baseline = PerfBaseline {
+        scale: scale.to_string(),
+        threads,
+        bins,
+        micro,
+    };
+    let path = write_json("perf_baseline", &baseline).expect("write result");
+    println!("\nwrote {}", path.display());
+}

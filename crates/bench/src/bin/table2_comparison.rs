@@ -2,10 +2,10 @@
 //! the measurable columns backed by an actual run (messages per query and
 //! relative performance under a near-capacity sinusoid).
 
-use qa_bench::{render_table, scale, write_json, Scale};
+use qa_bench::{render_table, scale, write_json, Scale, Sweep};
 use qa_core::MechanismKind;
 use qa_sim::config::SimConfig;
-use qa_sim::experiments::fig4_all_algorithms;
+use qa_sim::experiments::{fig4_summarize, fig4_workload, run_cell};
 
 struct Table2Row {
     mechanism: String,
@@ -32,7 +32,11 @@ fn main() {
         Scale::Ci => (SimConfig::small_test(2007), 25),
         Scale::Full => (SimConfig::paper_defaults(), 90),
     };
-    let measured = fig4_all_algorithms(&config, secs);
+    let (scenario, trace) = fig4_workload(&config, secs);
+    let outcomes = Sweep::from_env().map(&MechanismKind::DYNAMIC, |_, &m| {
+        run_cell(&scenario, &trace, m)
+    });
+    let measured = fig4_summarize(&outcomes);
 
     let rows_data: Vec<Table2Row> = MechanismKind::ALL
         .iter()

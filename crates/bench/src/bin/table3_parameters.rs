@@ -1,7 +1,7 @@
 //! Table 3: the simulation parameters — printed from the actual generated
 //! world, so the table is a measurement, not a restatement.
 
-use qa_bench::{render_table, write_json};
+use qa_bench::{render_table, write_json, Sweep};
 use qa_sim::config::SimConfig;
 use qa_sim::scenario::Scenario;
 
@@ -37,34 +37,49 @@ fn main() {
     let config = SimConfig::paper_defaults();
     let s = Scenario::table3(config);
 
-    let n = s.hardware.len() as f64;
-    let hash_join_nodes = s.hardware.iter().filter(|h| h.hash_join).count();
-    let mean =
-        |f: &dyn Fn(&qa_sim::node::NodeHardware) -> f64| s.hardware.iter().map(f).sum::<f64>() / n;
-    let rel_mb: f64 = (0..s.dataset.num_relations())
-        .map(|i| {
-            s.dataset
-                .relation(qa_workload::RelationId(i as u32))
-                .size_bytes as f64
-                / (1 << 20) as f64
-        })
-        .sum::<f64>()
-        / s.dataset.num_relations() as f64;
-    let joins_mean: f64 =
-        s.templates.iter().map(|t| t.joins as f64).sum::<f64>() / s.templates.num_classes() as f64;
+    // Each table row is an independent measurement over the shared world;
+    // the sweep fans them out (and, at thread budget 1, runs the exact
+    // serial loop).
+    let stats: [fn(&Scenario) -> f64; 11] = [
+        |s| s.hardware.len() as f64,
+        |s| s.hardware.iter().filter(|h| h.hash_join).count() as f64,
+        |s| s.hardware.iter().map(|h| h.cpu_ghz).sum::<f64>() / s.hardware.len() as f64,
+        |s| s.hardware.iter().map(|h| h.io_mbps).sum::<f64>() / s.hardware.len() as f64,
+        |s| s.hardware.iter().map(|h| h.buffer_mb).sum::<f64>() / s.hardware.len() as f64,
+        |s| s.dataset.num_relations() as f64,
+        |s| {
+            (0..s.dataset.num_relations())
+                .map(|i| {
+                    s.dataset
+                        .relation(qa_workload::RelationId(i as u32))
+                        .size_bytes as f64
+                        / (1 << 20) as f64
+                })
+                .sum::<f64>()
+                / s.dataset.num_relations() as f64
+        },
+        |s| s.dataset.mean_mirrors(),
+        |s| s.templates.num_classes() as f64,
+        |s| {
+            s.templates.iter().map(|t| t.joins as f64).sum::<f64>()
+                / s.templates.num_classes() as f64
+        },
+        |s| s.templates.mean_base_cost().as_millis_f64(),
+    ];
+    let v = Sweep::from_env().map(&stats, |_, f| f(&s));
 
     let t = Table3 {
-        num_nodes: s.hardware.len(),
-        hash_join_nodes,
-        cpu_ghz_mean: mean(&|h| h.cpu_ghz),
-        io_mbps_mean: mean(&|h| h.io_mbps),
-        buffer_mb_mean: mean(&|h| h.buffer_mb),
-        num_relations: s.dataset.num_relations(),
-        relation_mb_mean: rel_mb,
-        mean_mirrors: s.dataset.mean_mirrors(),
-        num_classes: s.templates.num_classes(),
-        joins_mean,
-        base_cost_ms_mean: s.templates.mean_base_cost().as_millis_f64(),
+        num_nodes: v[0] as usize,
+        hash_join_nodes: v[1] as usize,
+        cpu_ghz_mean: v[2],
+        io_mbps_mean: v[3],
+        buffer_mb_mean: v[4],
+        num_relations: v[5] as usize,
+        relation_mb_mean: v[6],
+        mean_mirrors: v[7],
+        num_classes: v[8] as usize,
+        joins_mean: v[9],
+        base_cost_ms_mean: v[10],
     };
 
     println!("Table 3 — simulation parameters (measured from the generated world)\n");

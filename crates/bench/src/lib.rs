@@ -13,7 +13,57 @@
 //!   minutes of runtime.
 
 use qa_simnet::json::ToJson;
+use qa_simnet::{par_map_indexed_with, thread_budget};
 use std::path::PathBuf;
+
+pub mod micro;
+
+/// Fans the independent cells of a sweep (parameter grid × mechanisms ×
+/// seeds) over a scoped worker pool.
+///
+/// Cells must be pure functions of their inputs — every cell derives its
+/// randomness from the scenario seed, never from shared mutable state —
+/// so fanning them out changes nothing about the numbers. Results come
+/// back in input order, which keeps the rendered tables and JSON files
+/// **byte-identical** to the serial run at any thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct Sweep {
+    threads: usize,
+}
+
+impl Sweep {
+    /// Budget from the `QA_THREADS` env var; default all available cores.
+    /// `QA_THREADS=1` reproduces the exact pre-parallel behaviour (cells
+    /// run inline on the caller thread, no workers spawned).
+    pub fn from_env() -> Sweep {
+        Sweep {
+            threads: thread_budget(),
+        }
+    }
+
+    /// A sweep pinned to an explicit thread budget (determinism tests
+    /// compare budgets without touching the process environment).
+    pub fn with_threads(threads: usize) -> Sweep {
+        assert!(threads >= 1, "thread budget must be at least 1");
+        Sweep { threads }
+    }
+
+    /// The configured worker budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f(index, cell)` over `cells`, returning results in input
+    /// order regardless of which worker ran which cell.
+    pub fn map<T, R, F>(&self, cells: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        par_map_indexed_with(self.threads, cells, f)
+    }
+}
 
 /// Experiment scale selected via the `QA_SCALE` env var.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +158,21 @@ mod tests {
         assert_eq!(fmt_ms(1234.6), "1235");
         assert_eq!(fmt_ms(12.345), "12.35");
         assert_eq!(fmt_ms(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn sweep_map_preserves_input_order() {
+        let cells: Vec<u32> = (0..64).collect();
+        let serial = Sweep::with_threads(1).map(&cells, |i, &c| (i, c * 2));
+        for threads in [2, 8] {
+            let par = Sweep::with_threads(threads).map(&cells, |i, &c| (i, c * 2));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_from_env_has_positive_budget() {
+        assert!(Sweep::from_env().threads() >= 1);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Microbenchmarks for the hot paths of the allocation stack:
+//!
+//! * the eq.-4 supply solvers (greedy vs exact DP, uncached vs the
+//!   density-order cache),
+//! * the non-tâtonnement price adjustment,
+//! * one full market period of the federation (supply solves + per-query
+//!   allocation for every arrival of a 500 ms window),
+//! * the event queue's schedule/pop cycle,
+//! * the per-query allocation decision of each mechanism (end-to-end
+//!   simulator arrival handling),
+//! * telemetry: the disabled-path overhead contract (an emit with no
+//!   sink installed must cost one `Option` branch — the closure never
+//!   runs) against the enabled path for contrast,
+//! * minidb: parse/plan/execute of a representative star query.
+//!
+//! A plain timing loop (the hermetic-build substitute for criterion):
+//! each case is warmed up, then timed over enough iterations to smooth
+//! scheduler noise, reporting mean ns/iter. Set `QA_BENCH_SECONDS` to
+//! change the per-case time budget (default 1 s). Both the
+//! `harness = false` bench binary (`benches/micro.rs`) and the
+//! `perf_baseline` bin run this suite, so the pinned baseline and ad-hoc
+//! runs measure the same cases.
+
+use qa_core::MechanismKind;
+use qa_economics::{
+    solve_supply_greedy, solve_supply_greedy_cached, solve_supply_optimal, DensityOrderCache,
+    LinearCapacitySet, NonTatonnementPricer, PriceVector, PricerConfig, QuantityVector,
+};
+use qa_sim::config::SimConfig;
+use qa_sim::experiments::two_class_trace;
+use qa_sim::federation::Federation;
+use qa_sim::scenario::{Scenario, TwoClassParams};
+use qa_simnet::{EventQueue, SimTime};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One timed case: mean nanoseconds per iteration of the final batch.
+#[derive(Debug, Clone)]
+pub struct MicroResult {
+    /// Case name (`area/case` convention).
+    pub name: String,
+    /// Mean ns/iter of the last (largest) batch.
+    pub ns_per_iter: f64,
+}
+
+qa_simnet::impl_to_json!(MicroResult { name, ns_per_iter });
+
+/// Per-case time budget from `QA_BENCH_SECONDS` (default 1 s, clamped to
+/// 0.05–120 s).
+pub fn budget() -> Duration {
+    let secs = std::env::var("QA_BENCH_SECONDS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    Duration::from_secs_f64(secs.clamp(0.05, 120.0))
+}
+
+/// Times `f` by doubling batch sizes until the budget is spent; prints and
+/// returns the mean ns/iter of the largest batch (warm caches, amortized
+/// clock reads).
+fn bench<R>(out: &mut Vec<MicroResult>, name: &str, mut f: impl FnMut() -> R) {
+    let budget = budget();
+    // Warm-up: one call, also yields a duration estimate.
+    let start = Instant::now();
+    black_box(f());
+    let mut per_iter = start.elapsed().max(Duration::from_nanos(1));
+
+    let mut batch: u64 = 1;
+    let started = Instant::now();
+    let mut last = per_iter;
+    while started.elapsed() < budget {
+        // Size the batch to ~1/4 of the remaining budget, at least 1.
+        let remaining = budget.saturating_sub(started.elapsed());
+        batch = ((remaining.as_secs_f64() / 4.0 / per_iter.as_secs_f64()) as u64).max(1);
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        last = t.elapsed() / (batch as u32).max(1);
+        per_iter = last.max(Duration::from_nanos(1));
+    }
+    println!(
+        "{name:<44} {:>12.0} ns/iter  ({batch} iters/batch)",
+        last.as_nanos() as f64
+    );
+    out.push(MicroResult {
+        name: name.to_string(),
+        ns_per_iter: last.as_nanos() as f64,
+    });
+}
+
+fn bench_supply_solvers(out: &mut Vec<MicroResult>) {
+    // 100 classes, realistic cost spread.
+    let costs: Vec<Option<f64>> = (0..100)
+        .map(|i| {
+            if i % 10 == 0 {
+                None
+            } else {
+                Some(50.0 + (i as f64 * 37.0) % 2_000.0)
+            }
+        })
+        .collect();
+    let set = LinearCapacitySet::new(costs, 500.0);
+    let prices = PriceVector::from_prices((0..100).map(|i| 0.5 + (i as f64 % 7.0)).collect());
+
+    bench(out, "supply/greedy_100_classes", || {
+        solve_supply_greedy(black_box(&prices), black_box(&set), None)
+    });
+    // The steady-state QA-NT shape: prices unchanged between solves, so
+    // the density-order cache skips the sort entirely.
+    let mut cache = DensityOrderCache::new();
+    bench(out, "supply/greedy_100_classes_cached", || {
+        solve_supply_greedy_cached(black_box(&prices), black_box(&set), None, &mut cache)
+    });
+    bench(out, "supply/optimal_dp_100_classes", || {
+        solve_supply_optimal(black_box(&prices), black_box(&set), None, 500)
+    });
+}
+
+fn bench_price_adjustment(out: &mut Vec<MicroResult>) {
+    let leftover = QuantityVector::from_counts((0..100).map(|i| i % 3).collect());
+    bench(out, "pricer/reject_and_period_end_100_classes", || {
+        let mut p = NonTatonnementPricer::new(100, PricerConfig::default());
+        for k in 0..100 {
+            if k % 2 == 0 {
+                p.on_rejection(k);
+            }
+        }
+        p.on_period_end(black_box(&leftover));
+        p
+    });
+}
+
+fn bench_event_queue(out: &mut Vec<MicroResult>) {
+    // The kernel's innermost loop: schedule a burst, drain it in time
+    // order. 256 events per iteration keeps the heap realistically deep.
+    bench(out, "event_queue/schedule_pop_256", || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..256u64 {
+            // Scattered (not sorted) insertion order exercises sift-up.
+            q.schedule(SimTime::from_micros((i * 7919) % 4096), i);
+        }
+        let mut acc = 0u64;
+        while let Some(ev) = q.pop() {
+            acc = acc.wrapping_add(ev.payload);
+        }
+        acc
+    });
+}
+
+fn bench_federation_period(out: &mut Vec<MicroResult>) {
+    // One market period end-to-end: the t=0 supply solves plus every
+    // arrival of a single 500 ms window (trace horizon = 1 s keeps it to
+    // two periods; per-iter cost is dominated by the per-period path the
+    // serial optimizations target).
+    let mut cfg = SimConfig::small_test(42);
+    cfg.num_nodes = 50;
+    let scenario = Scenario::two_class(cfg, TwoClassParams::default());
+    let trace = two_class_trace(&scenario, 0.05, 0.8, 1);
+    bench(out, "federation/single_period_50_nodes", || {
+        Federation::new(black_box(&scenario), MechanismKind::QaNt, black_box(&trace)).run(&trace)
+    });
+}
+
+fn bench_allocation(out: &mut Vec<MicroResult>) {
+    let mut cfg = SimConfig::small_test(42);
+    cfg.num_nodes = 50;
+    let scenario = Scenario::two_class(cfg, TwoClassParams::default());
+    let trace = two_class_trace(&scenario, 0.05, 0.6, 10);
+    for m in [
+        MechanismKind::QaNt,
+        MechanismKind::Greedy,
+        MechanismKind::Random,
+    ] {
+        bench(out, &format!("allocate_run_10s_50_nodes/{m}"), || {
+            Federation::new(black_box(&scenario), m, black_box(&trace)).run(&trace)
+        });
+    }
+}
+
+fn bench_telemetry(out: &mut Vec<MicroResult>) {
+    use qa_simnet::telemetry::{CountingSink, PriceReason, Telemetry, TelemetryEvent};
+
+    // The zero-cost contract: with no sink installed, an emit is one
+    // `Option` branch and the event-building closure never runs. Compare
+    // against the pricer baseline above (which runs with telemetry
+    // disabled) to see the overhead is unmeasurable.
+    let disabled = Telemetry::disabled();
+    bench(out, "telemetry/emit_disabled", || {
+        disabled.emit(|| TelemetryEvent::PriceAdjusted {
+            node: black_box(3),
+            class: 7,
+            old: 1.0,
+            new: 1.1,
+            reason: PriceReason::Rejection,
+        });
+    });
+    bench(out, "telemetry/span_disabled", || {
+        disabled.span("bench.noop")
+    });
+
+    // Enabled path for contrast: event built, sink invoked (counting
+    // sink, so no allocation growth distorts the numbers).
+    let enabled = Telemetry::with_sink(Box::new(CountingSink::new()));
+    bench(out, "telemetry/emit_enabled_counting_sink", || {
+        enabled.emit(|| TelemetryEvent::PriceAdjusted {
+            node: black_box(3),
+            class: 7,
+            old: 1.0,
+            new: 1.1,
+            reason: PriceReason::Rejection,
+        });
+    });
+    bench(out, "telemetry/span_enabled", || enabled.span("bench.span"));
+
+    // The full pricer loop with telemetry attached to a counting sink —
+    // the realistic "tracing a run" cost next to
+    // pricer/reject_and_period_end_100_classes.
+    let leftover = QuantityVector::from_counts((0..100).map(|i| i % 3).collect());
+    bench(out, "pricer/reject_and_period_end_traced", || {
+        let mut p = NonTatonnementPricer::new(100, PricerConfig::default());
+        p.set_telemetry(enabled.with_label(0));
+        for k in 0..100 {
+            if k % 2 == 0 {
+                p.on_rejection(k);
+            }
+        }
+        p.on_period_end(black_box(&leftover));
+        p
+    });
+}
+
+fn bench_minidb(out: &mut Vec<MicroResult>) {
+    use qa_minidb::{Database, Value};
+    let mut db = Database::new();
+    db.execute("CREATE TABLE fact (id INT, a INT, b FLOAT, g INT)")
+        .unwrap();
+    db.execute("CREATE TABLE dim (id INT, v FLOAT)").unwrap();
+    db.load_rows(
+        "fact",
+        (0..2_000)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 997),
+                    Value::Float(i as f64),
+                    Value::Int(i % 20),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    db.load_rows(
+        "dim",
+        (0..500)
+            .map(|i| vec![Value::Int(i * 4), Value::Float(i as f64)])
+            .collect(),
+    )
+    .unwrap();
+    let sql = "SELECT f.g, COUNT(*), SUM(d.v) FROM fact AS f JOIN dim AS d ON f.id = d.id \
+               WHERE f.a > 100 GROUP BY f.g ORDER BY f.g";
+
+    bench(out, "minidb/plan_star_query", || {
+        db.plan(black_box(sql)).unwrap()
+    });
+    bench(out, "minidb/explain_star_query", || {
+        db.explain(black_box(sql)).unwrap()
+    });
+    bench(out, "minidb/execute_star_query_2k_rows", || {
+        db.query(black_box(sql)).unwrap()
+    });
+}
+
+/// Runs every case, printing one line per case and returning the
+/// measurements.
+pub fn run_all() -> Vec<MicroResult> {
+    println!("qa-bench micro (budget {:?}/case)\n", budget());
+    let mut out = Vec::new();
+    bench_supply_solvers(&mut out);
+    bench_price_adjustment(&mut out);
+    bench_event_queue(&mut out);
+    bench_federation_period(&mut out);
+    bench_allocation(&mut out);
+    bench_telemetry(&mut out);
+    bench_minidb(&mut out);
+    out
+}

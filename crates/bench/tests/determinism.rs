@@ -1,0 +1,73 @@
+//! The parallel-sweep determinism contract: fanning sweep cells over any
+//! number of worker threads must leave the serialized results
+//! **byte-identical** to the serial loop.
+//!
+//! Each test renders results through the same `ToJson::pretty()` path the
+//! bench bins use for their `bench_results/*.json` files, so equality
+//! here is equality of the shipped artifacts. Thread budgets are pinned
+//! via [`Sweep::with_threads`] — not the `QA_THREADS` env var — because
+//! the test harness runs tests concurrently and env mutation would race.
+
+use qa_bench::Sweep;
+use qa_core::MechanismKind;
+use qa_sim::config::SimConfig;
+use qa_sim::experiments::{
+    fig4_all_algorithms, fig4_summarize, fig4_workload, fig5a_load_sweep, fig5a_point, fig6_point,
+    fig6_scenario, fig6_zipf_sweep, run_cell,
+};
+use qa_sim::scenario::{Scenario, TwoClassParams};
+use qa_simnet::json::ToJson;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn fig5a_json_is_identical_across_thread_counts() {
+    let config = SimConfig::small_test(2007);
+    let fractions = [0.3, 0.8, 1.5];
+    // The retained serial entry point is the reference.
+    let reference = fig5a_load_sweep(&config, &fractions, 8).to_json().pretty();
+    let scenario = Scenario::two_class(config, TwoClassParams::default());
+    for threads in THREADS {
+        let pts =
+            Sweep::with_threads(threads).map(&fractions, |_, &f| fig5a_point(&scenario, f, 8));
+        assert_eq!(
+            pts.to_json().pretty(),
+            reference,
+            "fig5a diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fig4_json_is_identical_across_thread_counts() {
+    let config = SimConfig::small_test(2007);
+    let reference = fig4_all_algorithms(&config, 10).to_json().pretty();
+    let (scenario, trace) = fig4_workload(&config, 10);
+    for threads in THREADS {
+        let outcomes = Sweep::with_threads(threads).map(&MechanismKind::DYNAMIC, |_, &m| {
+            run_cell(&scenario, &trace, m)
+        });
+        assert_eq!(
+            fig4_summarize(&outcomes).to_json().pretty(),
+            reference,
+            "fig4 diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fig6_json_is_identical_across_thread_counts() {
+    let mut config = SimConfig::small_test(2007);
+    config.num_nodes = 20;
+    let gaps = [2_000u64, 10_000];
+    let reference = fig6_zipf_sweep(&config, &gaps, 200).to_json().pretty();
+    let scenario = fig6_scenario(&config);
+    for threads in THREADS {
+        let pts = Sweep::with_threads(threads).map(&gaps, |_, &g| fig6_point(&scenario, g, 200));
+        assert_eq!(
+            pts.to_json().pretty(),
+            reference,
+            "fig6 diverged at {threads} threads"
+        );
+    }
+}

@@ -278,7 +278,7 @@ impl NodeWorker {
         if self.qant.is_some() {
             let costs = self.class_costs();
             if let Some(q) = self.qant.as_mut() {
-                q.begin_period(costs, None);
+                q.begin_period(&costs, None);
             }
         }
     }
@@ -295,7 +295,7 @@ impl NodeWorker {
         q.end_period();
         let period_ms = q.config().period.as_millis_f64();
         let budget = (2.0 * period_ms - self.backlog_ms).clamp(0.5 * period_ms, 2.0 * period_ms);
-        q.begin_period_with_budget(costs, None, budget);
+        q.begin_period_with_budget(&costs, None, budget);
     }
 
     /// Per-class execution estimates (ms), `None` for classes this node

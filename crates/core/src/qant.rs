@@ -27,7 +27,9 @@
 //! the node behaves like an always-offer server (the market is a pure
 //! overload-control mechanism).
 
-use qa_economics::{NonTatonnementPricer, PriceVector, PricerConfig, QuantityVector};
+use qa_economics::{
+    DensityOrderCache, NonTatonnementPricer, PriceVector, PricerConfig, QuantityVector,
+};
 use qa_simnet::telemetry::{Telemetry, TelemetryEvent};
 use qa_simnet::{DetRng, SimDuration};
 use qa_workload::ClassId;
@@ -86,8 +88,12 @@ pub struct QantNode {
     /// rounding the paper discusses in §5.1.
     carry: Vec<f64>,
     /// The node's per-class execution times used to build the supply set
-    /// (refreshed each period — estimates may improve over time).
+    /// (refreshed each period — estimates may improve over time). Owned
+    /// buffer, refilled in place so steady-state periods allocate nothing.
     unit_costs_ms: Vec<Option<f64>>,
+    /// Memoized price-density ordering for the supply solve; re-sorted
+    /// only when prices or unit costs actually changed since last period.
+    order_cache: DensityOrderCache,
     /// Market-event sink (disabled by default: one branch per emit site).
     telemetry: Telemetry,
 }
@@ -102,6 +108,7 @@ impl QantNode {
             supply: None,
             carry: vec![0.0; k],
             unit_costs_ms: vec![None; k],
+            order_cache: DensityOrderCache::new(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -138,6 +145,7 @@ impl QantNode {
             supply: None,
             carry: vec![0.0; k],
             unit_costs_ms: vec![None; k],
+            order_cache: DensityOrderCache::new(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -175,9 +183,11 @@ impl QantNode {
     /// Step 2: start a period. `unit_costs_ms[k]` is this node's estimated
     /// execution time for class `k` in milliseconds (`None` = cannot run);
     /// `demand_caps` optionally bounds per-class supply by observed demand.
+    /// The costs are copied into an internal buffer, so the per-period hot
+    /// path never clones the caller's vector.
     pub fn begin_period(
         &mut self,
-        unit_costs_ms: Vec<Option<f64>>,
+        unit_costs_ms: &[Option<f64>],
         demand_caps: Option<&QuantityVector>,
     ) {
         let budget = self.config.period.as_millis_f64();
@@ -195,14 +205,15 @@ impl QantNode {
     /// the work-conserving form of QA-NT admission control.
     pub fn begin_period_with_budget(
         &mut self,
-        unit_costs_ms: Vec<Option<f64>>,
+        unit_costs_ms: &[Option<f64>],
         demand_caps: Option<&QuantityVector>,
         budget_ms: f64,
     ) {
         assert_eq!(unit_costs_ms.len(), self.num_classes());
         assert!(budget_ms.is_finite() && budget_ms >= 0.0);
         let _span = self.telemetry.span("qant.supply_solve");
-        self.unit_costs_ms = unit_costs_ms;
+        self.unit_costs_ms.clear();
+        self.unit_costs_ms.extend_from_slice(unit_costs_ms);
         let period_ms = budget_ms;
 
         // Integer-greedy fill by price density, with two refinements over
@@ -216,18 +227,15 @@ impl QantNode {
         //   is e.g. 0.5/period (execution longer than `T`) is supplied
         //   every other period rather than never — the integer-rounding
         //   effect the paper analyses in §5.1.
+        //
+        // The density ordering is memoized: quiet periods (no rejection,
+        // no leftover, no renormalization shift) reuse last period's sort.
+        let k_classes = self.num_classes();
         let prices = self.pricer.prices();
-        let mut order: Vec<usize> = (0..self.num_classes())
-            .filter(|&k| self.unit_costs_ms[k].is_some())
-            .collect();
-        order.sort_by(|&a, &b| {
-            let da = prices.get(a) / self.unit_costs_ms[a].expect("filtered");
-            let db = prices.get(b) / self.unit_costs_ms[b].expect("filtered");
-            db.partial_cmp(&da).expect("finite").then(a.cmp(&b))
-        });
-        let mut supply = QuantityVector::zeros(self.num_classes());
+        let order = self.order_cache.order(prices, &self.unit_costs_ms);
+        let mut supply = QuantityVector::zeros(k_classes);
         let mut remaining = period_ms;
-        for k in order {
+        for &k in order {
             let t = self.unit_costs_ms[k].expect("filtered");
             // Fractional allotment this period plus the rolled-over carry.
             let alloc = remaining / t + self.carry[k];
@@ -328,7 +336,7 @@ mod tests {
     /// Node N1 of the paper's example: q1 = 400 ms, q2 = 100 ms, T = 500 ms.
     fn n1() -> QantNode {
         let mut n = QantNode::new(2, QantConfig::default());
-        n.begin_period(vec![Some(400.0), Some(100.0)], None);
+        n.begin_period(&[Some(400.0), Some(100.0)], None);
         n
     }
 
@@ -365,7 +373,7 @@ mod tests {
         for _ in 0..60 {
             let _ = n.on_request(ClassId(0)); // unmet q1 demand
             n.end_period();
-            n.begin_period(vec![Some(400.0), Some(100.0)], None);
+            n.begin_period(&[Some(400.0), Some(100.0)], None);
             if n.supply().unwrap().get(0) > 0 {
                 break;
             }
@@ -389,7 +397,7 @@ mod tests {
     #[test]
     fn incapable_class_neither_offers_nor_moves_price() {
         let mut n = QantNode::new(2, QantConfig::default());
-        n.begin_period(vec![None, Some(100.0)], None);
+        n.begin_period(&[None, Some(100.0)], None);
         let p_before = n.prices().get(0);
         assert!(!n.on_request(ClassId(0)));
         assert_eq!(
@@ -403,7 +411,7 @@ mod tests {
     fn demand_caps_bound_supply() {
         let mut n = QantNode::new(2, QantConfig::default());
         let caps = QuantityVector::from_counts(vec![0, 2]);
-        n.begin_period(vec![Some(400.0), Some(100.0)], Some(&caps));
+        n.begin_period(&[Some(400.0), Some(100.0)], Some(&caps));
         assert_eq!(n.supply().unwrap().as_slice(), &[0, 2]);
     }
 
@@ -414,7 +422,7 @@ mod tests {
             ..QantConfig::default()
         };
         let mut n = QantNode::new(1, cfg);
-        n.begin_period(vec![Some(400.0)], None);
+        n.begin_period(&[Some(400.0)], None);
         // Supply is 1; with the market quiet the node keeps offering
         // beyond it (bypass), but every over-supply acceptance is a
         // tracked rejection event that inflates the price…
@@ -453,7 +461,7 @@ mod tests {
         let (tel, buf) = Telemetry::buffered();
         let mut n = QantNode::new(2, QantConfig::default());
         n.set_telemetry(tel.with_label(4));
-        n.begin_period(vec![Some(400.0), Some(100.0)], None);
+        n.begin_period(&[Some(400.0), Some(100.0)], None);
         let _ = n.on_request(ClassId(0)); // q1 supply is 0: refused
         let kinds: Vec<&str> = buf.records().iter().map(|r| r.event.kind()).collect();
         assert_eq!(

@@ -38,12 +38,14 @@ pub mod vectors;
 pub mod welfare;
 
 pub use market::{excess_demand, is_equilibrium, ExcessVector};
+pub use non_tatonnement::{trade_exhausts_pair, trade_is_feasible};
 pub use non_tatonnement::{NonTatonnementPricer, PricerConfig};
 pub use pareto::{dominates, enumerate_solutions, is_pareto_optimal, Solution};
 pub use preference::{EquitablePreference, Preference, ThroughputPreference, WeightedPreference};
 pub use supply::{
-    solve_supply_fractional, solve_supply_greedy, solve_supply_optimal, EnumeratedSupplySet,
-    LinearCapacitySet, SupplySet,
+    price_density_order_into, solve_supply_fractional, solve_supply_fractional_cached,
+    solve_supply_greedy, solve_supply_greedy_cached, solve_supply_optimal, DensityOrderCache,
+    EnumeratedSupplySet, LinearCapacitySet, SupplySet,
 };
 pub use tatonnement::{Tatonnement, TatonnementOutcome};
 pub use vectors::{PriceVector, QuantityVector};

@@ -28,7 +28,10 @@ pub trait SupplySet {
     fn contains(&self, s: &QuantityVector) -> bool;
 
     /// `true` iff supply could grow by one unit of class `k` from `s` and
-    /// stay feasible. Default: test `s + eₖ`.
+    /// stay feasible. Default: test `s + eₖ`. Implementors with structure
+    /// should override this — the default clones the whole vector per
+    /// probe, and QA-NT deal admission ([`crate::trade_exhausts_pair`])
+    /// probes every class of every candidate trade.
     fn can_add(&self, s: &QuantityVector, k: usize) -> bool {
         let mut grown = s.clone();
         grown.add_units(k, 1);
@@ -108,6 +111,16 @@ impl SupplySet for LinearCapacitySet {
         // times (ms), unit counts small integers.
         self.load_of(s) <= self.capacity * (1.0 + 1e-12) + 1e-9
     }
+
+    /// Allocation-free override of the default `s + eₖ` probe: growing by
+    /// one class-`k` unit adds exactly `t_k` load, so feasibility is
+    /// `load_of(s) + t_k ≤ T` (same epsilon as [`Self::contains`]).
+    fn can_add(&self, s: &QuantityVector, k: usize) -> bool {
+        match self.unit_costs[k] {
+            None => false,
+            Some(t) => self.load_of(s) + t <= self.capacity * (1.0 + 1e-12) + 1e-9,
+        }
+    }
 }
 
 /// An explicitly enumerated supply set — used in unit tests and by the
@@ -185,32 +198,91 @@ pub fn enumerate_capacity_set(
     out
 }
 
-/// Greedy first-order-conditions solver for eq. 4.
+/// Fills `out` with the indices of the supplyable classes (those with a
+/// unit cost) in descending *price density* `pₖ / tₖ`, ties broken by
+/// class index for determinism.
 ///
-/// Fills the capacity in descending price density `pₖ / tₖ`, taking as many
-/// whole units of the densest class as fit, then the next, and so on.
-/// Optional `caps` bounds the per-class supply (a node that has seen demand
-/// for at most `caps[k]` class-k queries has no reason to reserve more).
-pub fn solve_supply_greedy(
+/// This is the ordering both eq.-4 solvers fill capacity in. It reuses the
+/// caller's scratch vector — no per-call allocation once the scratch has
+/// grown to the class count.
+pub fn price_density_order_into(
     prices: &PriceVector,
-    set: &LinearCapacitySet,
-    caps: Option<&QuantityVector>,
-) -> QuantityVector {
-    let k = set.num_classes();
-    assert_eq!(prices.num_classes(), k, "class count mismatch");
-    // Classes sorted by density, ties broken by class index for determinism.
-    let mut order: Vec<usize> = (0..k).filter(|&i| set.unit_costs()[i].is_some()).collect();
-    order.sort_by(|&a, &b| {
-        let da = prices.get(a) / set.unit_costs()[a].expect("filtered");
-        let db = prices.get(b) / set.unit_costs()[b].expect("filtered");
+    unit_costs: &[Option<f64>],
+    out: &mut Vec<usize>,
+) {
+    assert_eq!(
+        prices.num_classes(),
+        unit_costs.len(),
+        "class count mismatch"
+    );
+    out.clear();
+    out.extend((0..unit_costs.len()).filter(|&i| unit_costs[i].is_some()));
+    out.sort_by(|&a, &b| {
+        let da = prices.get(a) / unit_costs[a].expect("filtered");
+        let db = prices.get(b) / unit_costs[b].expect("filtered");
         db.partial_cmp(&da)
             .expect("densities are finite")
             .then(a.cmp(&b))
     });
-    let mut supply = QuantityVector::zeros(k);
+}
+
+/// A memoized price-density ordering.
+///
+/// The supply solvers re-sort classes by `pₖ / tₖ` on every solve, but in
+/// the simulator a node's prices only move when the market does (rejections
+/// or leftover supply) and its unit costs rarely change at all — so across
+/// quiet periods the ordering is identical. This cache keys the ordering on
+/// the exact `(prices, unit_costs)` pair and re-sorts only when either
+/// changed: an `O(K)` equality scan instead of an `O(K log K)` sort with a
+/// division per comparison. All vectors are reused across calls, so a
+/// steady-state solve allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct DensityOrderCache {
+    order: Vec<usize>,
+    prices: Vec<f64>,
+    unit_costs: Vec<Option<f64>>,
+    valid: bool,
+}
+
+impl DensityOrderCache {
+    /// An empty cache; the first [`Self::order`] call computes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The density ordering for `(prices, unit_costs)`, recomputed only
+    /// when either differs from the cached pair. (Prices are finite by
+    /// `PriceVector` invariant, so the float equality scan is exact.)
+    pub fn order(&mut self, prices: &PriceVector, unit_costs: &[Option<f64>]) -> &[usize] {
+        let hit = self.valid && self.prices == prices.as_slice() && self.unit_costs == unit_costs;
+        if !hit {
+            price_density_order_into(prices, unit_costs, &mut self.order);
+            self.prices.clear();
+            self.prices.extend_from_slice(prices.as_slice());
+            self.unit_costs.clear();
+            self.unit_costs.extend_from_slice(unit_costs);
+            self.valid = true;
+        }
+        &self.order
+    }
+
+    /// Drops the memo; the next [`Self::order`] call re-sorts.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+}
+
+/// The integer greedy fill over a precomputed density ordering — the body
+/// shared by [`solve_supply_greedy`] and [`solve_supply_greedy_cached`].
+fn greedy_fill(
+    set: &LinearCapacitySet,
+    caps: Option<&QuantityVector>,
+    order: &[usize],
+) -> QuantityVector {
+    let mut supply = QuantityVector::zeros(set.num_classes());
     let mut remaining = set.capacity();
-    for i in order {
-        let t = set.unit_costs()[i].expect("filtered");
+    for &i in order {
+        let t = set.unit_costs()[i].expect("ordered classes have costs");
         let mut fit = (remaining / t).floor() as u64;
         if let Some(c) = caps {
             fit = fit.min(c.get(i));
@@ -224,39 +296,17 @@ pub fn solve_supply_greedy(
     supply
 }
 
-/// Fractional (LP-relaxation) solver for eq. 4.
-///
-/// Fills capacity in descending price density with *real-valued* amounts:
-/// the densest class absorbs everything up to its cap, then the next, and
-/// the final class may receive a fractional amount. This is the true
-/// first-order-conditions optimum of the relaxed problem; QA-NT rounds it
-/// to integers per period with an error-diffusion carry, which is exactly
-/// the rounding the paper blames for its ~5 % loss at light loads (§5.1).
-pub fn solve_supply_fractional(
-    prices: &PriceVector,
-    set: &LinearCapacitySet,
-    caps: Option<&[f64]>,
-) -> Vec<f64> {
-    let k = set.num_classes();
-    assert_eq!(prices.num_classes(), k, "class count mismatch");
-    if let Some(c) = caps {
-        assert_eq!(c.len(), k);
-    }
-    let mut order: Vec<usize> = (0..k).filter(|&i| set.unit_costs()[i].is_some()).collect();
-    order.sort_by(|&a, &b| {
-        let da = prices.get(a) / set.unit_costs()[a].expect("filtered");
-        let db = prices.get(b) / set.unit_costs()[b].expect("filtered");
-        db.partial_cmp(&da)
-            .expect("densities are finite")
-            .then(a.cmp(&b))
-    });
-    let mut supply = vec![0.0; k];
+/// The fractional fill over a precomputed density ordering — the body
+/// shared by [`solve_supply_fractional`] and
+/// [`solve_supply_fractional_cached`].
+fn fractional_fill(set: &LinearCapacitySet, caps: Option<&[f64]>, order: &[usize]) -> Vec<f64> {
+    let mut supply = vec![0.0; set.num_classes()];
     let mut remaining = set.capacity();
-    for i in order {
+    for &i in order {
         if remaining <= 0.0 {
             break;
         }
-        let t = set.unit_costs()[i].expect("filtered");
+        let t = set.unit_costs()[i].expect("ordered classes have costs");
         let mut amount = remaining / t;
         if let Some(c) = caps {
             amount = amount.min(c[i]);
@@ -267,6 +317,78 @@ pub fn solve_supply_fractional(
         }
     }
     supply
+}
+
+/// Greedy first-order-conditions solver for eq. 4.
+///
+/// Fills the capacity in descending price density `pₖ / tₖ`, taking as many
+/// whole units of the densest class as fit, then the next, and so on.
+/// Optional `caps` bounds the per-class supply (a node that has seen demand
+/// for at most `caps[k]` class-k queries has no reason to reserve more).
+///
+/// Sorts on every call; hot-path callers that solve repeatedly under
+/// slow-moving prices should use [`solve_supply_greedy_cached`].
+pub fn solve_supply_greedy(
+    prices: &PriceVector,
+    set: &LinearCapacitySet,
+    caps: Option<&QuantityVector>,
+) -> QuantityVector {
+    let mut order = Vec::new();
+    price_density_order_into(prices, set.unit_costs(), &mut order);
+    greedy_fill(set, caps, &order)
+}
+
+/// [`solve_supply_greedy`] with a memoized density ordering: the class
+/// re-sort happens only when `prices` (or the set's unit costs) changed
+/// since the cache last saw them. Byte-identical results to the uncached
+/// solver at every call.
+pub fn solve_supply_greedy_cached(
+    prices: &PriceVector,
+    set: &LinearCapacitySet,
+    caps: Option<&QuantityVector>,
+    cache: &mut DensityOrderCache,
+) -> QuantityVector {
+    let order = cache.order(prices, set.unit_costs());
+    greedy_fill(set, caps, order)
+}
+
+/// Fractional (LP-relaxation) solver for eq. 4.
+///
+/// Fills capacity in descending price density with *real-valued* amounts:
+/// the densest class absorbs everything up to its cap, then the next, and
+/// the final class may receive a fractional amount. This is the true
+/// first-order-conditions optimum of the relaxed problem; QA-NT rounds it
+/// to integers per period with an error-diffusion carry, which is exactly
+/// the rounding the paper blames for its ~5 % loss at light loads (§5.1).
+///
+/// Sorts on every call; hot-path callers should use
+/// [`solve_supply_fractional_cached`].
+pub fn solve_supply_fractional(
+    prices: &PriceVector,
+    set: &LinearCapacitySet,
+    caps: Option<&[f64]>,
+) -> Vec<f64> {
+    if let Some(c) = caps {
+        assert_eq!(c.len(), set.num_classes());
+    }
+    let mut order = Vec::new();
+    price_density_order_into(prices, set.unit_costs(), &mut order);
+    fractional_fill(set, caps, &order)
+}
+
+/// [`solve_supply_fractional`] with a memoized density ordering (see
+/// [`solve_supply_greedy_cached`]).
+pub fn solve_supply_fractional_cached(
+    prices: &PriceVector,
+    set: &LinearCapacitySet,
+    caps: Option<&[f64]>,
+    cache: &mut DensityOrderCache,
+) -> Vec<f64> {
+    if let Some(c) = caps {
+        assert_eq!(c.len(), set.num_classes());
+    }
+    let order = cache.order(prices, set.unit_costs());
+    fractional_fill(set, caps, order)
 }
 
 /// Exact solver for eq. 4 by dynamic programming over discretized capacity.
@@ -478,6 +600,111 @@ mod tests {
         let p = PriceVector::uniform(1, 1.0);
         assert_eq!(solve_supply_greedy(&p, &set, None), qv(&[0]));
         assert_eq!(solve_supply_optimal(&p, &set, None, 10), qv(&[0]));
+    }
+
+    #[test]
+    fn can_add_override_matches_clone_based_probe() {
+        // The LinearCapacitySet override must agree with the default
+        // `s + eₖ` probe on a grid of supply points, including the
+        // capacity boundary and the incapable class.
+        let set = LinearCapacitySet::new(vec![Some(400.0), Some(100.0), None], 500.0);
+        for a in 0..3u64 {
+            for b in 0..7u64 {
+                let s = QuantityVector::from_counts(vec![a, b, 0]);
+                for k in 0..3 {
+                    let mut grown = s.clone();
+                    grown.add_units(k, 1);
+                    let default_probe = grown.get(2) == 0 && set.contains(&grown);
+                    assert_eq!(
+                        set.can_add(&s, k),
+                        default_probe,
+                        "s={:?} k={k}",
+                        s.as_slice()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn density_order_helper_reuses_scratch() {
+        let p = PriceVector::from_prices(vec![4.5, 1.0, 2.0]);
+        let costs = vec![Some(400.0), Some(100.0), None];
+        let mut order = Vec::with_capacity(3);
+        price_density_order_into(&p, &costs, &mut order);
+        // densities: 4.5/400 = 0.011, 1/100 = 0.01 → class 0 first; class 2
+        // has no cost and is excluded.
+        assert_eq!(order, vec![0, 1]);
+        let cap = order.capacity();
+        price_density_order_into(&p, &costs, &mut order);
+        assert_eq!(order.capacity(), cap, "no reallocation on reuse");
+    }
+
+    #[test]
+    fn density_order_ties_break_by_class_index() {
+        // Equal densities: 2/200 == 1/100.
+        let p = PriceVector::from_prices(vec![2.0, 1.0]);
+        let costs = vec![Some(200.0), Some(100.0)];
+        let mut order = Vec::new();
+        price_density_order_into(&p, &costs, &mut order);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn cached_solvers_match_uncached_across_price_changes() {
+        let set = LinearCapacitySet::new(vec![Some(400.0), Some(100.0), Some(250.0)], 500.0);
+        let mut cache = DensityOrderCache::new();
+        let price_seq = [
+            vec![1.0, 1.0, 1.0],
+            vec![1.0, 1.0, 1.0], // unchanged: cache hit
+            vec![4.5, 1.0, 1.0], // changed: re-sort
+            vec![4.5, 1.0, 9.0],
+        ];
+        for prices in price_seq {
+            let p = PriceVector::from_prices(prices);
+            assert_eq!(
+                solve_supply_greedy_cached(&p, &set, None, &mut cache),
+                solve_supply_greedy(&p, &set, None)
+            );
+            assert_eq!(
+                solve_supply_fractional_cached(&p, &set, None, &mut cache),
+                solve_supply_fractional(&p, &set, None)
+            );
+        }
+    }
+
+    #[test]
+    fn cache_invalidates_on_cost_change() {
+        let mut cache = DensityOrderCache::new();
+        let p = PriceVector::uniform(2, 1.0);
+        let fast_q1 = LinearCapacitySet::new(vec![Some(50.0), Some(100.0)], 500.0);
+        let fast_q2 = LinearCapacitySet::new(vec![Some(400.0), Some(100.0)], 500.0);
+        let a = solve_supply_greedy_cached(&p, &fast_q1, None, &mut cache);
+        assert_eq!(a, qv(&[10, 0]));
+        // Same prices, different costs: the ordering must flip.
+        let b = solve_supply_greedy_cached(&p, &fast_q2, None, &mut cache);
+        assert_eq!(b, qv(&[0, 5]));
+        cache.invalidate();
+        assert_eq!(
+            solve_supply_greedy_cached(&p, &fast_q2, None, &mut cache),
+            b
+        );
+    }
+
+    #[test]
+    fn trade_exhaustion_uses_nonallocating_probe() {
+        // The QA-NT deal-admission rule (Definition 4 rule 2) probes
+        // `can_add` for every demanded class; with the LinearCapacitySet
+        // override this is pure arithmetic. Semantics checked against the
+        // paper's N1: with 100 ms left no q1 (400 ms) fits but a q2
+        // (100 ms) does.
+        let set = n1();
+        assert!(crate::trade_exhausts_pair(&qv(&[5, 0]), &qv(&[1, 0]), &set));
+        assert!(!crate::trade_exhausts_pair(
+            &qv(&[0, 5]),
+            &qv(&[1, 0]),
+            &set
+        ));
     }
 
     #[test]

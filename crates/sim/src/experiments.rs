@@ -6,7 +6,7 @@
 //! the harness can emit machine-readable series.
 
 use crate::config::SimConfig;
-use crate::federation::Federation;
+use crate::federation::{Federation, RunOutcome};
 use crate::metrics::MechanismSummary;
 use crate::scenario::{Scenario, TwoClassParams};
 use qa_core::MechanismKind;
@@ -17,6 +17,16 @@ use qa_workload::{ClassId, Trace};
 /// The demand mix of the two-class workload: peak Q1 rate is twice Q2's,
 /// so Q1 is 2/3 of arrivals.
 pub const TWO_CLASS_MIX: [f64; 2] = [2.0 / 3.0, 1.0 / 3.0];
+
+/// Runs one `(scenario, mechanism)` cell over `trace`.
+///
+/// This is the unit of parallelism for every sweep: a cell is a pure
+/// function of its arguments (all randomness re-derives from the scenario
+/// seed), so sweep harnesses may fan cells over threads and still collect
+/// results identical to the serial loop.
+pub fn run_cell(scenario: &Scenario, trace: &Trace, mechanism: MechanismKind) -> RunOutcome {
+    Federation::new(scenario, mechanism, trace).run(trace)
+}
 
 /// Builds the canonical two-class sinusoid trace.
 ///
@@ -86,16 +96,19 @@ pub struct Fig4Result {
 
 qa_simnet::impl_to_json!(Fig4Result { rows });
 
-/// Runs Figure 4.
-pub fn fig4_all_algorithms(config: &SimConfig, secs: u64) -> Fig4Result {
+/// The Figure-4 workload: a 0.05 Hz sinusoid whose peak sits slightly
+/// below total system capacity ("peek load was slightly below total
+/// system capacity" — a ~95 % peak is a ~0.71 average, i.e. 0.75 × 0.95).
+pub fn fig4_workload(config: &SimConfig, secs: u64) -> (Scenario, Trace) {
     let scenario = Scenario::two_class(config.clone(), TwoClassParams::default());
-    // "Peek load was slightly below total system capacity": a peak at
-    // ~95 % of capacity is an average of ~0.71 % × 0.95.
     let trace = two_class_trace(&scenario, 0.05, 0.95 * 0.75, secs);
-    let outcomes: Vec<_> = MechanismKind::DYNAMIC
-        .iter()
-        .map(|&m| Federation::new(&scenario, m, &trace).run(&trace))
-        .collect();
+    (scenario, trace)
+}
+
+/// Folds per-mechanism outcomes (QA-NT first, as in
+/// [`MechanismKind::DYNAMIC`]) into the Figure-4 rows, normalizing every
+/// response by QA-NT's.
+pub fn fig4_summarize(outcomes: &[RunOutcome]) -> Fig4Result {
     let qant = &outcomes[0].metrics;
     let rows = outcomes
         .iter()
@@ -109,6 +122,16 @@ pub fn fig4_all_algorithms(config: &SimConfig, secs: u64) -> Fig4Result {
         })
         .collect();
     Fig4Result { rows }
+}
+
+/// Runs Figure 4.
+pub fn fig4_all_algorithms(config: &SimConfig, secs: u64) -> Fig4Result {
+    let (scenario, trace) = fig4_workload(config, secs);
+    let outcomes: Vec<_> = MechanismKind::DYNAMIC
+        .iter()
+        .map(|&m| run_cell(&scenario, &trace, m))
+        .collect();
+    fig4_summarize(&outcomes)
 }
 
 // ------------------------------------------------------------- Fig. 5a/b
@@ -140,9 +163,11 @@ qa_simnet::impl_to_json!(SweepPoint {
     greedy_unserved
 });
 
-fn sweep_point(scenario: &Scenario, trace: &Trace, x: f64) -> SweepPoint {
-    let q = Federation::new(scenario, MechanismKind::QaNt, trace).run(trace);
-    let g = Federation::new(scenario, MechanismKind::Greedy, trace).run(trace);
+/// Runs the QA-NT/Greedy pair on one trace and folds both outcomes into a
+/// [`SweepPoint`] at abscissa `x`. One sweep cell.
+pub fn sweep_point(scenario: &Scenario, trace: &Trace, x: f64) -> SweepPoint {
+    let q = run_cell(scenario, trace, MechanismKind::QaNt);
+    let g = run_cell(scenario, trace, MechanismKind::Greedy);
     SweepPoint {
         x,
         qant_ms: q.metrics.mean_response_ms().unwrap_or(f64::NAN),
@@ -156,17 +181,28 @@ fn sweep_point(scenario: &Scenario, trace: &Trace, x: f64) -> SweepPoint {
     }
 }
 
+/// One Figure-5a cell: the QA-NT/Greedy pair at load fraction `frac`
+/// (0.05 Hz sinusoid).
+pub fn fig5a_point(scenario: &Scenario, frac: f64, secs: u64) -> SweepPoint {
+    let trace = two_class_trace(scenario, 0.05, frac, secs);
+    sweep_point(scenario, &trace, frac)
+}
+
 /// Figure 5a: load sweep at 0.05 Hz, average workload 10–300 % of
 /// capacity.
 pub fn fig5a_load_sweep(config: &SimConfig, fractions: &[f64], secs: u64) -> Vec<SweepPoint> {
     let scenario = Scenario::two_class(config.clone(), TwoClassParams::default());
     fractions
         .iter()
-        .map(|&f| {
-            let trace = two_class_trace(&scenario, 0.05, f, secs);
-            sweep_point(&scenario, &trace, f)
-        })
+        .map(|&f| fig5a_point(&scenario, f, secs))
         .collect()
+}
+
+/// One Figure-5b cell: the QA-NT/Greedy pair at sinusoid frequency
+/// `freq_hz` (80 % average load).
+pub fn fig5b_point(scenario: &Scenario, freq_hz: f64, secs: u64) -> SweepPoint {
+    let trace = two_class_trace(scenario, freq_hz, 0.8, secs);
+    sweep_point(scenario, &trace, freq_hz)
 }
 
 /// Figure 5b: frequency sweep 0.05–2 Hz at 80 % average load.
@@ -174,10 +210,7 @@ pub fn fig5b_frequency_sweep(config: &SimConfig, freqs_hz: &[f64], secs: u64) ->
     let scenario = Scenario::two_class(config.clone(), TwoClassParams::default());
     freqs_hz
         .iter()
-        .map(|&f| {
-            let trace = two_class_trace(&scenario, f, 0.8, secs);
-            sweep_point(&scenario, &trace, f)
-        })
+        .map(|&f| fig5b_point(&scenario, f, secs))
         .collect()
 }
 
@@ -204,21 +237,74 @@ qa_simnet::impl_to_json!(Fig5cResult {
     executed_q1_greedy
 });
 
-/// Runs Figure 5c.
-pub fn fig5c_tracking(config: &SimConfig, secs: u64) -> Fig5cResult {
+/// The Figure-5c workload: 0.05 Hz sinusoid at 95 % of capacity.
+pub fn fig5c_workload(config: &SimConfig, secs: u64) -> (Scenario, Trace) {
     let scenario = Scenario::two_class(config.clone(), TwoClassParams::default());
     let trace = two_class_trace(&scenario, 0.05, 0.95, secs);
-    let q = Federation::new(&scenario, MechanismKind::QaNt, &trace).run(&trace);
-    let g = Federation::new(&scenario, MechanismKind::Greedy, &trace).run(&trace);
+    (scenario, trace)
+}
+
+/// Folds the QA-NT and Greedy outcomes of the Figure-5c trace into the
+/// per-period tracking series.
+pub fn fig5c_from_outcomes(
+    config: &SimConfig,
+    trace: &Trace,
+    qant: &RunOutcome,
+    greedy: &RunOutcome,
+) -> Fig5cResult {
     Fig5cResult {
         period_ms: config.period.as_millis(),
         arrivals_q1: trace.arrivals_per_period(config.period, Some(ClassId(0))),
-        executed_q1_qant: q.metrics.executed_per_period_of(ClassId(0)).to_vec(),
-        executed_q1_greedy: g.metrics.executed_per_period_of(ClassId(0)).to_vec(),
+        executed_q1_qant: qant.metrics.executed_per_period_of(ClassId(0)).to_vec(),
+        executed_q1_greedy: greedy.metrics.executed_per_period_of(ClassId(0)).to_vec(),
     }
 }
 
+/// Runs Figure 5c.
+pub fn fig5c_tracking(config: &SimConfig, secs: u64) -> Fig5cResult {
+    let (scenario, trace) = fig5c_workload(config, secs);
+    let q = run_cell(&scenario, &trace, MechanismKind::QaNt);
+    let g = run_cell(&scenario, &trace, MechanismKind::Greedy);
+    fig5c_from_outcomes(config, &trace, &q, &g)
+}
+
 // ---------------------------------------------------------------- Fig. 6
+
+/// The Figure-6 world: the Table-3 generator with the §5.1 threshold
+/// engaged.
+///
+/// The zipf world has 100 classes whose execution times (≈2–8 s) dwarf
+/// the 500 ms period, so per-period integer supply is fractional for
+/// every class and strict admission control mostly adds quantization
+/// friction. This is exactly the deployment the paper's §5.1 threshold
+/// remark addresses ("track query prices but only use them ... if they
+/// are above a specific threshold"), so the Fig. 6 runs use it.
+pub fn fig6_scenario(config: &SimConfig) -> Scenario {
+    let mut config = config.clone();
+    config.qant.price_threshold = Some(2.0);
+    config.qant.renormalize_prices = false; // incompatible with thresholds
+    Scenario::table3(config)
+}
+
+/// One Figure-6 cell: zipf trace at minimum inter-arrival `gap_ms`,
+/// truncated to roughly `max_queries` arrivals.
+pub fn fig6_point(scenario: &Scenario, gap_ms: u64, max_queries: usize) -> SweepPoint {
+    let process = ZipfProcess::paper(
+        scenario.templates.num_classes(),
+        qa_simnet::SimDuration::from_millis(gap_ms),
+    );
+    let mut rng = DetRng::seed_from_u64(scenario.config.seed).derive("zipf-trace");
+    // Horizon sized to produce roughly `max_queries` arrivals.
+    let horizon_s = (max_queries as f64 * process.mean_gap_secs()
+        / scenario.templates.num_classes() as f64)
+        .clamp(10.0, 3_600.0);
+    let arrivals = process.generate(SimTime::from_secs_f64_pub(horizon_s), &mut rng);
+    let mut arrivals = arrivals;
+    arrivals.sort_by_key(|(t, c)| (*t, c.index()));
+    arrivals.truncate(max_queries);
+    let trace = Trace::from_arrivals(arrivals, scenario.config.num_nodes, &mut rng);
+    sweep_point(scenario, &trace, gap_ms as f64)
+}
 
 /// Figure 6: zipf workload, Greedy normalized response vs per-class
 /// *minimum* inter-arrival time (the paper's x-axis).
@@ -227,35 +313,10 @@ pub fn fig6_zipf_sweep(
     min_inter_arrival_ms: &[u64],
     max_queries: usize,
 ) -> Vec<SweepPoint> {
-    // The zipf world has 100 classes whose execution times (≈2–8 s) dwarf
-    // the 500 ms period, so per-period integer supply is fractional for
-    // every class and strict admission control mostly adds quantization
-    // friction. This is exactly the deployment the paper's §5.1 threshold
-    // remark addresses ("track query prices but only use them ... if they
-    // are above a specific threshold"), so the Fig. 6 runs use it.
-    let mut config = config.clone();
-    config.qant.price_threshold = Some(2.0);
-    config.qant.renormalize_prices = false; // incompatible with thresholds
-    let scenario = Scenario::table3(config.clone());
+    let scenario = fig6_scenario(config);
     min_inter_arrival_ms
         .iter()
-        .map(|&gap_ms| {
-            let process = ZipfProcess::paper(
-                scenario.templates.num_classes(),
-                qa_simnet::SimDuration::from_millis(gap_ms),
-            );
-            let mut rng = DetRng::seed_from_u64(scenario.config.seed).derive("zipf-trace");
-            // Horizon sized to produce roughly `max_queries` arrivals.
-            let horizon_s = (max_queries as f64 * process.mean_gap_secs()
-                / scenario.templates.num_classes() as f64)
-                .clamp(10.0, 3_600.0);
-            let arrivals = process.generate(SimTime::from_secs_f64_pub(horizon_s), &mut rng);
-            let mut arrivals = arrivals;
-            arrivals.sort_by_key(|(t, c)| (*t, c.index()));
-            arrivals.truncate(max_queries);
-            let trace = Trace::from_arrivals(arrivals, scenario.config.num_nodes, &mut rng);
-            sweep_point(&scenario, &trace, gap_ms as f64)
-        })
+        .map(|&gap_ms| fig6_point(&scenario, gap_ms, max_queries))
         .collect()
 }
 

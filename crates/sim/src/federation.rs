@@ -151,6 +151,11 @@ pub struct Federation<'a> {
     /// site). The run loop stamps sim-time on its shared clock, so trace
     /// timestamps are exactly as deterministic as the simulation itself.
     telemetry: Telemetry,
+    /// Scratch buffers reused across `allocate` calls so the per-query hot
+    /// path stops allocating once they reach steady-state capacity.
+    scratch_capable: Vec<NodeId>,
+    scratch_reachable: Vec<NodeId>,
+    scratch_offers: Vec<Offer>,
 }
 
 impl<'a> Federation<'a> {
@@ -184,7 +189,7 @@ impl<'a> Federation<'a> {
                         .map(|i| {
                             let mut n = qa_core::QantNode::with_jitter(k, cfg.qant, &mut price_rng);
                             n.set_telemetry(telemetry.with_label(i as u32));
-                            n.begin_period(scenario.exec_times_ms[i].clone(), None);
+                            n.begin_period(&scenario.exec_times_ms[i], None);
                             Some(n)
                         })
                         .collect(),
@@ -229,6 +234,9 @@ impl<'a> Federation<'a> {
             faults: FaultPlan::none(),
             fault_rng: DetRng::seed_from_u64(cfg.seed ^ mechanism_salt(mechanism) ^ FAULT_SALT),
             telemetry,
+            scratch_capable: Vec::new(),
+            scratch_reachable: Vec::new(),
+            scratch_offers: Vec::new(),
         }
     }
 
@@ -422,7 +430,7 @@ impl<'a> Federation<'a> {
                                     let budget =
                                         (2.0 * period_ms - backlog).clamp(floor, 2.0 * period_ms);
                                     n.begin_period_with_budget(
-                                        self.scenario.exec_times_ms[i].clone(),
+                                        &self.scenario.exec_times_ms[i],
                                         Some(&caps),
                                         budget,
                                     );
@@ -508,12 +516,15 @@ impl<'a> Federation<'a> {
     fn allocate(&mut self, now: SimTime, class: ClassId, origin: NodeId, idx: usize) -> Allocation {
         let _span = self.telemetry.span("federation.allocate");
         let link = self.scenario.config.link;
-        let capable: Vec<NodeId> = self.scenario.capable[class.index()]
-            .iter()
-            .copied()
-            .filter(|n| self.nodes[n.index()].alive)
-            .collect();
-        if capable.is_empty() {
+        self.scratch_capable.clear();
+        let nodes = &self.nodes;
+        self.scratch_capable.extend(
+            self.scenario.capable[class.index()]
+                .iter()
+                .copied()
+                .filter(|n| nodes[n.index()].alive),
+        );
+        if self.scratch_capable.is_empty() {
             return Allocation::Impossible;
         }
 
@@ -540,13 +551,13 @@ impl<'a> Federation<'a> {
             self.state,
             MechState::QaNt { .. } | MechState::Greedy { .. } | MechState::TwoProbes
         );
-        let reachable: Vec<NodeId> = if faults_on && polls {
-            let mut v = Vec::with_capacity(capable.len());
-            for &n in &capable {
+        self.scratch_reachable.clear();
+        if faults_on && polls {
+            for &n in &self.scratch_capable {
                 let request_ok = self.faults.delivers(n.index(), now, &mut self.fault_rng);
                 let reply_ok = self.faults.delivers(n.index(), now, &mut self.fault_rng);
                 if request_ok && reply_ok {
-                    v.push(n);
+                    self.scratch_reachable.push(n);
                 } else {
                     self.metrics.lost_messages += 1;
                     self.telemetry.emit(|| TelemetryEvent::MessageDropped {
@@ -555,10 +566,13 @@ impl<'a> Federation<'a> {
                     });
                 }
             }
-            v
         } else {
-            capable.clone()
-        };
+            let capable = &self.scratch_capable;
+            self.scratch_reachable.extend_from_slice(capable);
+        }
+        let capable = &self.scratch_capable;
+        let reachable = &self.scratch_reachable;
+        self.scratch_offers.clear();
 
         let (choice, mut delay) = match &mut self.state {
             MechState::QaNt { nodes } => {
@@ -566,8 +580,7 @@ impl<'a> Federation<'a> {
                 // Requests to unreachable nodes were still sent (and paid
                 // for), they just never produced an offer.
                 self.metrics.messages += (capable.len() - reachable.len()) as u64;
-                let mut offers = Vec::new();
-                for &n in &reachable {
+                for &n in reachable {
                     self.metrics.messages += 1; // call-for-offers
                     let offered = match &mut nodes[n.index()] {
                         Some(market) => market.on_request(class),
@@ -576,7 +589,7 @@ impl<'a> Federation<'a> {
                     };
                     if offered {
                         self.metrics.messages += 1; // offer
-                        offers.push(Offer {
+                        self.scratch_offers.push(Offer {
                             query_id: idx as u64,
                             server: n,
                             estimated_completion: self.nodes[n.index()]
@@ -584,10 +597,10 @@ impl<'a> Federation<'a> {
                         });
                     }
                 }
-                match choose_best_offer(&offers).copied() {
+                match choose_best_offer(&self.scratch_offers).copied() {
                     None => return Allocation::NoOffers,
                     Some(o) => {
-                        self.metrics.messages += offers.len() as u64; // accept + declines
+                        self.metrics.messages += self.scratch_offers.len() as u64; // accept + declines
                         if let Some(market) = &mut nodes[o.server.index()] {
                             market.on_accept(class);
                         }
@@ -614,7 +627,7 @@ impl<'a> Federation<'a> {
                 let mut best: Option<(SimDuration, NodeId)> = None;
                 // Only nodes whose estimate round-trip survived the link
                 // are candidates this attempt.
-                for &n in &reachable {
+                for &n in reachable {
                     let raw = self.nodes[n.index()].estimated_completion(now, exec_of(n));
                     let noisy = if err > 0.0 {
                         raw * (1.0 + self.rng.float_in(-err, err))
@@ -635,13 +648,13 @@ impl<'a> Federation<'a> {
             MechState::Random => {
                 self.metrics.messages += 1;
                 (
-                    qa_core::client::choose_random(&mut self.rng, &capable),
+                    qa_core::client::choose_random(&mut self.rng, capable),
                     one_way,
                 )
             }
             MechState::RoundRobin { per_client } => {
                 self.metrics.messages += 1;
-                (per_client[origin.index()].choose(&capable), one_way)
+                (per_client[origin.index()].choose(capable), one_way)
             }
             MechState::TwoProbes => {
                 self.metrics.messages += 5;
@@ -649,7 +662,7 @@ impl<'a> Federation<'a> {
                     return Allocation::NoOffers;
                 }
                 let nodes = &self.nodes;
-                let pick = TwoProbesChooser::choose(&mut self.rng, &reachable, |n| {
+                let pick = TwoProbesChooser::choose(&mut self.rng, reachable, |n| {
                     nodes[n.index()].backlog(now).as_millis_f64()
                 });
                 (pick, rtt)
@@ -657,7 +670,7 @@ impl<'a> Federation<'a> {
             MechState::Bnqrd { coordinator } => {
                 self.metrics.messages += 3;
                 let ref_cost = self.scenario.templates.get(class).base_cost.as_millis_f64();
-                (coordinator.assign(&capable, ref_cost), rtt)
+                (coordinator.assign(capable, ref_cost), rtt)
             }
             MechState::Markov { allocator } => {
                 self.metrics.messages += 1;
@@ -667,7 +680,7 @@ impl<'a> Federation<'a> {
                 let pick = if self.nodes[pick.index()].alive && capable.contains(&pick) {
                     pick
                 } else {
-                    qa_core::client::choose_random(&mut self.rng, &capable)
+                    qa_core::client::choose_random(&mut self.rng, capable)
                 };
                 (pick, one_way)
             }

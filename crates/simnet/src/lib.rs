@@ -22,7 +22,10 @@
 //!   fixed-bin time series) used to produce the paper's figures,
 //! * [`telemetry`] — structured market tracing (typed events, JSONL
 //!   sinks, metrics registry, convergence diagnostics), zero-cost when
-//!   disabled.
+//!   disabled,
+//! * [`par`] — a hermetic scoped thread pool whose [`par_map_indexed`]
+//!   fans independent sweep cells over the cores while keeping output
+//!   byte-identical to the serial run.
 //!
 //! Everything here is deliberately generic: the same kernel drives the
 //! 100-node simulation (`qa-sim`) and the synthetic-workload generators
@@ -33,6 +36,7 @@ pub mod event;
 pub mod fault;
 pub mod json;
 pub mod link;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -43,6 +47,7 @@ pub use event::{EventQueue, ScheduledEvent};
 pub use fault::{FaultPlan, LinkFaults, OutageWindow};
 pub use json::{Json, ToJson};
 pub use link::LinkSpec;
+pub use par::{par_map_indexed, par_map_indexed_with, thread_budget};
 pub use rng::DetRng;
 pub use telemetry::{ConvergenceReport, MetricsRegistry, Telemetry, TelemetryEvent, TraceRecord};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Pins the performance baseline: builds the release bench bins, then runs
+# `perf_baseline`, which times every sweep-shaped bin (QA_THREADS=1 vs the
+# full thread budget) plus the micro-bench suite and writes
+# bench_results/perf_baseline.json.
+#
+# Usage:
+#   scripts/bench_baseline.sh            # honours QA_SCALE / QA_BENCH_SECONDS
+#   scripts/bench_baseline.sh --quick    # CI smoke: ci scale, 0.05s/case micro budget
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--quick" ]; then
+  export QA_SCALE=ci
+  export QA_BENCH_SECONDS=0.05
+else
+  export QA_SCALE="${QA_SCALE:-ci}"
+  export QA_BENCH_SECONDS="${QA_BENCH_SECONDS:-1}"
+fi
+
+cargo build --release -p qa-bench
+./target/release/perf_baseline

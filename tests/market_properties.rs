@@ -36,7 +36,7 @@ fn qant_walkthrough_of_section_3_3() {
     // "assume that equilibrium prices are initially p⃗* = (1, 1). By
     // solving (4), node N1 will supply only q2 queries."
     let mut n1 = QantNode::new(2, QantConfig::default());
-    n1.begin_period(vec![Some(400.0), Some(100.0)], None);
+    n1.begin_period(&[Some(400.0), Some(100.0)], None);
     assert_eq!(n1.supply().unwrap().as_slice(), &[0, 5]);
 
     // "Assume now that query distribution is modified and demand for
@@ -46,7 +46,7 @@ fn qant_walkthrough_of_section_3_3() {
     loop {
         let _ = n1.on_request(ClassId(0)); // unmet q1 demand each period
         n1.end_period();
-        n1.begin_period(vec![Some(400.0), Some(100.0)], None);
+        n1.begin_period(&[Some(400.0), Some(100.0)], None);
         periods += 1;
         if n1.supply().unwrap().get(0) > 0 {
             break;
@@ -64,7 +64,7 @@ fn jittered_nodes_specialize_differently() {
     let nodes: Vec<QantNode> = (0..32)
         .map(|_| {
             let mut n = QantNode::with_jitter(2, QantConfig::default(), &mut rng);
-            n.begin_period(vec![Some(400.0), Some(100.0)], None);
+            n.begin_period(&[Some(400.0), Some(100.0)], None);
             n
         })
         .collect();
@@ -89,7 +89,7 @@ fn prices_stay_private_to_the_node() {
     // document the runtime surface — the offer derives from supply, never
     // exposes the price.
     let mut n = QantNode::new(1, QantConfig::default());
-    n.begin_period(vec![Some(100.0)], None);
+    n.begin_period(&[Some(100.0)], None);
     let offered = n.on_request(ClassId(0));
     assert!(offered);
     // The only observable effects are boolean offers and supply counts.
@@ -116,7 +116,7 @@ fn tatonnement_and_qant_agree_on_scarcity_pricing() {
     );
 
     let mut n = QantNode::new(2, QantConfig::default());
-    n.begin_period(vec![Some(400.0), Some(100.0)], None);
+    n.begin_period(&[Some(400.0), Some(100.0)], None);
     let before = n.prices().get(0);
     let _ = n.on_request(ClassId(0)); // rejected: no q1 supply at (1,1)
     assert!(n.prices().get(0) > before, "node bids up scarce q1");
