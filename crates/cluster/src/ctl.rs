@@ -1,0 +1,342 @@
+//! `qa-ctl` — operator tooling for a multi-process federation.
+//!
+//! Spawns N [`crate::qad`] server processes on loopback ephemeral ports,
+//! connects a [`TcpTransport`] to them, and either replays the workload
+//! (`run`) or inspects the live market (`prices`). The same JSON
+//! federation config ([`FedConfig`]) is handed to every child, so driver
+//! and servers agree on the deployment byte-for-byte.
+//!
+//! ```text
+//! qa-ctl init                          # print a starter federation config
+//! qa-ctl run    --config fed.json     # spawn, submit queries, report, stop
+//! qa-ctl prices --config fed.json     # spawn, dump price vectors, stop
+//! ```
+
+use crate::driver::run_workload;
+use crate::node::PricesReply;
+use crate::qad::FedConfig;
+use crate::transport::{TcpTransport, Transport};
+use crate::ClusterError;
+use qa_simnet::json::Json;
+use qa_simnet::telemetry::Telemetry;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long `qa-ctl` waits for a child to bind and announce its address.
+const SPAWN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long children get to exit after `Shutdown` before being killed.
+const EXIT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A spawned multi-process federation: one `qad` child per node.
+pub struct Federation {
+    children: Vec<Child>,
+    /// The bound loopback address of each node, in node order.
+    pub addrs: Vec<String>,
+}
+
+impl Federation {
+    /// Spawns `fed.num_nodes` `qad` processes, each listening on an
+    /// ephemeral loopback port, and collects their announced addresses.
+    /// `config_path` is handed to every child verbatim. With `trace_dir`
+    /// set, node `i` writes its JSONL telemetry to `trace_dir/node<i>.jsonl`.
+    ///
+    /// # Errors
+    /// Spawn or address-discovery failures, as readable text (any
+    /// already-started children are killed).
+    pub fn spawn(
+        fed: &FedConfig,
+        qad_bin: &Path,
+        config_path: &str,
+        trace_dir: Option<&Path>,
+    ) -> Result<Federation, String> {
+        let mut federation = Federation {
+            children: Vec::new(),
+            addrs: Vec::new(),
+        };
+        for node in 0..fed.num_nodes {
+            let mut cmd = Command::new(qad_bin);
+            cmd.arg("--listen")
+                .arg("127.0.0.1:0")
+                .arg("--node-id")
+                .arg(node.to_string())
+                .arg("--config")
+                .arg(config_path)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit());
+            if let Some(dir) = trace_dir {
+                cmd.arg("--trace")
+                    .arg(dir.join(format!("node{node}.jsonl")));
+            }
+            let mut child = cmd.spawn().map_err(|e| {
+                federation.kill();
+                format!("spawn {}: {e}", qad_bin.display())
+            })?;
+            let stdout = child.stdout.take().expect("stdout was piped");
+            federation.children.push(child);
+            match read_announced_addr(stdout) {
+                Ok(addr) => federation.addrs.push(addr),
+                Err(e) => {
+                    federation.kill();
+                    return Err(format!("node {node} never announced its address: {e}"));
+                }
+            }
+        }
+        Ok(federation)
+    }
+
+    /// Connects a driver transport to every node of the federation.
+    ///
+    /// # Errors
+    /// [`ClusterError::Net`] naming the unreachable peer.
+    pub fn connect(&self, telemetry: &Telemetry) -> Result<TcpTransport, ClusterError> {
+        TcpTransport::connect(&self.addrs, &qa_net::ConnConfig::default(), telemetry)
+    }
+
+    /// Waits for every child to exit (they do after a transport
+    /// `shutdown`); kills stragglers after a deadline. Returns `true`
+    /// when all exited cleanly on their own.
+    pub fn wait(mut self) -> bool {
+        let deadline = Instant::now() + EXIT_TIMEOUT;
+        let mut all_clean = true;
+        for child in &mut self.children {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(status)) => {
+                        all_clean &= status.success();
+                        break;
+                    }
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        all_clean = false;
+                        break;
+                    }
+                }
+            }
+        }
+        all_clean
+    }
+
+    /// Hard-kills every child (error-path cleanup).
+    fn kill(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Reads the `qad listening <addr>` announcement from a child's stdout.
+fn read_announced_addr(stdout: std::process::ChildStdout) -> Result<String, String> {
+    // A dedicated reader thread bounds the wait: a child that wedges
+    // before binding would otherwise hang the whole spawn.
+    let (tx, rx) = channel();
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        let mut reader = std::io::BufReader::new(stdout);
+        let result = match reader.read_line(&mut line) {
+            Ok(0) => Err("stdout closed before announcement".to_string()),
+            Ok(_) => match line.trim().strip_prefix("qad listening ") {
+                Some(addr) => Ok(addr.to_string()),
+                None => Err(format!("unexpected announcement {line:?}")),
+            },
+            Err(e) => Err(format!("read stdout: {e}")),
+        };
+        let _ = tx.send(result);
+    });
+    rx.recv_timeout(SPAWN_TIMEOUT)
+        .map_err(|_| format!("no announcement within {SPAWN_TIMEOUT:?}"))?
+}
+
+/// Collects every node's price vector over the transport.
+pub fn collect_prices(transport: &dyn Transport, timeout: Duration) -> Vec<Option<PricesReply>> {
+    (0..transport.num_nodes())
+        .map(|n| {
+            let (tx, rx) = channel();
+            if transport.dump_prices(n, tx).is_err() {
+                return None;
+            }
+            rx.recv_timeout(timeout).ok()
+        })
+        .collect()
+}
+
+fn prices_json(prices: &[Option<PricesReply>]) -> Json {
+    Json::Obj(
+        prices
+            .iter()
+            .enumerate()
+            .map(|(n, p)| {
+                let value = match p {
+                    None => Json::Null,
+                    Some(r) => Json::Arr(r.prices.iter().map(|&v| Json::Float(v)).collect()),
+                };
+                (format!("node{n}"), value)
+            })
+            .collect(),
+    )
+}
+
+/// Locates the `qad` binary: explicit flag, `QAD_BIN` env, or a sibling
+/// of the running executable.
+fn find_qad(explicit: Option<String>) -> Result<PathBuf, String> {
+    if let Some(p) = explicit {
+        return Ok(PathBuf::from(p));
+    }
+    if let Ok(p) = std::env::var("QAD_BIN") {
+        return Ok(PathBuf::from(p));
+    }
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let sibling = me.with_file_name(if cfg!(windows) { "qad.exe" } else { "qad" });
+    if sibling.exists() {
+        Ok(sibling)
+    } else {
+        Err(format!(
+            "cannot find qad (looked at {}); pass --qad PATH or set QAD_BIN",
+            sibling.display()
+        ))
+    }
+}
+
+struct CtlArgs {
+    config: Option<String>,
+    qad: Option<String>,
+    trace: Option<String>,
+    trace_dir: Option<String>,
+}
+
+fn parse_ctl_args(args: &[String]) -> Result<CtlArgs, String> {
+    let mut out = CtlArgs {
+        config: None,
+        qad: None,
+        trace: None,
+        trace_dir: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--config" => out.config = Some(take("--config")?),
+            "--qad" => out.qad = Some(take("--qad")?),
+            "--trace" => out.trace = Some(take("--trace")?),
+            "--trace-dir" => out.trace_dir = Some(take("--trace-dir")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn driver_telemetry(trace: &Option<String>) -> Result<Telemetry, String> {
+    match trace {
+        None => Ok(Telemetry::disabled()),
+        Some(path) => Telemetry::to_file(path).map_err(|e| format!("trace {path}: {e}")),
+    }
+}
+
+/// Spawns the federation, runs the configured workload over TCP, prints a
+/// JSON report (Figure-7 aggregates plus per-node post-run price
+/// vectors), and tears everything down.
+fn cmd_run(args: CtlArgs) -> Result<(), String> {
+    let config_path = args.config.ok_or("run requires --config FILE")?;
+    let fed = FedConfig::load(&config_path)?;
+    let qad_bin = find_qad(args.qad)?;
+    let telemetry = driver_telemetry(&args.trace)?;
+    if let Some(dir) = &args.trace_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+    }
+    let federation = Federation::spawn(
+        &fed,
+        &qad_bin,
+        &config_path,
+        args.trace_dir.as_ref().map(Path::new),
+    )?;
+    let spec = fed.spec();
+    let cluster_cfg = fed.cluster_config(telemetry.clone());
+    let transport: Arc<dyn Transport> = Arc::new(
+        federation
+            .connect(&telemetry)
+            .map_err(|e| format!("connect: {e}"))?,
+    );
+    let result = run_workload(&spec, &cluster_cfg, Arc::clone(&transport))
+        .map_err(|e| format!("workload: {e}"))?;
+    let prices = collect_prices(transport.as_ref(), Duration::from_secs(10));
+    transport.shutdown();
+    let clean = federation.wait();
+
+    let report = Json::object([
+        ("mechanism", Json::Str(result.mechanism.clone())),
+        ("queries", Json::Int(result.outcomes.len() as i64)),
+        ("failed", Json::Int(result.failed as i64)),
+        ("completion_rate", Json::Float(result.completion_rate)),
+        ("mean_assign_ms", Json::Float(result.mean_assign_ms)),
+        ("mean_total_ms", Json::Float(result.mean_total_ms)),
+        ("prices", prices_json(&prices)),
+        ("clean_shutdown", Json::Bool(clean)),
+    ]);
+    println!("{}", report.pretty());
+    Ok(())
+}
+
+/// Spawns the federation, dumps each node's current price vector without
+/// submitting any queries, and tears everything down.
+fn cmd_prices(args: CtlArgs) -> Result<(), String> {
+    let config_path = args.config.ok_or("prices requires --config FILE")?;
+    let fed = FedConfig::load(&config_path)?;
+    let qad_bin = find_qad(args.qad)?;
+    let telemetry = driver_telemetry(&args.trace)?;
+    let federation = Federation::spawn(&fed, &qad_bin, &config_path, None)?;
+    let transport = federation
+        .connect(&telemetry)
+        .map_err(|e| format!("connect: {e}"))?;
+    let prices = collect_prices(&transport, Duration::from_secs(10));
+    transport.shutdown();
+    let clean = federation.wait();
+    let report = Json::object([
+        ("prices", prices_json(&prices)),
+        ("clean_shutdown", Json::Bool(clean)),
+    ]);
+    println!("{}", report.pretty());
+    Ok(())
+}
+
+/// Entry point for the `qa-ctl` binary. Returns the process exit code.
+pub fn ctl_main(args: &[String]) -> i32 {
+    let usage = "usage: qa-ctl <init|run|prices> [--config FILE] [--qad PATH] \
+                 [--trace FILE] [--trace-dir DIR]";
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let result = match cmd.as_str() {
+        "init" => {
+            println!("{}", FedConfig::example().dump());
+            Ok(())
+        }
+        "run" => parse_ctl_args(rest).and_then(cmd_run),
+        "prices" => parse_ctl_args(rest).and_then(cmd_prices),
+        "--help" | "-h" | "help" => {
+            println!("{usage}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{usage}")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("qa-ctl: {e}");
+            1
+        }
+    }
+}

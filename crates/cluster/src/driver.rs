@@ -27,16 +27,15 @@
 //! and execute paths never panic.
 
 use crate::error::ClusterError;
-use crate::node::{
-    spawn_node_with_faults, EstimateReply, ExecReply, NodeHandle, NodeMsg, OfferReply,
-};
+use crate::node::{spawn_node_with_faults, EstimateReply, ExecReply, NodeHandle, OfferReply};
 use crate::setup::ClusterSpec;
+use crate::transport::{ChannelTransport, Transport};
 use qa_core::QantConfig;
 use qa_simnet::telemetry::{Telemetry, TelemetryEvent};
 use qa_simnet::{DetRng, FaultPlan, SimDuration};
 use qa_workload::ClassId;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -200,7 +199,7 @@ qa_simnet::impl_to_json!(ExperimentResult {
 
 /// State shared by every per-query protocol thread.
 struct Shared {
-    senders: Vec<Sender<NodeMsg>>,
+    transport: Arc<dyn Transport>,
     mechanism: ClusterMechanism,
     period: Duration,
     reply_timeout: Duration,
@@ -247,21 +246,14 @@ fn backoff(period: Duration, attempt: u32) -> Duration {
     period.saturating_mul(factor)
 }
 
-/// Runs one experiment: builds the fleet, replays the workload, tears the
-/// fleet down, returns measurements.
-///
-/// # Errors
-/// Returns [`ClusterError::NoCandidates`] when the spec has no evaluable
-/// query class. Per-query environmental failures (crashes, losses,
-/// timeouts) do *not* fail the experiment — they are recorded in the
-/// outcomes.
-pub fn run_experiment(
-    spec: &ClusterSpec,
-    config: &ClusterConfig,
-) -> Result<ExperimentResult, ClusterError> {
-    let qant_cfg = match config.mechanism {
+/// The [`QantConfig`] a fleet node runs under a given mechanism and
+/// market period — `None` for Greedy. Shared by the in-process spawner
+/// and the `qad` server so a multi-process federation prices exactly like
+/// the threaded one.
+pub fn qant_config_for(mechanism: ClusterMechanism, period: Duration) -> Option<QantConfig> {
+    match mechanism {
         ClusterMechanism::QaNt => Some(QantConfig {
-            period: SimDuration::from_millis(config.period.as_millis() as u64),
+            period: SimDuration::from_millis(period.as_millis() as u64),
             // §5.1 deployment mode: restrict supply only once prices
             // inflate past 2× their initial level (renormalization is
             // incompatible with thresholds — see QantConfig docs).
@@ -270,8 +262,13 @@ pub fn run_experiment(
             ..QantConfig::default()
         }),
         ClusterMechanism::Greedy => None,
-    };
-    let epoch = Instant::now();
+    }
+}
+
+/// Spawns the in-process fleet for a spec + config: one node thread per
+/// fleet member, with the config's faults and telemetry wired in.
+pub fn spawn_fleet(spec: &ClusterSpec, config: &ClusterConfig, epoch: Instant) -> ChannelTransport {
+    let qant_cfg = qant_config_for(config.mechanism, config.period);
     let nodes: Vec<NodeHandle> = (0..spec.num_nodes)
         .map(|n| {
             spawn_node_with_faults(
@@ -285,16 +282,52 @@ pub fn run_experiment(
             )
         })
         .collect();
-    let senders: Vec<_> = nodes.iter().map(|n| n.sender.clone()).collect();
+    ChannelTransport::new(nodes)
+}
+
+/// Runs one experiment: builds the in-process fleet, replays the
+/// workload, tears the fleet down, returns measurements.
+///
+/// # Errors
+/// Returns [`ClusterError::NoCandidates`] when the spec has no evaluable
+/// query class. Per-query environmental failures (crashes, losses,
+/// timeouts) do *not* fail the experiment — they are recorded in the
+/// outcomes.
+pub fn run_experiment(
+    spec: &ClusterSpec,
+    config: &ClusterConfig,
+) -> Result<ExperimentResult, ClusterError> {
+    let transport: Arc<dyn Transport> = Arc::new(spawn_fleet(spec, config, Instant::now()));
+    let result = run_workload(spec, config, Arc::clone(&transport));
+    transport.shutdown();
+    result
+}
+
+/// Replays the workload against an already-connected fleet — in-process
+/// threads ([`ChannelTransport`]) or real `qad` processes
+/// ([`crate::transport::TcpTransport`]) behave identically here. Does
+/// **not** tear the transport down: the caller may keep using it (e.g. to
+/// dump post-run price vectors) and owns the final
+/// [`Transport::shutdown`].
+///
+/// # Errors
+/// Returns [`ClusterError::NoCandidates`] when the spec has no evaluable
+/// query class; per-query environmental failures are recorded in the
+/// outcomes instead.
+pub fn run_workload(
+    spec: &ClusterSpec,
+    config: &ClusterConfig,
+    transport: Arc<dyn Transport>,
+) -> Result<ExperimentResult, ClusterError> {
+    let epoch = Instant::now();
+    let num_nodes = transport.num_nodes();
     let shared = Arc::new(Shared {
-        senders: senders.clone(),
+        transport: Arc::clone(&transport),
         mechanism: config.mechanism,
         period: config.period,
         reply_timeout: config.reply_timeout,
         max_retries: config.max_retries,
-        dead: (0..spec.num_nodes)
-            .map(|_| AtomicBool::new(false))
-            .collect(),
+        dead: (0..num_nodes).map(|_| AtomicBool::new(false)).collect(),
         telemetry: config.telemetry.clone(),
         epoch,
     });
@@ -304,7 +337,6 @@ pub fn run_experiment(
     // QA-NT period ticker.
     let ticker = {
         let stop = Arc::clone(&stop);
-        let senders = senders.clone();
         let shared = Arc::clone(&shared);
         let period = config.period;
         let ticking = matches!(config.mechanism, ClusterMechanism::QaNt);
@@ -316,17 +348,18 @@ pub fn run_experiment(
                 shared
                     .telemetry()
                     .emit(|| TelemetryEvent::PeriodStarted { index });
-                for s in &senders {
-                    let _ = s.send(NodeMsg::PeriodTick);
+                for n in 0..shared.transport.num_nodes() {
+                    let _ = shared.transport.period_tick(n);
                 }
             }
         })
     };
 
-    // Crash injector: kills scheduled nodes by shutting their mailbox,
-    // exactly like a process death — in-flight replies are lost and every
-    // later send fails. Polls the stop flag so a schedule reaching past
-    // the run's end cannot block teardown.
+    // Crash injector: kills scheduled nodes through the transport —
+    // shutting the mailbox in-process, terminating the remote process
+    // over TCP — exactly like a process death: in-flight replies are lost
+    // and every later send fails. Polls the stop flag so a schedule
+    // reaching past the run's end cannot block teardown.
     let crash_injector = {
         let stop = Arc::clone(&stop);
         let shared = Arc::clone(&shared);
@@ -340,12 +373,12 @@ pub fn run_experiment(
                     }
                     std::thread::sleep(Duration::from_millis(5));
                 }
-                if node < shared.senders.len() {
+                if node < shared.transport.num_nodes() {
                     shared.mark_dead(node);
                     shared
                         .telemetry()
                         .emit(|| TelemetryEvent::NodeCrashed { node: node as u32 });
-                    let _ = shared.senders[node].send(NodeMsg::Shutdown);
+                    shared.transport.shutdown_node(node);
                 }
             }
         })
@@ -362,9 +395,6 @@ pub fn run_experiment(
         stop.store(true, Ordering::Relaxed);
         let _ = ticker.join();
         let _ = crash_injector.join();
-        for n in nodes {
-            n.shutdown();
-        }
         return Err(ClusterError::NoCandidates);
     }
     let mean_ms = config.mean_interarrival.as_secs_f64() * 1e3;
@@ -400,9 +430,6 @@ pub fn run_experiment(
     stop.store(true, Ordering::Relaxed);
     let _ = ticker.join();
     let _ = crash_injector.join();
-    for n in nodes {
-        n.shutdown();
-    }
 
     let ok: Vec<&QueryOutcome> = outcomes.iter().filter(|o| o.error.is_none()).collect();
     let mean = |f: fn(&QueryOutcome) -> f64| {
@@ -468,11 +495,7 @@ fn poll_round(
             let (tx, rx) = channel::<EstimateReply>();
             let mut sent = 0;
             for &n in &live {
-                let msg = NodeMsg::Estimate {
-                    sql: sql.to_string(),
-                    reply: tx.clone(),
-                };
-                if shared.senders[n].send(msg).is_err() {
+                if shared.transport.estimate(n, sql, tx.clone()).is_err() {
                     shared.mark_dead(n);
                     shared.telemetry().emit(|| TelemetryEvent::MessageDropped {
                         node: n as u32,
@@ -499,12 +522,11 @@ fn poll_round(
             let (tx, rx) = channel::<OfferReply>();
             let mut sent = 0;
             for &n in &live {
-                let msg = NodeMsg::CallForOffers {
-                    class,
-                    sql: sql.to_string(),
-                    reply: tx.clone(),
-                };
-                if shared.senders[n].send(msg).is_err() {
+                if shared
+                    .transport
+                    .call_for_offers(n, class, sql, tx.clone())
+                    .is_err()
+                {
                     shared.mark_dead(n);
                     shared.telemetry().emit(|| TelemetryEvent::MessageDropped {
                         node: n as u32,
@@ -591,12 +613,7 @@ fn run_one(
         // query: drop it from the candidate set and re-allocate (the
         // cluster analogue of the simulator's crash re-entry).
         let (tx, rx) = channel::<ExecReply>();
-        let msg = NodeMsg::Execute {
-            sql: sql.clone(),
-            class,
-            reply: tx,
-        };
-        if shared.senders[chosen].send(msg).is_err() {
+        if shared.transport.execute(chosen, class, &sql, tx).is_err() {
             shared.mark_dead(chosen);
             shared.telemetry().emit(|| TelemetryEvent::MessageDropped {
                 node: chosen as u32,

@@ -9,6 +9,7 @@
 //! (malformed generated SQL, impossible specs), which are documented at
 //! their `expect` sites.
 
+use qa_net::NetError;
 use std::fmt;
 
 /// An environmental failure in the cluster protocol.
@@ -39,6 +40,37 @@ pub enum ClusterError {
     },
     /// Deployment-time failure (spec or data loading).
     Setup(String),
+    /// A transport-level failure talking to a peer over the network. The
+    /// wire-layer cause is preserved (and exposed via
+    /// [`std::error::Error::source`]) together with which peer, at which
+    /// address, during which protocol phase.
+    Net {
+        /// Protocol phase ("estimate", "offer", "execute", "connect", …).
+        phase: &'static str,
+        /// The peer node.
+        node: usize,
+        /// The peer's socket address.
+        addr: String,
+        /// The underlying wire-layer error.
+        source: NetError,
+    },
+}
+
+impl ClusterError {
+    /// Wraps a wire-layer error with peer and phase context.
+    pub fn net(
+        phase: &'static str,
+        node: usize,
+        addr: impl Into<String>,
+        source: NetError,
+    ) -> Self {
+        ClusterError::Net {
+            phase,
+            node,
+            addr: addr.into(),
+            source,
+        }
+    }
 }
 
 impl fmt::Display for ClusterError {
@@ -59,11 +91,29 @@ impl fmt::Display for ClusterError {
                 write!(f, "no placement after {retries} retries")
             }
             ClusterError::Setup(msg) => write!(f, "setup failed: {msg}"),
+            ClusterError::Net {
+                phase,
+                node,
+                addr,
+                source,
+            } => {
+                write!(
+                    f,
+                    "network failure during {phase} with node {node} at {addr}: {source}"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for ClusterError {}
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Net { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -101,5 +151,16 @@ mod tests {
     fn is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&ClusterError::NoCandidates);
+    }
+
+    #[test]
+    fn net_errors_carry_peer_context_and_chain_to_the_wire_cause() {
+        let err = ClusterError::net("offer", 3, "127.0.0.1:4017", NetError::PeerClosed);
+        assert_eq!(
+            err.to_string(),
+            "network failure during offer with node 3 at 127.0.0.1:4017: peer connection closed"
+        );
+        let source = std::error::Error::source(&err).expect("wire cause");
+        assert_eq!(source.to_string(), NetError::PeerClosed.to_string());
     }
 }

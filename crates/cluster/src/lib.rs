@@ -30,12 +30,20 @@
 //! * [`error`] — the [`ClusterError`] taxonomy for environmental failures
 //!   (the protocol paths never panic).
 
+pub mod ctl;
 pub mod driver;
 pub mod error;
 pub mod node;
+pub mod qad;
 pub mod setup;
+pub mod transport;
 
-pub use driver::{run_experiment, ClusterConfig, ClusterMechanism, ExperimentResult};
+pub use driver::{
+    qant_config_for, run_experiment, run_workload, spawn_fleet, ClusterConfig, ClusterMechanism,
+    ExperimentResult,
+};
 pub use error::ClusterError;
 pub use node::{spawn_node, spawn_node_with_faults, NodeHandle, NodeMsg};
+pub use qad::FedConfig;
 pub use setup::{ClusterSpec, QueryClassSpec};
+pub use transport::{ChannelTransport, TcpTransport, Transport};

@@ -54,6 +54,13 @@ pub enum NodeMsg {
     },
     /// A QA-NT period boundary.
     PeriodTick,
+    /// Report the node's current per-class price vector (empty for a
+    /// Greedy node, which has no market state). Used by operator tooling
+    /// (`qa-ctl prices`) to inspect a live federation.
+    DumpPrices {
+        /// Where to send the reply.
+        reply: Sender<PricesReply>,
+    },
     /// Shut the node down.
     Shutdown,
 }
@@ -90,6 +97,15 @@ pub struct ExecReply {
     pub exec_ms: f64,
     /// Error text, if the query failed.
     pub error: Option<String>,
+}
+
+/// Reply to [`NodeMsg::DumpPrices`].
+#[derive(Debug, Clone)]
+pub struct PricesReply {
+    /// The responding node.
+    pub node: usize,
+    /// Per-class private prices (empty when the node runs no market).
+    pub prices: Vec<f64>,
 }
 
 /// A handle to a spawned node.
@@ -438,6 +454,17 @@ impl NodeWorker {
                     }
                 }
                 NodeMsg::PeriodTick => self.restart_period(),
+                NodeMsg::DumpPrices { reply } => {
+                    let prices = self
+                        .qant
+                        .as_ref()
+                        .map(|q| q.prices().as_slice().to_vec())
+                        .unwrap_or_default();
+                    let _ = reply.send(PricesReply {
+                        node: self.id,
+                        prices,
+                    });
+                }
                 NodeMsg::Shutdown => break,
             }
         }

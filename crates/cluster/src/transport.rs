@@ -1,0 +1,513 @@
+//! Transport abstraction: how the driver reaches the node fleet.
+//!
+//! The §5.2 experiment originally hard-wired `std::sync::mpsc` senders
+//! into the driver. [`Transport`] lifts that into a trait with two
+//! interchangeable implementations:
+//!
+//! * [`ChannelTransport`] — the historical in-process fleet: one OS
+//!   thread per node, mpsc mailboxes, zero serialization.
+//! * [`TcpTransport`] — real processes: each node is a `qad` server
+//!   reached over a [`qa_net::Connection`], every protocol message
+//!   crossing the wire as a [`WireMsg`] frame.
+//!
+//! ## Contract
+//!
+//! Request methods (`estimate`, `call_for_offers`, `execute`,
+//! `dump_prices`) are **asynchronous sends**: the reply arrives on the
+//! `Sender` the caller passed, or never does. The driver's loss-tolerant
+//! collection deadline is the only completion guarantee — exactly the
+//! semantics the in-process fleet always had, which is what makes the two
+//! implementations observationally interchangeable:
+//!
+//! * a reply that will never come (fault-dropped, peer dead) surfaces as
+//!   either a disconnected `Receiver` or a collection timeout;
+//! * a send to a dead peer returns a [`ClusterError`] immediately, and
+//!   the caller is expected to mark the node dead and re-allocate (PR-1
+//!   crash semantics);
+//! * `shutdown_node` is crash injection: over channels it shuts the
+//!   mailbox, over TCP it terminates the remote process.
+//!
+//! Token correlation: reply `Sender`s cannot cross a socket, so
+//! [`TcpTransport`] assigns each request a `u64` token, keeps the typed
+//! sender in a per-peer pending map, and a dispatcher thread routes each
+//! incoming reply frame back by token. Tokens are registered *before* the
+//! request is sent — a reply can never race its own registration.
+
+use crate::error::ClusterError;
+use crate::node::{EstimateReply, ExecReply, NodeHandle, NodeMsg, OfferReply, PricesReply};
+use qa_net::{ConnConfig, Connection, NetError, WireMsg};
+use qa_simnet::telemetry::Telemetry;
+use qa_workload::ClassId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long an unanswered request token is kept before the dispatcher
+/// garbage-collects it (longer than any driver deadline, so a slow reply
+/// is never orphaned while someone still waits for it).
+const PENDING_TTL: Duration = Duration::from_secs(120);
+
+/// A fleet-facing message channel; see the module docs for the contract.
+pub trait Transport: Send + Sync {
+    /// Fleet size (dead peers included — indices are stable).
+    fn num_nodes(&self) -> usize;
+
+    /// Greedy's estimate poll.
+    ///
+    /// # Errors
+    /// [`ClusterError`] when the send itself fails (peer dead).
+    fn estimate(
+        &self,
+        node: usize,
+        sql: &str,
+        reply: Sender<EstimateReply>,
+    ) -> Result<(), ClusterError>;
+
+    /// QA-NT's call-for-offers.
+    ///
+    /// # Errors
+    /// [`ClusterError`] when the send itself fails (peer dead).
+    fn call_for_offers(
+        &self,
+        node: usize,
+        class: ClassId,
+        sql: &str,
+        reply: Sender<OfferReply>,
+    ) -> Result<(), ClusterError>;
+
+    /// Executes an accepted assignment.
+    ///
+    /// # Errors
+    /// [`ClusterError`] when the send itself fails (peer dead).
+    fn execute(
+        &self,
+        node: usize,
+        class: ClassId,
+        sql: &str,
+        reply: Sender<ExecReply>,
+    ) -> Result<(), ClusterError>;
+
+    /// Announces a QA-NT period boundary.
+    ///
+    /// # Errors
+    /// [`ClusterError`] when the send itself fails (peer dead).
+    fn period_tick(&self, node: usize) -> Result<(), ClusterError>;
+
+    /// Requests the node's current per-class price vector.
+    ///
+    /// # Errors
+    /// [`ClusterError`] when the send itself fails (peer dead).
+    fn dump_prices(&self, node: usize, reply: Sender<PricesReply>) -> Result<(), ClusterError>;
+
+    /// Terminates one node (crash injection / targeted shutdown). Best
+    /// effort; a node that is already gone is not an error.
+    fn shutdown_node(&self, node: usize);
+
+    /// Gracefully tears the whole fleet connection down. Idempotent.
+    fn shutdown(&self);
+}
+
+// ---------------------------------------------------------------------------
+// In-process channels
+// ---------------------------------------------------------------------------
+
+/// The historical in-process fleet: node threads behind mpsc mailboxes.
+pub struct ChannelTransport {
+    senders: Vec<Sender<NodeMsg>>,
+    handles: Mutex<Vec<NodeHandle>>,
+}
+
+impl ChannelTransport {
+    /// Wraps already-spawned node threads.
+    pub fn new(nodes: Vec<NodeHandle>) -> ChannelTransport {
+        ChannelTransport {
+            senders: nodes.iter().map(|n| n.sender.clone()).collect(),
+            handles: Mutex::new(nodes),
+        }
+    }
+
+    fn send(&self, phase: &'static str, node: usize, msg: NodeMsg) -> Result<(), ClusterError> {
+        self.senders[node]
+            .send(msg)
+            .map_err(|_| ClusterError::ChannelClosed { phase, node })
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn num_nodes(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn estimate(
+        &self,
+        node: usize,
+        sql: &str,
+        reply: Sender<EstimateReply>,
+    ) -> Result<(), ClusterError> {
+        self.send(
+            "estimate",
+            node,
+            NodeMsg::Estimate {
+                sql: sql.to_string(),
+                reply,
+            },
+        )
+    }
+
+    fn call_for_offers(
+        &self,
+        node: usize,
+        class: ClassId,
+        sql: &str,
+        reply: Sender<OfferReply>,
+    ) -> Result<(), ClusterError> {
+        self.send(
+            "offer",
+            node,
+            NodeMsg::CallForOffers {
+                class,
+                sql: sql.to_string(),
+                reply,
+            },
+        )
+    }
+
+    fn execute(
+        &self,
+        node: usize,
+        class: ClassId,
+        sql: &str,
+        reply: Sender<ExecReply>,
+    ) -> Result<(), ClusterError> {
+        self.send(
+            "execute",
+            node,
+            NodeMsg::Execute {
+                sql: sql.to_string(),
+                class,
+                reply,
+            },
+        )
+    }
+
+    fn period_tick(&self, node: usize) -> Result<(), ClusterError> {
+        self.send("tick", node, NodeMsg::PeriodTick)
+    }
+
+    fn dump_prices(&self, node: usize, reply: Sender<PricesReply>) -> Result<(), ClusterError> {
+        self.send("prices", node, NodeMsg::DumpPrices { reply })
+    }
+
+    fn shutdown_node(&self, node: usize) {
+        let _ = self.senders[node].send(NodeMsg::Shutdown);
+    }
+
+    fn shutdown(&self) {
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        for h in handles {
+            h.shutdown();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+/// A reply sender parked under its request token.
+enum Pending {
+    Estimate(Sender<EstimateReply>),
+    Offer(Sender<OfferReply>),
+    Exec(Sender<ExecReply>),
+    Prices(Sender<PricesReply>),
+}
+
+/// Shared between a peer's handle and its dispatcher thread.
+struct PeerState {
+    addr: String,
+    pending: Mutex<HashMap<u64, (Pending, Instant)>>,
+}
+
+struct Peer {
+    state: Arc<PeerState>,
+    conn: Mutex<Option<Connection>>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// The fleet over real sockets: one [`Connection`] per `qad` server.
+pub struct TcpTransport {
+    peers: Vec<Peer>,
+    next_token: AtomicU64,
+}
+
+impl TcpTransport {
+    /// Dials every node of the fleet (`addrs[i]` must host fleet node
+    /// `i`) and completes the handshakes. Connection retry/backoff and
+    /// handshake policy come from `cfg`; transport telemetry (connects,
+    /// retries, deaths) flows through `telemetry`.
+    ///
+    /// # Errors
+    /// [`ClusterError::Net`] naming the first peer that could not be
+    /// reached or failed its handshake.
+    pub fn connect(
+        addrs: &[String],
+        cfg: &ConnConfig,
+        telemetry: &Telemetry,
+    ) -> Result<TcpTransport, ClusterError> {
+        let mut peers = Vec::with_capacity(addrs.len());
+        for (node, addr) in addrs.iter().enumerate() {
+            let (conn, rx) =
+                Connection::dial(addr, qa_net::wire::CLIENT_NODE, node as u32, cfg, telemetry)
+                    .map_err(|e| ClusterError::net("connect", node, addr.clone(), e))?;
+            let state = Arc::new(PeerState {
+                addr: addr.clone(),
+                pending: Mutex::new(HashMap::new()),
+            });
+            let dispatcher = {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("qa-dispatch-{node}"))
+                    .spawn(move || dispatch_replies(state, rx))
+                    .map_err(|e| {
+                        ClusterError::net("connect", node, addr.clone(), NetError::io("spawn", &e))
+                    })?
+            };
+            peers.push(Peer {
+                state,
+                conn: Mutex::new(Some(conn)),
+                dispatcher: Mutex::new(Some(dispatcher)),
+            });
+        }
+        Ok(TcpTransport {
+            peers,
+            next_token: AtomicU64::new(1),
+        })
+    }
+
+    /// Drops every connection *without* sending `Shutdown`: the servers
+    /// stay up and keep accepting (a driver crash looks exactly like
+    /// this). A later `shutdown` becomes a no-op on the closed peers.
+    pub fn disconnect(&self) {
+        for peer in &self.peers {
+            if let Some(c) = peer.conn.lock().unwrap().take() {
+                c.close();
+            }
+            if let Some(d) = peer.dispatcher.lock().unwrap().take() {
+                let _ = d.join();
+            }
+        }
+    }
+
+    fn send(&self, phase: &'static str, node: usize, msg: WireMsg) -> Result<(), ClusterError> {
+        let peer = &self.peers[node];
+        let guard = peer.conn.lock().unwrap();
+        let conn = guard.as_ref().ok_or_else(|| {
+            ClusterError::net(phase, node, peer.state.addr.clone(), NetError::PeerClosed)
+        })?;
+        conn.send(msg)
+            .map_err(|e| ClusterError::net(phase, node, peer.state.addr.clone(), e))
+    }
+
+    /// Registers the reply slot under a fresh token, then sends. On a
+    /// failed send the slot is withdrawn again so the map cannot leak.
+    fn request(
+        &self,
+        phase: &'static str,
+        node: usize,
+        pending: Pending,
+        make_msg: impl FnOnce(u64) -> WireMsg,
+    ) -> Result<(), ClusterError> {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.peers[node]
+            .state
+            .pending
+            .lock()
+            .unwrap()
+            .insert(token, (pending, Instant::now()));
+        match self.send(phase, node, make_msg(token)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.peers[node]
+                    .state
+                    .pending
+                    .lock()
+                    .unwrap()
+                    .remove(&token);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn num_nodes(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn estimate(
+        &self,
+        node: usize,
+        sql: &str,
+        reply: Sender<EstimateReply>,
+    ) -> Result<(), ClusterError> {
+        let sql = sql.to_string();
+        self.request("estimate", node, Pending::Estimate(reply), |token| {
+            WireMsg::Estimate { token, sql }
+        })
+    }
+
+    fn call_for_offers(
+        &self,
+        node: usize,
+        class: ClassId,
+        sql: &str,
+        reply: Sender<OfferReply>,
+    ) -> Result<(), ClusterError> {
+        let sql = sql.to_string();
+        self.request("offer", node, Pending::Offer(reply), |token| {
+            WireMsg::CallForOffers {
+                token,
+                class: class.0,
+                sql,
+            }
+        })
+    }
+
+    fn execute(
+        &self,
+        node: usize,
+        class: ClassId,
+        sql: &str,
+        reply: Sender<ExecReply>,
+    ) -> Result<(), ClusterError> {
+        let sql = sql.to_string();
+        self.request("execute", node, Pending::Exec(reply), |token| {
+            WireMsg::Execute {
+                token,
+                class: class.0,
+                sql,
+            }
+        })
+    }
+
+    fn period_tick(&self, node: usize) -> Result<(), ClusterError> {
+        self.send("tick", node, WireMsg::PeriodTick)
+    }
+
+    fn dump_prices(&self, node: usize, reply: Sender<PricesReply>) -> Result<(), ClusterError> {
+        self.request("prices", node, Pending::Prices(reply), |token| {
+            WireMsg::DumpPrices { token }
+        })
+    }
+
+    fn shutdown_node(&self, node: usize) {
+        let _ = self.send("shutdown", node, WireMsg::Shutdown);
+        let conn = self.peers[node].conn.lock().unwrap().take();
+        if let Some(c) = conn {
+            c.close();
+        }
+        let dispatcher = self.peers[node].dispatcher.lock().unwrap().take();
+        if let Some(d) = dispatcher {
+            let _ = d.join();
+        }
+    }
+
+    fn shutdown(&self) {
+        for node in 0..self.peers.len() {
+            self.shutdown_node(node);
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Routes reply frames back to their parked senders by token. Runs until
+/// the connection dies, then drops every outstanding sender so waiting
+/// drivers observe disconnection (dead-peer semantics).
+fn dispatch_replies(state: Arc<PeerState>, rx: Receiver<WireMsg>) {
+    loop {
+        // The timeout is only the GC cadence: expired tokens (replies
+        // that will never come, e.g. fault-dropped remotely) are swept so
+        // the map stays bounded on long runs.
+        let msg = match rx.recv_timeout(PENDING_TTL / 8) {
+            Ok(m) => m,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                state
+                    .pending
+                    .lock()
+                    .unwrap()
+                    .retain(|_, (_, born)| born.elapsed() < PENDING_TTL);
+                continue;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        let token = match &msg {
+            WireMsg::EstimateReply { token, .. }
+            | WireMsg::OfferReply { token, .. }
+            | WireMsg::ExecReply { token, .. }
+            | WireMsg::Prices { token, .. } => *token,
+            // Anything else is not a reply; a well-behaved qad never
+            // sends these to a driver.
+            _ => continue,
+        };
+        let slot = state.pending.lock().unwrap().remove(&token);
+        // A mismatched slot type means a protocol violation; dropping the
+        // sender surfaces it as a disconnect rather than a wrong value.
+        match (slot, msg) {
+            (Some((Pending::Estimate(tx), _)), WireMsg::EstimateReply { node, exec_ms, .. }) => {
+                let _ = tx.send(EstimateReply {
+                    node: node as usize,
+                    exec_ms,
+                });
+            }
+            (
+                Some((Pending::Offer(tx), _)),
+                WireMsg::OfferReply {
+                    node,
+                    offered,
+                    completion_ms,
+                    ..
+                },
+            ) => {
+                let _ = tx.send(OfferReply {
+                    node: node as usize,
+                    offered,
+                    completion_ms,
+                });
+            }
+            (
+                Some((Pending::Exec(tx), _)),
+                WireMsg::ExecReply {
+                    node,
+                    rows,
+                    exec_ms,
+                    error,
+                    ..
+                },
+            ) => {
+                let _ = tx.send(ExecReply {
+                    node: node as usize,
+                    rows: rows as usize,
+                    exec_ms,
+                    error,
+                });
+            }
+            (Some((Pending::Prices(tx), _)), WireMsg::Prices { node, prices, .. }) => {
+                let _ = tx.send(PricesReply {
+                    node: node as usize,
+                    prices,
+                });
+            }
+            _ => {}
+        }
+    }
+    // Peer died: disconnect every waiter.
+    state.pending.lock().unwrap().clear();
+}

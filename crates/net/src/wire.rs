@@ -1,0 +1,697 @@
+//! The versioned binary codec for cluster protocol messages.
+//!
+//! One frame payload is `[tag: u8][fields…]`, all integers and floats
+//! explicit little-endian. Strings are `u32` byte-length + UTF-8 bytes;
+//! optional strings and vectors carry a presence byte / element count.
+//! The decoder is strict: every length is validated against the bytes
+//! actually present **before** any allocation, unknown tags and protocol
+//! versions are typed errors, and trailing bytes after a complete message
+//! are rejected — a desynced stream can never be silently misparsed.
+//!
+//! [`WireMsg::Hello`]/[`WireMsg::HelloAck`] carry the magic and protocol
+//! version inline, so version negotiation flows through the same decode
+//! path (and the same adversarial tests) as everything else.
+
+use crate::frame::{MAGIC, PROTOCOL_VERSION};
+use std::fmt;
+
+/// A malformed byte sequence, detected during decode (or an oversized
+/// frame detected by the frame reader).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the named field was complete.
+    Truncated {
+        /// The field being read when bytes ran out.
+        field: &'static str,
+    },
+    /// A frame length prefix exceeded the cap. Raised before any
+    /// allocation, so a hostile prefix cannot balloon memory.
+    FrameTooLarge {
+        /// The claimed payload length.
+        len: u64,
+        /// The configured cap.
+        max: u32,
+    },
+    /// The first payload byte names no known message.
+    UnknownTag(u8),
+    /// A handshake frame did not start with `b"QANT"`.
+    BadMagic([u8; 4]),
+    /// The peer speaks a protocol version we do not.
+    UnknownVersion(u16),
+    /// A complete message left unconsumed bytes behind it.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8 {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A field held a value outside its domain (e.g. a bool that is
+    /// neither 0 nor 1).
+    BadValue {
+        /// The offending field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { field } => write!(f, "truncated frame while reading {field}"),
+            CodecError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+            CodecError::UnknownTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            CodecError::BadMagic(m) => write!(f, "bad handshake magic {m:02x?}"),
+            CodecError::UnknownVersion(v) => {
+                write!(f, "unknown protocol version {v} (ours: {PROTOCOL_VERSION})")
+            }
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after message")
+            }
+            CodecError::BadUtf8 { field } => write!(f, "field {field} is not valid UTF-8"),
+            CodecError::BadValue { field } => write!(f, "field {field} holds an invalid value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A transport-layer failure. IO errors are captured as operation +
+/// message so the type stays `Clone + PartialEq` (and hence can ride
+/// inside `ClusterError`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The byte stream was malformed.
+    Codec(CodecError),
+    /// An OS-level socket failure.
+    Io {
+        /// What we were doing ("connect", "read frame", …).
+        op: &'static str,
+        /// The OS error text.
+        detail: String,
+    },
+    /// The handshake did not complete.
+    Handshake {
+        /// Why.
+        reason: String,
+    },
+    /// Dialing gave up after exhausting its retry budget.
+    ConnectFailed {
+        /// The address dialed.
+        addr: String,
+        /// Attempts made.
+        attempts: u32,
+        /// The last attempt's error text.
+        detail: String,
+    },
+    /// The peer is gone (socket closed, heartbeat deadline missed, or the
+    /// connection was torn down under us).
+    PeerClosed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Codec(e) => write!(f, "codec error: {e}"),
+            NetError::Io { op, detail } => write!(f, "io error during {op}: {detail}"),
+            NetError::Handshake { reason } => write!(f, "handshake failed: {reason}"),
+            NetError::ConnectFailed {
+                addr,
+                attempts,
+                detail,
+            } => write!(
+                f,
+                "connect to {addr} failed after {attempts} attempts: {detail}"
+            ),
+            NetError::PeerClosed => write!(f, "peer connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> NetError {
+        NetError::Codec(e)
+    }
+}
+
+impl NetError {
+    /// Wraps an `io::Error` with the operation that hit it.
+    pub fn io(op: &'static str, e: &std::io::Error) -> NetError {
+        NetError::Io {
+            op,
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// One cluster protocol message on the wire.
+///
+/// Request/reply pairs correlate through a `token` the requester chose;
+/// replies also carry the responding `node` id so they are
+/// self-describing in captured traces. Classes are raw `u32`s (the
+/// `ClassId` newtype lives upstream in `qa-workload`; the wire layer
+/// stays dependency-light).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Dialer's handshake: magic + protocol version + the dialer's node
+    /// id (drivers use [`CLIENT_NODE`]).
+    Hello {
+        /// The dialing peer's node id.
+        node: u32,
+    },
+    /// Listener's handshake reply: magic + version + its node id.
+    HelloAck {
+        /// The listening node's id.
+        node: u32,
+    },
+    /// Heartbeat probe.
+    Ping {
+        /// Echo nonce.
+        nonce: u64,
+    },
+    /// Heartbeat answer.
+    Pong {
+        /// The probe's nonce.
+        nonce: u64,
+    },
+    /// Greedy's estimate poll.
+    Estimate {
+        /// Reply-correlation token.
+        token: u64,
+        /// The SQL to estimate.
+        sql: String,
+    },
+    /// Reply to [`WireMsg::Estimate`].
+    EstimateReply {
+        /// The request's token.
+        token: u64,
+        /// The responding node.
+        node: u32,
+        /// History-corrected execution estimate (ms).
+        exec_ms: f64,
+    },
+    /// QA-NT's call-for-offers.
+    CallForOffers {
+        /// Reply-correlation token.
+        token: u64,
+        /// The query's class.
+        class: u32,
+        /// The SQL backing the offer's execution estimate.
+        sql: String,
+    },
+    /// Reply to [`WireMsg::CallForOffers`].
+    OfferReply {
+        /// The request's token.
+        token: u64,
+        /// The responding node.
+        node: u32,
+        /// Whether market supply was available.
+        offered: bool,
+        /// Estimated completion (backlog + execution), ms.
+        completion_ms: f64,
+    },
+    /// Execute an accepted assignment.
+    Execute {
+        /// Reply-correlation token.
+        token: u64,
+        /// The query's class.
+        class: u32,
+        /// The SQL.
+        sql: String,
+    },
+    /// Reply to [`WireMsg::Execute`].
+    ExecReply {
+        /// The request's token.
+        token: u64,
+        /// The executing node.
+        node: u32,
+        /// Rows returned.
+        rows: u64,
+        /// Measured execution time (ms).
+        exec_ms: f64,
+        /// Error text if the query failed.
+        error: Option<String>,
+    },
+    /// A QA-NT market period boundary.
+    PeriodTick,
+    /// Ask the node for its private per-class price vector.
+    DumpPrices {
+        /// Reply-correlation token.
+        token: u64,
+    },
+    /// Reply to [`WireMsg::DumpPrices`] (empty for non-market nodes).
+    Prices {
+        /// The request's token.
+        token: u64,
+        /// The responding node.
+        node: u32,
+        /// Private per-class prices.
+        prices: Vec<f64>,
+    },
+    /// Shut the node down.
+    Shutdown,
+}
+
+/// The node id drivers/controllers present in their [`WireMsg::Hello`] —
+/// they are clients of every node, not members of the fleet.
+pub const CLIENT_NODE: u32 = u32::MAX;
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_HELLO_ACK: u8 = 0x02;
+const TAG_PING: u8 = 0x03;
+const TAG_PONG: u8 = 0x04;
+const TAG_ESTIMATE: u8 = 0x10;
+const TAG_ESTIMATE_REPLY: u8 = 0x11;
+const TAG_CALL_FOR_OFFERS: u8 = 0x12;
+const TAG_OFFER_REPLY: u8 = 0x13;
+const TAG_EXECUTE: u8 = 0x14;
+const TAG_EXEC_REPLY: u8 = 0x15;
+const TAG_PERIOD_TICK: u8 = 0x20;
+const TAG_DUMP_PRICES: u8 = 0x21;
+const TAG_PRICES: u8 = 0x22;
+const TAG_SHUTDOWN: u8 = 0x2f;
+
+// -- encode helpers ---------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: &Option<String>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    put_u32(out, xs.len() as u32);
+    for &x in xs {
+        put_f64(out, x);
+    }
+}
+
+// -- decode helpers ---------------------------------------------------------
+
+/// Bounds-checked little-endian reader over a payload slice. Every take
+/// validates the remaining length first, so decode never over-reads and
+/// never allocates more than the buffer actually holds.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CodecError::Truncated { field });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u16(&mut self, field: &'static str) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2, field)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, field)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8, field)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, field: &'static str) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64(field)?))
+    }
+
+    fn bool(&mut self, field: &'static str) -> Result<bool, CodecError> {
+        match self.u8(field)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::BadValue { field }),
+        }
+    }
+
+    fn str(&mut self, field: &'static str) -> Result<String, CodecError> {
+        let len = self.u32(field)? as usize;
+        let bytes = self.take(len, field)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8 { field })
+    }
+
+    fn opt_str(&mut self, field: &'static str) -> Result<Option<String>, CodecError> {
+        match self.u8(field)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str(field)?)),
+            _ => Err(CodecError::BadValue { field }),
+        }
+    }
+
+    fn f64s(&mut self, field: &'static str) -> Result<Vec<f64>, CodecError> {
+        let count = self.u32(field)? as usize;
+        // Validate against the bytes present before reserving anything:
+        // a hostile count cannot trigger an unbounded allocation.
+        if self.buf.len() - self.pos < count * 8 {
+            return Err(CodecError::Truncated { field });
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.f64(field)?);
+        }
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        let extra = self.buf.len() - self.pos;
+        if extra == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes { extra })
+        }
+    }
+}
+
+impl WireMsg {
+    /// Encodes this message as one frame payload (tag + fields; the
+    /// length prefix is the frame layer's job).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            WireMsg::Hello { node } => {
+                out.push(TAG_HELLO);
+                out.extend_from_slice(&MAGIC);
+                put_u16(&mut out, PROTOCOL_VERSION);
+                put_u32(&mut out, *node);
+            }
+            WireMsg::HelloAck { node } => {
+                out.push(TAG_HELLO_ACK);
+                out.extend_from_slice(&MAGIC);
+                put_u16(&mut out, PROTOCOL_VERSION);
+                put_u32(&mut out, *node);
+            }
+            WireMsg::Ping { nonce } => {
+                out.push(TAG_PING);
+                put_u64(&mut out, *nonce);
+            }
+            WireMsg::Pong { nonce } => {
+                out.push(TAG_PONG);
+                put_u64(&mut out, *nonce);
+            }
+            WireMsg::Estimate { token, sql } => {
+                out.push(TAG_ESTIMATE);
+                put_u64(&mut out, *token);
+                put_str(&mut out, sql);
+            }
+            WireMsg::EstimateReply {
+                token,
+                node,
+                exec_ms,
+            } => {
+                out.push(TAG_ESTIMATE_REPLY);
+                put_u64(&mut out, *token);
+                put_u32(&mut out, *node);
+                put_f64(&mut out, *exec_ms);
+            }
+            WireMsg::CallForOffers { token, class, sql } => {
+                out.push(TAG_CALL_FOR_OFFERS);
+                put_u64(&mut out, *token);
+                put_u32(&mut out, *class);
+                put_str(&mut out, sql);
+            }
+            WireMsg::OfferReply {
+                token,
+                node,
+                offered,
+                completion_ms,
+            } => {
+                out.push(TAG_OFFER_REPLY);
+                put_u64(&mut out, *token);
+                put_u32(&mut out, *node);
+                put_bool(&mut out, *offered);
+                put_f64(&mut out, *completion_ms);
+            }
+            WireMsg::Execute { token, class, sql } => {
+                out.push(TAG_EXECUTE);
+                put_u64(&mut out, *token);
+                put_u32(&mut out, *class);
+                put_str(&mut out, sql);
+            }
+            WireMsg::ExecReply {
+                token,
+                node,
+                rows,
+                exec_ms,
+                error,
+            } => {
+                out.push(TAG_EXEC_REPLY);
+                put_u64(&mut out, *token);
+                put_u32(&mut out, *node);
+                put_u64(&mut out, *rows);
+                put_f64(&mut out, *exec_ms);
+                put_opt_str(&mut out, error);
+            }
+            WireMsg::PeriodTick => out.push(TAG_PERIOD_TICK),
+            WireMsg::DumpPrices { token } => {
+                out.push(TAG_DUMP_PRICES);
+                put_u64(&mut out, *token);
+            }
+            WireMsg::Prices {
+                token,
+                node,
+                prices,
+            } => {
+                out.push(TAG_PRICES);
+                put_u64(&mut out, *token);
+                put_u32(&mut out, *node);
+                put_f64s(&mut out, prices);
+            }
+            WireMsg::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes one frame payload. Strict: unknown tags/versions, short
+    /// buffers, invalid values and trailing bytes are all typed errors,
+    /// never panics.
+    pub fn decode(payload: &[u8]) -> Result<WireMsg, CodecError> {
+        let mut c = Cursor::new(payload);
+        let tag = c.u8("tag")?;
+        let msg = match tag {
+            TAG_HELLO | TAG_HELLO_ACK => {
+                let magic: [u8; 4] = c.take(4, "magic")?.try_into().unwrap();
+                if magic != MAGIC {
+                    return Err(CodecError::BadMagic(magic));
+                }
+                let version = c.u16("version")?;
+                if version != PROTOCOL_VERSION {
+                    return Err(CodecError::UnknownVersion(version));
+                }
+                let node = c.u32("node")?;
+                if tag == TAG_HELLO {
+                    WireMsg::Hello { node }
+                } else {
+                    WireMsg::HelloAck { node }
+                }
+            }
+            TAG_PING => WireMsg::Ping {
+                nonce: c.u64("nonce")?,
+            },
+            TAG_PONG => WireMsg::Pong {
+                nonce: c.u64("nonce")?,
+            },
+            TAG_ESTIMATE => WireMsg::Estimate {
+                token: c.u64("token")?,
+                sql: c.str("sql")?,
+            },
+            TAG_ESTIMATE_REPLY => WireMsg::EstimateReply {
+                token: c.u64("token")?,
+                node: c.u32("node")?,
+                exec_ms: c.f64("exec_ms")?,
+            },
+            TAG_CALL_FOR_OFFERS => WireMsg::CallForOffers {
+                token: c.u64("token")?,
+                class: c.u32("class")?,
+                sql: c.str("sql")?,
+            },
+            TAG_OFFER_REPLY => WireMsg::OfferReply {
+                token: c.u64("token")?,
+                node: c.u32("node")?,
+                offered: c.bool("offered")?,
+                completion_ms: c.f64("completion_ms")?,
+            },
+            TAG_EXECUTE => WireMsg::Execute {
+                token: c.u64("token")?,
+                class: c.u32("class")?,
+                sql: c.str("sql")?,
+            },
+            TAG_EXEC_REPLY => WireMsg::ExecReply {
+                token: c.u64("token")?,
+                node: c.u32("node")?,
+                rows: c.u64("rows")?,
+                exec_ms: c.f64("exec_ms")?,
+                error: c.opt_str("error")?,
+            },
+            TAG_PERIOD_TICK => WireMsg::PeriodTick,
+            TAG_DUMP_PRICES => WireMsg::DumpPrices {
+                token: c.u64("token")?,
+            },
+            TAG_PRICES => WireMsg::Prices {
+                token: c.u64("token")?,
+                node: c.u32("node")?,
+                prices: c.f64s("prices")?,
+            },
+            TAG_SHUTDOWN => WireMsg::Shutdown,
+            other => return Err(CodecError::UnknownTag(other)),
+        };
+        c.finish()?;
+        Ok(msg)
+    }
+
+    /// A short stable name for logs and telemetry contexts.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireMsg::Hello { .. } => "hello",
+            WireMsg::HelloAck { .. } => "hello_ack",
+            WireMsg::Ping { .. } => "ping",
+            WireMsg::Pong { .. } => "pong",
+            WireMsg::Estimate { .. } => "estimate",
+            WireMsg::EstimateReply { .. } => "estimate_reply",
+            WireMsg::CallForOffers { .. } => "call_for_offers",
+            WireMsg::OfferReply { .. } => "offer_reply",
+            WireMsg::Execute { .. } => "execute",
+            WireMsg::ExecReply { .. } => "exec_reply",
+            WireMsg::PeriodTick => "period_tick",
+            WireMsg::DumpPrices { .. } => "dump_prices",
+            WireMsg::Prices { .. } => "prices",
+            WireMsg::Shutdown => "shutdown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_version_is_typed() {
+        let mut bytes = WireMsg::Hello { node: 3 }.encode();
+        // Version field sits after tag + 4 magic bytes.
+        bytes[5] = 0xFF;
+        bytes[6] = 0xFF;
+        assert_eq!(
+            WireMsg::decode(&bytes),
+            Err(CodecError::UnknownVersion(0xFFFF))
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = WireMsg::HelloAck { node: 0 }.encode();
+        bytes[1] = b'X';
+        assert!(matches!(
+            WireMsg::decode(&bytes),
+            Err(CodecError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = WireMsg::PeriodTick.encode();
+        bytes.push(0);
+        assert_eq!(
+            WireMsg::decode(&bytes),
+            Err(CodecError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn empty_payload_is_truncated() {
+        assert_eq!(
+            WireMsg::decode(&[]),
+            Err(CodecError::Truncated { field: "tag" })
+        );
+    }
+
+    #[test]
+    fn bogus_float_count_cannot_allocate() {
+        // Prices frame claiming u32::MAX floats but holding none.
+        let mut bytes = vec![0x22];
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            WireMsg::decode(&bytes),
+            Err(CodecError::Truncated { field: "prices" })
+        );
+    }
+
+    #[test]
+    fn bool_field_must_be_binary() {
+        let mut bytes = WireMsg::OfferReply {
+            token: 1,
+            node: 2,
+            offered: true,
+            completion_ms: 3.0,
+        }
+        .encode();
+        // The offered byte sits after tag + token(8) + node(4).
+        bytes[13] = 7;
+        assert_eq!(
+            WireMsg::decode(&bytes),
+            Err(CodecError::BadValue { field: "offered" })
+        );
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = NetError::from(CodecError::UnknownTag(0xEE));
+        assert!(e.to_string().contains("0xee"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

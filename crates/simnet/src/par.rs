@@ -179,7 +179,7 @@ mod tests {
     fn parallel_matches_serial_for_borrowing_jobs() {
         // Jobs that borrow caller state (the common sweep shape: a shared
         // &Scenario) still compile and agree with the serial run.
-        let base = vec![10u64, 20, 30];
+        let base = [10u64, 20, 30];
         let items: Vec<usize> = (0..100).collect();
         let serial = par_map_indexed_with(1, &items, |i, &x| base[x % base.len()] + i as u64);
         let parallel = par_map_indexed_with(8, &items, |i, &x| base[x % base.len()] + i as u64);

@@ -214,6 +214,44 @@ pub enum TelemetryEvent {
         /// Human-readable message.
         message: String,
     },
+    /// A transport connection to a peer was established (TCP federation).
+    PeerConnected {
+        /// The peer node.
+        node: u32,
+        /// The peer's socket address.
+        addr: String,
+    },
+    /// The magic + protocol-version handshake with a peer completed.
+    HandshakeCompleted {
+        /// The peer node.
+        node: u32,
+        /// The negotiated protocol version.
+        version: u32,
+    },
+    /// A connection attempt failed and will be retried after backoff.
+    ConnectRetried {
+        /// The peer node.
+        node: u32,
+        /// One-based attempt number that just failed.
+        attempt: u32,
+        /// Backoff delay before the next attempt, in milliseconds.
+        delay_ms: u64,
+    },
+    /// An undecodable or unwritable wire frame was discarded.
+    FrameDropped {
+        /// The peer node.
+        node: u32,
+        /// What was wrong with the frame.
+        context: String,
+    },
+    /// A transport peer died (handshake failure, heartbeat timeout, or a
+    /// closed socket).
+    PeerDied {
+        /// The dead peer.
+        node: u32,
+        /// Why the transport declared it dead.
+        reason: String,
+    },
 }
 
 impl TelemetryEvent {
@@ -231,6 +269,11 @@ impl TelemetryEvent {
             TelemetryEvent::NodeRecovered { .. } => "node_recovered",
             TelemetryEvent::PeriodStarted { .. } => "period_started",
             TelemetryEvent::Diag { .. } => "diag",
+            TelemetryEvent::PeerConnected { .. } => "peer_connected",
+            TelemetryEvent::HandshakeCompleted { .. } => "handshake_completed",
+            TelemetryEvent::ConnectRetried { .. } => "connect_retried",
+            TelemetryEvent::FrameDropped { .. } => "frame_dropped",
+            TelemetryEvent::PeerDied { .. } => "peer_died",
         }
     }
 }
@@ -330,6 +373,31 @@ impl ToJson for TraceRecord {
                 pairs.push(("severity".into(), Json::Str(severity.as_str().into())));
                 pairs.push(("component".into(), Json::Str(component.clone())));
                 pairs.push(("message".into(), Json::Str(message.clone())));
+            }
+            TelemetryEvent::PeerConnected { node, addr } => {
+                pairs.push(("node".into(), node.to_json()));
+                pairs.push(("addr".into(), Json::Str(addr.clone())));
+            }
+            TelemetryEvent::HandshakeCompleted { node, version } => {
+                pairs.push(("node".into(), node.to_json()));
+                pairs.push(("version".into(), version.to_json()));
+            }
+            TelemetryEvent::ConnectRetried {
+                node,
+                attempt,
+                delay_ms,
+            } => {
+                pairs.push(("node".into(), node.to_json()));
+                pairs.push(("attempt".into(), attempt.to_json()));
+                pairs.push(("delay_ms".into(), delay_ms.to_json()));
+            }
+            TelemetryEvent::FrameDropped { node, context } => {
+                pairs.push(("node".into(), node.to_json()));
+                pairs.push(("context".into(), Json::Str(context.clone())));
+            }
+            TelemetryEvent::PeerDied { node, reason } => {
+                pairs.push(("node".into(), node.to_json()));
+                pairs.push(("reason".into(), Json::Str(reason.clone())));
             }
         }
         Json::Obj(pairs)
@@ -433,6 +501,27 @@ impl TraceRecord {
                 severity: Severity::parse(str_field(v, "severity")?)?,
                 component: str_field(v, "component")?.to_string(),
                 message: str_field(v, "message")?.to_string(),
+            },
+            "peer_connected" => TelemetryEvent::PeerConnected {
+                node: u32_field(v, "node")?,
+                addr: str_field(v, "addr")?.to_string(),
+            },
+            "handshake_completed" => TelemetryEvent::HandshakeCompleted {
+                node: u32_field(v, "node")?,
+                version: u32_field(v, "version")?,
+            },
+            "connect_retried" => TelemetryEvent::ConnectRetried {
+                node: u32_field(v, "node")?,
+                attempt: u32_field(v, "attempt")?,
+                delay_ms: u64_field(v, "delay_ms")?,
+            },
+            "frame_dropped" => TelemetryEvent::FrameDropped {
+                node: u32_field(v, "node")?,
+                context: str_field(v, "context")?.to_string(),
+            },
+            "peer_died" => TelemetryEvent::PeerDied {
+                node: u32_field(v, "node")?,
+                reason: str_field(v, "reason")?.to_string(),
             },
             other => return Err(format!("unknown event type {other:?}")),
         };
@@ -756,6 +845,16 @@ impl Telemetry {
         }
     }
 
+    /// A handle streaming JSONL into a file (truncated on open). Each
+    /// record is written immediately, so a process that exits without
+    /// explicit teardown still leaves a complete trace — this is what the
+    /// multi-process federation bins (`qad --trace`, `qa-ctl --trace`)
+    /// use.
+    pub fn to_file<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Telemetry> {
+        let file = std::fs::File::create(path)?;
+        Ok(Telemetry::with_sink(Box::new(WriterSink::new(file))))
+    }
+
     /// `true` iff a sink is installed.
     #[inline]
     pub fn is_enabled(&self) -> bool {
@@ -776,13 +875,16 @@ impl Telemetry {
         }
     }
 
-    /// Sets the shared event clock (microseconds). The simulator writes
-    /// sim-time here before dispatching each event; the cluster writes
-    /// wall-clock-since-epoch.
+    /// Advances the shared event clock (microseconds). The simulator
+    /// writes sim-time here before dispatching each event; the cluster
+    /// writes wall-clock-since-epoch. The clock is **monotone**: a stamp
+    /// below the current value is ignored (`fetch_max`), so concurrent
+    /// wall-clock stampers racing between `elapsed()` and the store can
+    /// never make trace timestamps regress — which `check_trace` rejects.
     #[inline]
     pub fn set_now_us(&self, t_us: u64) {
         if let Some(inner) = &self.inner {
-            inner.now_us.store(t_us, Ordering::Relaxed);
+            inner.now_us.fetch_max(t_us, Ordering::Relaxed);
         }
     }
 
@@ -1156,6 +1258,27 @@ mod tests {
                 component: "sim.federation".to_string(),
                 message: "something \"quoted\"".to_string(),
             },
+            TelemetryEvent::PeerConnected {
+                node: 4,
+                addr: "127.0.0.1:4410".to_string(),
+            },
+            TelemetryEvent::HandshakeCompleted {
+                node: 4,
+                version: 1,
+            },
+            TelemetryEvent::ConnectRetried {
+                node: 4,
+                attempt: 2,
+                delay_ms: 160,
+            },
+            TelemetryEvent::FrameDropped {
+                node: 4,
+                context: "unknown tag 0xfe".to_string(),
+            },
+            TelemetryEvent::PeerDied {
+                node: 4,
+                reason: "heartbeat timeout".to_string(),
+            },
         ]
     }
 
@@ -1174,6 +1297,17 @@ mod tests {
             // exact line (this is what check_trace enforces).
             assert_eq!(back.to_json().dump(), line);
         }
+    }
+
+    #[test]
+    fn clock_is_monotone_under_stale_stamps() {
+        let (tel, buf) = Telemetry::buffered();
+        tel.set_now_us(1_000);
+        // A racing thread that computed its elapsed time earlier must not
+        // drag the clock (and hence trace timestamps) backwards.
+        tel.set_now_us(400);
+        tel.emit(|| TelemetryEvent::PeriodStarted { index: 0 });
+        assert_eq!(buf.records()[0].t_us, 1_000);
     }
 
     #[test]

@@ -1,0 +1,6 @@
+//! Operator tooling for a multi-process federation; see `qa_cluster::ctl`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(qa_cluster::ctl::ctl_main(&args));
+}
