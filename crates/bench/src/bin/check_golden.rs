@@ -1,0 +1,68 @@
+//! Golden-trace gate: replays the simulator's golden spec and diffs the
+//! resulting JSONL byte-for-byte against the checked-in golden.
+//!
+//! Usage:
+//!   `check_golden [path]`           — verify (default path: [`qa_sim::GOLDEN_PATH`])
+//!   `check_golden --bless [path]`   — regenerate the golden in place
+//!
+//! On divergence it prints a pointed report naming the first differing
+//! event with surrounding context and a caret at the first differing
+//! byte, then exits non-zero. Regenerate deliberately with `--bless` and
+//! commit the new golden alongside the behaviour change that caused it.
+
+use qa_sim::{check_golden_text, run_golden, GOLDEN_PATH, GOLDEN_SEED};
+use std::process::ExitCode;
+
+fn bless(path: &str) -> Result<(), String> {
+    let dump = run_golden(GOLDEN_SEED);
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        }
+    }
+    std::fs::write(path, &dump.jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "check_golden: blessed {path} ({} records, {} bytes, seed {GOLDEN_SEED})",
+        dump.records.len(),
+        dump.jsonl.len()
+    );
+    Ok(())
+}
+
+fn verify(path: &str) -> Result<(), String> {
+    let golden = std::fs::read_to_string(path).map_err(|e| {
+        format!("cannot read {path}: {e} (generate it with `check_golden --bless`)")
+    })?;
+    let records = check_golden_text(&golden, GOLDEN_SEED)?;
+    println!("check_golden: {path}: {records} records byte-identical (seed {GOLDEN_SEED})");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut do_bless = false;
+    let mut path: Option<String> = None;
+    for arg in &args {
+        match arg.as_str() {
+            "--bless" => do_bless = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| GOLDEN_PATH.to_string());
+    let result = if do_bless {
+        bless(&path)
+    } else {
+        verify(&path)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("check_golden: FAIL\n{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

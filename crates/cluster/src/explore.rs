@@ -1,0 +1,901 @@
+//! Model-checking harness for the cluster driver protocol.
+//!
+//! [`run_schedule`] executes one deterministic episode of the allocation
+//! protocol — a step-driven re-statement of [`crate::driver::run_workload`]'s
+//! per-query state machine (poll → collect under a deadline → assign →
+//! execute → crash re-entry with a retry budget) — against the
+//! [`SimTransport`] virtual network, with **every** nondeterministic
+//! decision (which message is delivered, what is dropped, when a node
+//! crashes, when a collection deadline fires, when the driver harvests a
+//! reply) resolved by one shared [`Schedule`]. After the episode, four
+//! machine-checked invariants audit the final state:
+//!
+//! 1. **conservation** — every query ends exactly once (completed or
+//!    unserved, totals match the workload), and each completed query's
+//!    committed `(query, generation)` appears exactly once in its
+//!    assignee's execution log;
+//! 2. **double assignment** — across crash re-entry, no
+//!    `(query, generation)` pair is ever executed twice, on any node or
+//!    across nodes (re-allocation must bump the generation);
+//! 3. **price consistency** — after recovering crashed nodes and
+//!    reconnecting, each node's dumped price vector is finite, positive,
+//!    stable across two consecutive dumps, and byte-identical to the
+//!    node's internal market state;
+//! 4. **termination** — the episode finishes within the action budget
+//!    (the virtual watchdog): no schedule may wedge the driver.
+//!
+//! [`explore_random`] sweeps seeded-random schedules (each reproducible
+//! from its printed seed via [`run_seed`]); [`explore_systematic`] runs
+//! the bounded DFS enumeration from [`SystematicExplorer`]. A failing
+//! schedule's seed or choice trail replays the identical interleaving.
+
+use crate::node::{ExecReply, OfferReply};
+use crate::simtransport::{encode_sql, NetStats, SharedSchedule, SimTransport};
+use crate::transport::Transport;
+use qa_simnet::sched::{ChoiceTrail, RandomSchedule, ReplaySchedule, Schedule, SystematicExplorer};
+use qa_simnet::telemetry::{Telemetry, TelemetryEvent};
+use qa_workload::ClassId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::mpsc::{channel, Receiver, TryRecvError};
+
+/// Which allocation protocol the harness drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreMechanism {
+    /// Estimate poll, minimum `exec_ms` wins (the paper's baseline).
+    Greedy,
+    /// Call-for-offers, minimum `completion_ms` among offers wins (QA-NT).
+    QaNt,
+}
+
+/// Shape of one explored episode. Small on purpose: model checking pays
+/// for breadth in schedules, not size of any single run.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Fleet size.
+    pub num_nodes: usize,
+    /// Query classes (query `i` has class `i % num_classes`).
+    pub num_classes: usize,
+    /// Queries in the episode.
+    pub num_queries: usize,
+    /// Per-class supply units restored each period.
+    pub supply_per_period: u32,
+    /// Re-allocation attempts before a query is declared unserved.
+    pub max_retries: u32,
+    /// Schedule-chosen crash injections available to the adversary.
+    pub crash_budget: u32,
+    /// A period tick is broadcast before every `tick_every`-th issue.
+    pub tick_every: usize,
+    /// Driver-action budget — the virtual watchdog behind invariant 4.
+    pub max_actions: u64,
+    /// The protocol under test.
+    pub mechanism: ExploreMechanism,
+    /// Harness self-test: arm the model nodes' deliberate double-commit
+    /// bug; the invariant checker must flag every such run.
+    pub inject_double_exec: bool,
+}
+
+impl ExploreConfig {
+    /// The default episode: 3 nodes × 2 classes × 4 queries with one
+    /// adversarial crash — small enough that systematic enumeration
+    /// covers real depth, rich enough to exercise re-entry.
+    pub fn small() -> ExploreConfig {
+        ExploreConfig {
+            num_nodes: 3,
+            num_classes: 2,
+            num_queries: 4,
+            supply_per_period: 2,
+            max_retries: 3,
+            crash_budget: 1,
+            tick_every: 3,
+            max_actions: 10_000,
+            mechanism: ExploreMechanism::QaNt,
+            inject_double_exec: false,
+        }
+    }
+}
+
+/// One failed invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub invariant: &'static str,
+    /// What was observed.
+    pub detail: String,
+}
+
+/// Everything observed under one schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// The schedule's self-description (`random seed N`, `systematic #K`).
+    pub description: String,
+    /// Full choice trail (replayable via [`run_trail`]).
+    pub trail: ChoiceTrail,
+    /// Queries that completed.
+    pub completed: u64,
+    /// Queries declared unserved.
+    pub unserved: u64,
+    /// Driver actions taken.
+    pub actions: u64,
+    /// Virtual-network counters (deliveries, drops, crash steps).
+    pub net: NetStats,
+    /// Invariant violations (empty = the schedule passed).
+    pub violations: Vec<Violation>,
+}
+
+impl ScheduleOutcome {
+    /// `true` iff every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Where one query currently is in the protocol.
+enum QState {
+    /// Not yet issued.
+    Idle,
+    /// Offers/estimates requested; waiting for the deadline action.
+    Collecting(CollectRx),
+    /// Assigned; waiting for the execute reply (or its loss).
+    Executing {
+        node: usize,
+        generation: u32,
+        rx: Receiver<ExecReply>,
+        /// Reply pulled during enablement checks, not yet harvested.
+        buffered: Option<Result<ExecReply, ()>>,
+    },
+    /// Finished: `Some((node, generation))` completed, `None` unserved.
+    Done(Option<(usize, u32)>),
+}
+
+enum CollectRx {
+    Offers(Receiver<OfferReply>),
+    Estimates(Receiver<crate::node::EstimateReply>),
+}
+
+struct QueryRun {
+    class: usize,
+    state: QState,
+    retries: u32,
+    /// Execute attempts so far — the next assignment's generation.
+    attempts: u32,
+}
+
+/// A driver action whose turn order the schedule controls.
+enum Action {
+    /// Let the virtual network take one step.
+    Net,
+    /// Issue the next query's poll round.
+    Issue,
+    /// Fire the collection deadline for query `i`.
+    Deadline(usize),
+    /// Consume query `i`'s buffered execute result.
+    Harvest(usize),
+}
+
+struct Driver<'a> {
+    cfg: &'a ExploreConfig,
+    transport: &'a SimTransport,
+    shared: &'a SharedSchedule,
+    telemetry: &'a Telemetry,
+    queries: Vec<QueryRun>,
+    next_issue: usize,
+    /// Nodes the driver has written off (send failed = crash observed).
+    dead: Vec<bool>,
+}
+
+impl Driver<'_> {
+    fn live_nodes(&self) -> Vec<usize> {
+        (0..self.cfg.num_nodes).filter(|&n| !self.dead[n]).collect()
+    }
+
+    /// Broadcasts the poll round for query `i` (offers under QA-NT,
+    /// estimates under Greedy). Zero reachable nodes ⇒ unserved.
+    fn issue_poll(&mut self, i: usize) {
+        let class = ClassId(self.queries[i].class as u32);
+        let sql = encode_sql(i as u64, self.queries[i].attempts, class);
+        let mut sent = 0usize;
+        match self.cfg.mechanism {
+            ExploreMechanism::QaNt => {
+                let (tx, rx) = channel();
+                for node in self.live_nodes() {
+                    match self
+                        .transport
+                        .call_for_offers(node, class, &sql, tx.clone())
+                    {
+                        Ok(()) => sent += 1,
+                        Err(_) => self.dead[node] = true,
+                    }
+                }
+                self.queries[i].state = QState::Collecting(CollectRx::Offers(rx));
+            }
+            ExploreMechanism::Greedy => {
+                let (tx, rx) = channel();
+                for node in self.live_nodes() {
+                    match self.transport.estimate(node, &sql, tx.clone()) {
+                        Ok(()) => sent += 1,
+                        Err(_) => self.dead[node] = true,
+                    }
+                }
+                self.queries[i].state = QState::Collecting(CollectRx::Estimates(rx));
+            }
+        }
+        if sent == 0 {
+            self.finish_unserved(i);
+        }
+    }
+
+    /// The deadline action: drain whatever replies arrived, pick the
+    /// winner deterministically (min cost, ties to the lowest node), and
+    /// dispatch the execute — or retry/give up when nobody bid.
+    fn deadline(&mut self, i: usize) {
+        let winner: Option<usize> = match &self.queries[i].state {
+            QState::Collecting(CollectRx::Offers(rx)) => {
+                let mut best: Option<(f64, usize)> = None;
+                while let Ok(offer) = rx.try_recv() {
+                    if !offer.offered {
+                        continue;
+                    }
+                    let key = (offer.completion_ms, offer.node);
+                    if best.is_none_or(|b| (key.0, key.1) < b) {
+                        best = Some(key);
+                    }
+                }
+                best.map(|(_, node)| node)
+            }
+            QState::Collecting(CollectRx::Estimates(rx)) => {
+                let mut best: Option<(f64, usize)> = None;
+                while let Ok(est) = rx.try_recv() {
+                    let key = (est.exec_ms, est.node);
+                    if best.is_none_or(|b| (key.0, key.1) < b) {
+                        best = Some(key);
+                    }
+                }
+                best.map(|(_, node)| node)
+            }
+            _ => unreachable!("deadline on a non-collecting query"),
+        };
+        match winner {
+            Some(node) => self.dispatch_execute(i, node),
+            None => self.retry(i),
+        }
+    }
+
+    /// Sends the execute for query `i` to `node` under a fresh
+    /// generation. A failed send is an observed crash: mark the node
+    /// dead and retry.
+    fn dispatch_execute(&mut self, i: usize, node: usize) {
+        let generation = self.queries[i].attempts;
+        self.queries[i].attempts += 1;
+        let class = ClassId(self.queries[i].class as u32);
+        let sql = encode_sql(i as u64, generation, class);
+        let (tx, rx) = channel();
+        match self.transport.execute(node, class, &sql, tx) {
+            Ok(()) => {
+                let retries = self.queries[i].retries;
+                self.telemetry.emit(|| TelemetryEvent::QueryAssigned {
+                    query: i as u64,
+                    class: class.0,
+                    node: node as u32,
+                    retries,
+                });
+                self.queries[i].state = QState::Executing {
+                    node,
+                    generation,
+                    rx,
+                    buffered: None,
+                };
+            }
+            Err(_) => {
+                self.dead[node] = true;
+                self.retry(i);
+            }
+        }
+    }
+
+    /// One more attempt if the budget allows, else unserved.
+    fn retry(&mut self, i: usize) {
+        self.queries[i].retries += 1;
+        if self.queries[i].retries > self.cfg.max_retries {
+            self.finish_unserved(i);
+        } else {
+            self.issue_poll(i);
+        }
+    }
+
+    fn finish_unserved(&mut self, i: usize) {
+        let (class, retries) = (self.queries[i].class as u32, self.queries[i].retries);
+        self.telemetry.emit(|| TelemetryEvent::QueryUnserved {
+            query: i as u64,
+            class,
+            retries,
+        });
+        self.queries[i].state = QState::Done(None);
+    }
+
+    /// The harvest action: act on the buffered execute result. A lost
+    /// reply (disconnected receiver) is indistinguishable from a crashed
+    /// assignee, so the driver re-enters allocation — generation bumped —
+    /// exactly like [`crate::driver::run_workload`].
+    fn harvest(&mut self, i: usize) {
+        let QState::Executing {
+            node,
+            generation,
+            buffered,
+            ..
+        } = &mut self.queries[i].state
+        else {
+            unreachable!("harvest on a non-executing query");
+        };
+        let (node, generation) = (*node, *generation);
+        match buffered.take().expect("harvest enabled without a result") {
+            Ok(reply) => {
+                let class = self.queries[i].class as u32;
+                self.telemetry.emit(|| TelemetryEvent::QueryCompleted {
+                    query: i as u64,
+                    class,
+                    node: node as u32,
+                    response_ms: reply.exec_ms,
+                });
+                self.queries[i].state = QState::Done(Some((node, generation)));
+            }
+            Err(()) => {
+                self.dead[node] = true;
+                self.retry(i);
+            }
+        }
+    }
+
+    /// Builds the enabled-action list in a fixed deterministic order.
+    /// Executing queries get their receiver polled here; a ready (or
+    /// dead) reply is buffered so the harvest stays schedulable without
+    /// consuming it twice.
+    fn enabled_actions(&mut self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.transport.pending_messages() > 0 {
+            actions.push(Action::Net);
+        }
+        if self.next_issue < self.cfg.num_queries {
+            actions.push(Action::Issue);
+        }
+        for i in 0..self.queries.len() {
+            match &mut self.queries[i].state {
+                QState::Collecting(_) => actions.push(Action::Deadline(i)),
+                QState::Executing { rx, buffered, .. } => {
+                    if buffered.is_none() {
+                        match rx.try_recv() {
+                            Ok(reply) => *buffered = Some(Ok(reply)),
+                            Err(TryRecvError::Disconnected) => *buffered = Some(Err(())),
+                            Err(TryRecvError::Empty) => {}
+                        }
+                    }
+                    if buffered.is_some() {
+                        actions.push(Action::Harvest(i));
+                    }
+                }
+                _ => {}
+            }
+        }
+        actions
+    }
+}
+
+/// Runs one episode under `schedule` and audits the invariants. The
+/// schedule is consumed; its full trail comes back in the outcome.
+pub fn run_schedule(
+    cfg: &ExploreConfig,
+    schedule: Box<dyn Schedule + Send>,
+    telemetry: &Telemetry,
+    schedule_id: u64,
+    mode: &str,
+) -> ScheduleOutcome {
+    let shared = SharedSchedule::new(schedule);
+    let transport = SimTransport::new(
+        cfg.num_nodes,
+        cfg.num_classes,
+        cfg.supply_per_period,
+        cfg.crash_budget,
+        shared.clone(),
+        telemetry.clone(),
+    );
+    if cfg.inject_double_exec {
+        transport.inject_double_exec();
+    }
+    telemetry.emit(|| TelemetryEvent::ScheduleStarted {
+        schedule: schedule_id,
+        mode: mode.to_string(),
+    });
+
+    let mut driver = Driver {
+        cfg,
+        transport: &transport,
+        shared: &shared,
+        telemetry,
+        queries: (0..cfg.num_queries)
+            .map(|i| QueryRun {
+                class: i % cfg.num_classes,
+                state: QState::Idle,
+                retries: 0,
+                attempts: 0,
+            })
+            .collect(),
+        next_issue: 0,
+        dead: vec![false; cfg.num_nodes],
+    };
+
+    let mut actions = 0u64;
+    loop {
+        let all_done = driver
+            .queries
+            .iter()
+            .all(|q| matches!(q.state, QState::Done(_)));
+        if all_done || actions >= cfg.max_actions {
+            break;
+        }
+        let enabled = driver.enabled_actions();
+        if enabled.is_empty() {
+            // Unreachable by construction (a non-done query always has a
+            // deadline, a harvest, or an in-flight message) — but a model
+            // checker must never trust "unreachable": fall through and
+            // let the termination invariant report the wedge.
+            break;
+        }
+        actions += 1;
+        let pick = driver.shared.choose("action", enabled.len());
+        match enabled[pick] {
+            Action::Net => {
+                transport.step();
+            }
+            Action::Issue => {
+                let i = driver.next_issue;
+                driver.next_issue += 1;
+                if i > 0 && i.is_multiple_of(cfg.tick_every) {
+                    for node in driver.live_nodes() {
+                        if transport.period_tick(node).is_err() {
+                            driver.dead[node] = true;
+                        }
+                    }
+                }
+                driver.issue_poll(i);
+            }
+            Action::Deadline(i) => driver.deadline(i),
+            Action::Harvest(i) => driver.harvest(i),
+        }
+    }
+
+    let mut violations = check_invariants(cfg, &driver, &transport, actions);
+    for v in &violations {
+        let (invariant, detail) = (v.invariant.to_string(), v.detail.clone());
+        telemetry.emit(|| TelemetryEvent::InvariantViolated { invariant, detail });
+    }
+    // Attach the trail to the first violation's detail so a printed
+    // failure is self-contained.
+    let trail_string = shared.trail_string();
+    if let Some(first) = violations.first_mut() {
+        first.detail = format!("{} [trail {}]", first.detail, trail_string);
+    }
+
+    let completed = driver
+        .queries
+        .iter()
+        .filter(|q| matches!(q.state, QState::Done(Some(_))))
+        .count() as u64;
+    let unserved = driver
+        .queries
+        .iter()
+        .filter(|q| matches!(q.state, QState::Done(None)))
+        .count() as u64;
+    let net = transport.stats();
+    let description = shared.describe();
+    drop(driver);
+    drop(transport);
+    let trail = shared.into_inner().trail().clone();
+    ScheduleOutcome {
+        description,
+        trail,
+        completed,
+        unserved,
+        actions,
+        net,
+        violations,
+    }
+}
+
+/// The four invariant audits. Termination first: a wedged episode's
+/// partial state would make the others report noise, so they only run on
+/// episodes that finished.
+fn check_invariants(
+    cfg: &ExploreConfig,
+    driver: &Driver<'_>,
+    transport: &SimTransport,
+    actions: u64,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // 4. Termination under the (virtual) watchdog.
+    let unfinished = driver
+        .queries
+        .iter()
+        .filter(|q| !matches!(q.state, QState::Done(_)))
+        .count();
+    if unfinished > 0 {
+        violations.push(Violation {
+            invariant: "termination",
+            detail: format!(
+                "{unfinished}/{} queries unfinished after {actions} driver actions \
+                 (budget {})",
+                cfg.num_queries, cfg.max_actions
+            ),
+        });
+        return violations;
+    }
+
+    // Quiesce before auditing: recover crashed nodes (reconnect) and
+    // deliver whatever the schedule left in flight — in-flight ticks and
+    // offers legitimately mutate prices, so the state snapshot must come
+    // after the network settles.
+    transport.recover_all();
+    transport.drain();
+    let nodes = transport.node_states();
+
+    // 1. Conservation: one outcome per query, totals match, and every
+    // committed execution is present exactly once on its assignee.
+    let mut done = 0usize;
+    for (i, q) in driver.queries.iter().enumerate() {
+        let QState::Done(outcome) = &q.state else {
+            continue;
+        };
+        done += 1;
+        if let Some((node, generation)) = outcome {
+            let hits = nodes[*node]
+                .executions
+                .iter()
+                .filter(|e| e.query == i as u64 && e.generation == *generation)
+                .count();
+            if hits != 1 {
+                violations.push(Violation {
+                    invariant: "conservation",
+                    detail: format!(
+                        "query {i} committed on node {node} gen {generation} \
+                         appears {hits}× in its execution log (want exactly 1)"
+                    ),
+                });
+            }
+        }
+    }
+    if done != cfg.num_queries {
+        violations.push(Violation {
+            invariant: "conservation",
+            detail: format!("{done} outcomes for {} queries", cfg.num_queries),
+        });
+    }
+
+    // 2. No double assignment across crash re-entry: a (query, generation)
+    // pair executes at most once, fleet-wide.
+    let mut seen: BTreeMap<(u64, u32), Vec<usize>> = BTreeMap::new();
+    for n in &nodes {
+        for e in &n.executions {
+            seen.entry((e.query, e.generation)).or_default().push(n.id);
+        }
+    }
+    for ((query, generation), on_nodes) in &seen {
+        if on_nodes.len() > 1 {
+            violations.push(Violation {
+                invariant: "double_assignment",
+                detail: format!(
+                    "query {query} gen {generation} executed {}× (nodes {on_nodes:?})",
+                    on_nodes.len()
+                ),
+            });
+        }
+    }
+
+    // 3. Price consistency after reconnect: the dumped vector must be
+    // sane, stable across dumps, and identical to the node's internal
+    // state (nodes were recovered and the network drained above).
+    let dump = |node: usize| -> Option<Vec<f64>> {
+        let (tx, rx) = channel();
+        transport.dump_prices(node, tx).ok()?;
+        transport.drain();
+        rx.try_recv().ok().map(|p| p.prices)
+    };
+    for n in &nodes {
+        let (first, second) = (dump(n.id), dump(n.id));
+        match (first, second) {
+            (Some(a), Some(b)) => {
+                if a != b {
+                    violations.push(Violation {
+                        invariant: "price_consistency",
+                        detail: format!(
+                            "node {} dumps differ across reconnect: {a:?} vs {b:?}",
+                            n.id
+                        ),
+                    });
+                } else if a != n.prices {
+                    violations.push(Violation {
+                        invariant: "price_consistency",
+                        detail: format!(
+                            "node {} dumped {a:?} but market state holds {:?}",
+                            n.id, n.prices
+                        ),
+                    });
+                } else if a.iter().any(|p| !p.is_finite() || *p <= 0.0) {
+                    violations.push(Violation {
+                        invariant: "price_consistency",
+                        detail: format!("node {} price vector not finite-positive: {a:?}", n.id),
+                    });
+                }
+            }
+            _ => violations.push(Violation {
+                invariant: "price_consistency",
+                detail: format!("node {} did not answer the post-recovery price dump", n.id),
+            }),
+        }
+    }
+
+    violations
+}
+
+/// Replays a seeded-random schedule — the reproduction path for a printed
+/// failure seed.
+pub fn run_seed(cfg: &ExploreConfig, seed: u64) -> ScheduleOutcome {
+    run_schedule(
+        cfg,
+        Box::new(RandomSchedule::new(seed)),
+        &Telemetry::disabled(),
+        seed,
+        "random",
+    )
+}
+
+/// Replays a recorded choice trail.
+pub fn run_trail(cfg: &ExploreConfig, indices: Vec<u32>, label: &str) -> ScheduleOutcome {
+    run_schedule(
+        cfg,
+        Box::new(ReplaySchedule::new(indices, label)),
+        &Telemetry::disabled(),
+        0,
+        "replay",
+    )
+}
+
+/// A schedule that failed, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct FailedSchedule {
+    /// The schedule's identity (`random seed N`, `systematic #K …`).
+    pub description: String,
+    /// Compact `point:chosen/arity` trail.
+    pub trail: String,
+    /// The violations it triggered.
+    pub violations: Vec<Violation>,
+}
+
+/// Aggregates over an exploration sweep.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Schedules run.
+    pub schedules: u64,
+    /// Sum of completed queries.
+    pub completed: u64,
+    /// Sum of unserved queries.
+    pub unserved: u64,
+    /// Total requests dropped by the adversary.
+    pub dropped_requests: u64,
+    /// Total replies dropped by the adversary.
+    pub dropped_replies: u64,
+    /// Total crashes injected.
+    pub crashes: u64,
+    /// Distinct network-step indices at which a crash was injected —
+    /// the crash-point coverage measure.
+    pub crash_points: BTreeSet<u64>,
+    /// Schedules that violated an invariant (capped at
+    /// [`ExploreReport::MAX_FAILURES`]; `schedules_failed` keeps the
+    /// true count).
+    pub failures: Vec<FailedSchedule>,
+    /// True number of failing schedules.
+    pub schedules_failed: u64,
+    /// `true` when a systematic sweep enumerated its whole bounded tree
+    /// (as opposed to hitting the schedule budget).
+    pub exhausted: bool,
+}
+
+impl ExploreReport {
+    /// Failing schedules kept verbatim in [`ExploreReport::failures`].
+    pub const MAX_FAILURES: usize = 8;
+
+    fn absorb(&mut self, outcome: &ScheduleOutcome) {
+        self.schedules += 1;
+        self.completed += outcome.completed;
+        self.unserved += outcome.unserved;
+        self.dropped_requests += outcome.net.dropped_requests;
+        self.dropped_replies += outcome.net.dropped_replies;
+        self.crashes += outcome.net.crash_steps.len() as u64;
+        self.crash_points.extend(outcome.net.crash_steps.iter());
+        if !outcome.passed() {
+            self.schedules_failed += 1;
+            if self.failures.len() < Self::MAX_FAILURES {
+                self.failures.push(FailedSchedule {
+                    description: outcome.description.clone(),
+                    trail: outcome.trail.to_string(),
+                    violations: outcome.violations.clone(),
+                });
+            }
+        }
+    }
+
+    /// `true` iff no schedule violated an invariant.
+    pub fn passed(&self) -> bool {
+        self.schedules_failed == 0
+    }
+}
+
+/// Sweeps `count` seeded-random schedules starting at `base_seed`.
+pub fn explore_random(cfg: &ExploreConfig, base_seed: u64, count: u64) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    for i in 0..count {
+        let outcome = run_seed(cfg, base_seed.wrapping_add(i));
+        report.absorb(&outcome);
+    }
+    report
+}
+
+/// Bounded systematic enumeration: DFS over the first `depth_bound`
+/// choice points, visiting at most `budget` schedules.
+pub fn explore_systematic(cfg: &ExploreConfig, depth_bound: usize, budget: u64) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    let mut explorer = SystematicExplorer::new(depth_bound, budget);
+    while let Some(schedule) = explorer.begin() {
+        let id = schedule.index();
+        let outcome = run_schedule(
+            cfg,
+            Box::new(schedule),
+            &Telemetry::disabled(),
+            id,
+            "systematic",
+        );
+        explorer.finish(&outcome.trail);
+        report.absorb(&outcome);
+    }
+    report.exhausted = explorer.exhausted();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_schedule_completes_everything() {
+        // All-zero choices: FIFO delivery, no drops, no crash.
+        let cfg = ExploreConfig::small();
+        let out = run_trail(&cfg, vec![], "benign");
+        assert!(out.passed(), "{:?}", out.violations);
+        assert_eq!(out.completed, cfg.num_queries as u64);
+        assert_eq!(out.unserved, 0);
+        assert!(out.net.crash_steps.is_empty());
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible_and_seed_sensitive() {
+        let cfg = ExploreConfig::small();
+        let fingerprint = |seed: u64| {
+            let o = run_seed(&cfg, seed);
+            (
+                o.completed,
+                o.unserved,
+                o.actions,
+                o.net.clone(),
+                o.trail.indices(),
+                o.violations.clone(),
+            )
+        };
+        assert_eq!(fingerprint(11), fingerprint(11), "same seed ⇒ same episode");
+        let distinct: std::collections::BTreeSet<Vec<u32>> =
+            (0..16).map(|s| fingerprint(s).4).collect();
+        assert!(distinct.len() > 1, "seeds must vary the interleaving");
+    }
+
+    #[test]
+    fn recorded_trail_replays_the_identical_episode() {
+        let cfg = ExploreConfig::small();
+        let original = run_seed(&cfg, 1234);
+        let replayed = run_trail(&cfg, original.trail.indices(), "seed 1234");
+        assert_eq!(replayed.completed, original.completed);
+        assert_eq!(replayed.unserved, original.unserved);
+        assert_eq!(replayed.actions, original.actions);
+        assert_eq!(replayed.net, original.net);
+        assert_eq!(replayed.trail.indices(), original.trail.indices());
+    }
+
+    #[test]
+    fn random_sweep_holds_all_invariants_under_both_mechanisms() {
+        for mechanism in [ExploreMechanism::QaNt, ExploreMechanism::Greedy] {
+            let cfg = ExploreConfig {
+                mechanism,
+                ..ExploreConfig::small()
+            };
+            let report = explore_random(&cfg, 7, 150);
+            assert!(
+                report.passed(),
+                "{mechanism:?}: {:#?}",
+                report.failures.first()
+            );
+            assert_eq!(report.schedules, 150);
+            assert!(
+                report.crashes > 0,
+                "{mechanism:?}: adversary never crashed a node"
+            );
+            assert!(
+                report.dropped_requests + report.dropped_replies > 0,
+                "{mechanism:?}: adversary never dropped anything"
+            );
+        }
+    }
+
+    #[test]
+    fn systematic_sweep_explores_and_passes() {
+        let cfg = ExploreConfig::small();
+        let report = explore_systematic(&cfg, 6, 400);
+        assert!(report.passed(), "{:#?}", report.failures.first());
+        assert!(
+            report.schedules >= 100,
+            "only {} schedules",
+            report.schedules
+        );
+        assert!(
+            !report.crash_points.is_empty(),
+            "systematic sweep must cover crash injection points"
+        );
+    }
+
+    #[test]
+    fn injected_double_commit_is_caught() {
+        // The checker must detect the deliberately broken node — on the
+        // *benign* schedule, so detection cannot depend on adversarial luck.
+        let cfg = ExploreConfig {
+            inject_double_exec: true,
+            ..ExploreConfig::small()
+        };
+        let out = run_trail(&cfg, vec![], "self-test");
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| v.invariant == "double_assignment" || v.invariant == "conservation"),
+            "checker missed the double commit: {:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn starved_action_budget_reports_termination() {
+        let cfg = ExploreConfig {
+            max_actions: 3,
+            ..ExploreConfig::small()
+        };
+        let out = run_trail(&cfg, vec![], "starved");
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.violations[0].invariant, "termination");
+    }
+
+    #[test]
+    fn schedule_events_flow_through_telemetry() {
+        let (telemetry, buffer) = Telemetry::buffered();
+        let cfg = ExploreConfig::small();
+        let out = run_schedule(
+            &cfg,
+            Box::new(RandomSchedule::new(99)),
+            &telemetry,
+            99,
+            "random",
+        );
+        assert!(out.passed(), "{:?}", out.violations);
+        let records = buffer.records();
+        assert!(records
+            .iter()
+            .any(|r| matches!(&r.event, TelemetryEvent::ScheduleStarted { schedule: 99, mode } if mode == "random")));
+        // Every record round-trips through the strict parser.
+        for r in &records {
+            let line = qa_simnet::json::ToJson::to_json(r).dump();
+            qa_simnet::telemetry::TraceRecord::parse_line(&line).unwrap();
+        }
+    }
+}

@@ -33,9 +33,11 @@
 pub mod ctl;
 pub mod driver;
 pub mod error;
+pub mod explore;
 pub mod node;
 pub mod qad;
 pub mod setup;
+pub mod simtransport;
 pub mod transport;
 
 pub use driver::{
@@ -43,7 +45,12 @@ pub use driver::{
     ExperimentResult,
 };
 pub use error::ClusterError;
+pub use explore::{
+    explore_random, explore_systematic, run_schedule, run_seed, run_trail, ExploreConfig,
+    ExploreMechanism, ExploreReport, ScheduleOutcome, Violation,
+};
 pub use node::{spawn_node, spawn_node_with_faults, NodeHandle, NodeMsg};
 pub use qad::FedConfig;
 pub use setup::{ClusterSpec, QueryClassSpec};
+pub use simtransport::{SharedSchedule, SimNodeState, SimTransport};
 pub use transport::{ChannelTransport, TcpTransport, Transport};

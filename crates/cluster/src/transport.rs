@@ -231,6 +231,15 @@ struct PeerState {
     pending: Mutex<HashMap<u64, (Pending, Instant)>>,
 }
 
+impl PeerState {
+    /// Fails every outstanding request now: dropping the parked senders
+    /// disconnects their receivers, so waiters observe dead-peer
+    /// semantics immediately instead of aging out via the TTL sweep.
+    fn fail_pending(&self) {
+        self.pending.lock().unwrap().clear();
+    }
+}
+
 struct Peer {
     state: Arc<PeerState>,
     conn: Mutex<Option<Connection>>,
@@ -295,6 +304,10 @@ impl TcpTransport {
             if let Some(c) = peer.conn.lock().unwrap().take() {
                 c.close();
             }
+            // Fail waiters before joining the dispatcher: the join can
+            // block on connection teardown, and nobody may wait out the
+            // TTL for a reply that can no longer arrive.
+            peer.state.fail_pending();
             if let Some(d) = peer.dispatcher.lock().unwrap().take() {
                 let _ = d.join();
             }
@@ -409,6 +422,9 @@ impl Transport for TcpTransport {
         if let Some(c) = conn {
             c.close();
         }
+        // As in `disconnect`: pending replies can never arrive once the
+        // connection is gone, so fail them immediately.
+        self.peers[node].state.fail_pending();
         let dispatcher = self.peers[node].dispatcher.lock().unwrap().take();
         if let Some(d) = dispatcher {
             let _ = d.join();

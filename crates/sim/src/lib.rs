@@ -28,11 +28,16 @@ pub mod experiments;
 pub mod federation;
 pub mod metrics;
 pub mod node;
+pub mod replay;
 pub mod scenario;
 pub mod tracedump;
 
 pub use config::SimConfig;
 pub use federation::{Federation, RunOutcome};
 pub use metrics::RunMetrics;
+pub use replay::{
+    check_golden_text, first_divergence, golden_spec, render_divergence, run_golden, Divergence,
+    GOLDEN_PATH, GOLDEN_SEED,
+};
 pub use scenario::{Scenario, TwoClassParams};
 pub use tracedump::{run_trace_dump, TraceDump, TraceDumpSpec};

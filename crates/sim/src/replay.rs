@@ -1,0 +1,241 @@
+//! Golden-trace replay: re-run a recorded telemetry trace and diff it
+//! byte-for-byte against a checked-in golden.
+//!
+//! The simulator's JSONL traces are byte-deterministic (sim-time stamps,
+//! seeded randomness), so a trace is a complete behavioural fingerprint
+//! of the market: every price move, rejection, assignment, drop and crash
+//! in order. Checking a golden trace into the repo and replaying it in CI
+//! (`scripts/check_golden.sh`, the `check_golden` bin) turns any
+//! hot-path refactor that silently changes market behaviour — a reordered
+//! float reduction, an off-by-one in the period loop, a perturbed pricer
+//! constant — into a loud failure that names the first diverging event.
+//!
+//! The diff is deliberately primitive: line-by-line byte equality, first
+//! divergence wins. Anything smarter (field tolerance, reordering
+//! windows) would re-introduce exactly the silent drift this exists to
+//! catch.
+
+use crate::tracedump::{run_trace_dump, TraceDump, TraceDumpSpec};
+use qa_simnet::json::ToJson;
+use qa_simnet::telemetry::TraceRecord;
+use std::fmt::Write as _;
+
+/// Seed of the checked-in golden trace (`goldens/trace_seed2007.jsonl`).
+pub const GOLDEN_SEED: u64 = 2007;
+
+/// Repo-relative path of the checked-in golden trace.
+pub const GOLDEN_PATH: &str = "goldens/trace_seed2007.jsonl";
+
+/// The golden-trace run shape: small enough that the checked-in file
+/// stays reviewable, rich enough to cover the full event taxonomy
+/// (market dynamics, loss, one crash/recovery).
+///
+/// **Changing anything here invalidates the checked-in golden** —
+/// regenerate with `check_golden --bless` and commit the diff with the
+/// change that caused it.
+pub fn golden_spec(seed: u64) -> TraceDumpSpec {
+    let mut spec = TraceDumpSpec::ci(seed);
+    spec.config.num_nodes = 5;
+    spec.secs = 4;
+    spec.kill = Some((0, 1_000, 2_500));
+    spec
+}
+
+/// Runs the golden spec at `seed` and returns the dump.
+pub fn run_golden(seed: u64) -> TraceDump {
+    run_trace_dump(&golden_spec(seed))
+}
+
+/// Where two traces first diverge, 1-based. `None` on a side means the
+/// trace ended there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 1-based line number of the first difference.
+    pub line: usize,
+    /// The golden trace's line, if it has one.
+    pub golden: Option<String>,
+    /// The replayed trace's line, if it has one.
+    pub actual: Option<String>,
+}
+
+/// First line where `actual` differs from `golden`, or `None` when the
+/// traces are byte-identical.
+pub fn first_divergence(golden: &str, actual: &str) -> Option<Divergence> {
+    let mut g = golden.lines();
+    let mut a = actual.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (g.next(), a.next()) {
+            (None, None) => return None,
+            (golden_line, actual_line) => {
+                if golden_line == actual_line {
+                    continue;
+                }
+                return Some(Divergence {
+                    line,
+                    golden: golden_line.map(str::to_string),
+                    actual: actual_line.map(str::to_string),
+                });
+            }
+        }
+    }
+}
+
+/// Index of the first differing byte between two lines.
+fn first_diff_byte(a: &str, b: &str) -> usize {
+    a.bytes()
+        .zip(b.bytes())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()))
+}
+
+/// Renders a pointed first-divergence report: the event index, up to
+/// `context` preceding golden lines for orientation, both divergent
+/// lines, and a caret at the first differing byte.
+pub fn render_divergence(golden: &str, d: &Divergence, context: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "traces diverge at event {} (1-based)", d.line);
+    let lines: Vec<&str> = golden.lines().collect();
+    let from = d.line.saturating_sub(context + 1);
+    for (i, line) in lines.iter().enumerate().take(d.line - 1).skip(from) {
+        let _ = writeln!(out, "  = {:>6}  {line}", i + 1);
+    }
+    match (&d.golden, &d.actual) {
+        (Some(g), Some(a)) => {
+            let _ = writeln!(out, "  - golden  {g}");
+            let _ = writeln!(out, "  + actual  {a}");
+            let caret = first_diff_byte(g, a);
+            let _ = writeln!(
+                out,
+                "            {}^ first differing byte",
+                " ".repeat(caret)
+            );
+        }
+        (Some(g), None) => {
+            let _ = writeln!(out, "  - golden  {g}");
+            let _ = writeln!(out, "  + actual  <trace ends here>");
+        }
+        (None, Some(a)) => {
+            let _ = writeln!(out, "  - golden  <trace ends here>");
+            let _ = writeln!(out, "  + actual  {a}");
+        }
+        (None, None) => {}
+    }
+    out
+}
+
+/// Replays the golden spec and compares byte-for-byte against
+/// `golden_text`. Also validates every golden line through the strict
+/// trace parser, so a hand-edited golden that drifted from the schema
+/// fails even when the bytes happen to match.
+///
+/// Returns the number of records checked, or the full failure report.
+///
+/// # Errors
+/// A parse failure in the golden, or a rendered first-divergence report.
+pub fn check_golden_text(golden_text: &str, seed: u64) -> Result<usize, String> {
+    for (i, line) in golden_text.lines().enumerate() {
+        let record = TraceRecord::parse_line(line)
+            .map_err(|e| format!("golden line {}: not a valid trace record: {e}", i + 1))?;
+        let redump = record.to_json().dump();
+        if redump != line {
+            return Err(format!(
+                "golden line {}: not canonical\n  golden: {line}\n  redump: {redump}",
+                i + 1
+            ));
+        }
+    }
+    let dump = run_golden(seed);
+    match first_divergence(golden_text, &dump.jsonl) {
+        None => Ok(dump.records.len()),
+        Some(d) => Err(render_divergence(golden_text, &d, 3)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_run_is_byte_deterministic_and_self_checks() {
+        let a = run_golden(GOLDEN_SEED);
+        let b = run_golden(GOLDEN_SEED);
+        assert_eq!(a.jsonl, b.jsonl, "golden spec must replay byte-identically");
+        assert!(first_divergence(&a.jsonl, &b.jsonl).is_none());
+        assert_eq!(
+            check_golden_text(&a.jsonl, GOLDEN_SEED),
+            Ok(a.records.len())
+        );
+        // The golden shape covers the market + fault taxonomy.
+        let kinds: std::collections::BTreeSet<&str> =
+            a.records.iter().map(|r| r.event.kind()).collect();
+        for required in [
+            "price_adjusted",
+            "supply_computed",
+            "query_assigned",
+            "query_completed",
+            "message_dropped",
+            "node_crashed",
+            "node_recovered",
+            "period_started",
+        ] {
+            assert!(kinds.contains(required), "golden lacks {required}");
+        }
+    }
+
+    #[test]
+    fn single_byte_perturbation_is_caught_and_pointed_at() {
+        let dump = run_golden(GOLDEN_SEED);
+        // Perturb one digit deep in the trace — the kind of change a
+        // wrong pricer constant produces.
+        let victim_line = dump.jsonl.lines().count() / 2;
+        let mut lines: Vec<String> = dump.jsonl.lines().map(str::to_string).collect();
+        let perturbed_line = lines[victim_line]
+            .chars()
+            .rev()
+            .collect::<String>()
+            .replacen('0', "1", 1)
+            .chars()
+            .rev()
+            .collect::<String>();
+        let perturbed = if perturbed_line != lines[victim_line] {
+            lines[victim_line] = perturbed_line;
+            lines.join("\n") + "\n"
+        } else {
+            // No zero to flip on that line: append a digit instead.
+            lines[victim_line].push('9');
+            lines.join("\n") + "\n"
+        };
+        let d = first_divergence(&perturbed, &dump.jsonl).expect("must diverge");
+        assert_eq!(
+            d.line,
+            victim_line + 1,
+            "divergence must name the first bad event"
+        );
+        let report = render_divergence(&perturbed, &d, 3);
+        assert!(report.contains(&format!("diverge at event {}", victim_line + 1)));
+        assert!(report.contains("- golden"));
+        assert!(report.contains("+ actual"));
+        assert!(report.contains("first differing byte"));
+        let err = check_golden_text(&perturbed, GOLDEN_SEED);
+        assert!(err.is_err(), "perturbed golden must fail the check");
+    }
+
+    #[test]
+    fn length_mismatch_reports_the_short_side() {
+        let d = first_divergence("a\nb\n", "a\n").expect("must diverge");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.golden.as_deref(), Some("b"));
+        assert_eq!(d.actual, None);
+        let r = render_divergence("a\nb\n", &d, 3);
+        assert!(r.contains("<trace ends here>"));
+    }
+
+    #[test]
+    fn invalid_golden_lines_are_rejected_before_the_run() {
+        assert!(check_golden_text("not json\n", GOLDEN_SEED)
+            .unwrap_err()
+            .contains("golden line 1"));
+    }
+}

@@ -25,7 +25,12 @@
 //!   disabled,
 //! * [`par`] — a hermetic scoped thread pool whose [`par_map_indexed`]
 //!   fans independent sweep cells over the cores while keeping output
-//!   byte-identical to the serial run.
+//!   byte-identical to the serial run,
+//! * [`sched`] — deterministic schedule exploration for message-passing
+//!   protocols: seeded-random, replay, and bounded-systematic choosers
+//!   driving the cluster's model-checking harness,
+//! * [`watchdog`] — the shared test-support termination bound
+//!   (`QA_TEST_TIMEOUT_SECS` override) used by the e2e suites.
 //!
 //! Everything here is deliberately generic: the same kernel drives the
 //! 100-node simulation (`qa-sim`) and the synthetic-workload generators
@@ -38,9 +43,11 @@ pub mod json;
 pub mod link;
 pub mod par;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
+pub mod watchdog;
 
 pub use dist::{Exponential, Uniform, Zipf};
 pub use event::{EventQueue, ScheduledEvent};
@@ -49,5 +56,9 @@ pub use json::{Json, ToJson};
 pub use link::LinkSpec;
 pub use par::{par_map_indexed, par_map_indexed_with, thread_budget};
 pub use rng::DetRng;
+pub use sched::{
+    ChoiceTrail, RandomSchedule, ReplaySchedule, Schedule, SystematicExplorer, SystematicSchedule,
+};
 pub use telemetry::{ConvergenceReport, MetricsRegistry, Telemetry, TelemetryEvent, TraceRecord};
 pub use time::{SimDuration, SimTime};
+pub use watchdog::with_watchdog;

@@ -252,6 +252,21 @@ pub enum TelemetryEvent {
         /// Why the transport declared it dead.
         reason: String,
     },
+    /// A protocol-exploration schedule began (model-checking harness).
+    ScheduleStarted {
+        /// Zero-based schedule index within the exploration.
+        schedule: u64,
+        /// Schedule family: `"random"`, `"systematic"`, or `"replay"`.
+        mode: String,
+    },
+    /// A machine-checked protocol invariant failed under an explored
+    /// schedule. The trail in `detail` replays the interleaving.
+    InvariantViolated {
+        /// Which invariant broke (e.g. `"conservation"`).
+        invariant: String,
+        /// What was observed, plus the choice trail for replay.
+        detail: String,
+    },
 }
 
 impl TelemetryEvent {
@@ -274,6 +289,8 @@ impl TelemetryEvent {
             TelemetryEvent::ConnectRetried { .. } => "connect_retried",
             TelemetryEvent::FrameDropped { .. } => "frame_dropped",
             TelemetryEvent::PeerDied { .. } => "peer_died",
+            TelemetryEvent::ScheduleStarted { .. } => "schedule_started",
+            TelemetryEvent::InvariantViolated { .. } => "invariant_violated",
         }
     }
 }
@@ -399,6 +416,14 @@ impl ToJson for TraceRecord {
                 pairs.push(("node".into(), node.to_json()));
                 pairs.push(("reason".into(), Json::Str(reason.clone())));
             }
+            TelemetryEvent::ScheduleStarted { schedule, mode } => {
+                pairs.push(("schedule".into(), schedule.to_json()));
+                pairs.push(("mode".into(), Json::Str(mode.clone())));
+            }
+            TelemetryEvent::InvariantViolated { invariant, detail } => {
+                pairs.push(("invariant".into(), Json::Str(invariant.clone())));
+                pairs.push(("detail".into(), Json::Str(detail.clone())));
+            }
         }
         Json::Obj(pairs)
     }
@@ -522,6 +547,14 @@ impl TraceRecord {
             "peer_died" => TelemetryEvent::PeerDied {
                 node: u32_field(v, "node")?,
                 reason: str_field(v, "reason")?.to_string(),
+            },
+            "schedule_started" => TelemetryEvent::ScheduleStarted {
+                schedule: u64_field(v, "schedule")?,
+                mode: str_field(v, "mode")?.to_string(),
+            },
+            "invariant_violated" => TelemetryEvent::InvariantViolated {
+                invariant: str_field(v, "invariant")?.to_string(),
+                detail: str_field(v, "detail")?.to_string(),
             },
             other => return Err(format!("unknown event type {other:?}")),
         };
@@ -1278,6 +1311,14 @@ mod tests {
             TelemetryEvent::PeerDied {
                 node: 4,
                 reason: "heartbeat timeout".to_string(),
+            },
+            TelemetryEvent::ScheduleStarted {
+                schedule: 17,
+                mode: "systematic".to_string(),
+            },
+            TelemetryEvent::InvariantViolated {
+                invariant: "conservation".to_string(),
+                detail: "query 3 committed twice; trail deliver:1/3".to_string(),
             },
         ]
     }

@@ -52,6 +52,7 @@ pub use qa_cluster as cluster;
 pub use qa_core as core;
 pub use qa_economics as economics;
 pub use qa_minidb as minidb;
+pub use qa_net as net;
 pub use qa_sim as sim;
 pub use qa_simnet as simnet;
 pub use qa_workload as workload;

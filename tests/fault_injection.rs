@@ -13,23 +13,12 @@
 
 use query_markets::cluster::{run_experiment, ClusterConfig, ClusterMechanism, ClusterSpec};
 use query_markets::prelude::*;
-use std::sync::mpsc;
+use query_markets::simnet::with_watchdog;
 use std::time::Duration;
-
-/// Runs `f` on its own thread and panics if it does not finish in time —
-/// the "never deadlocks" bound for runs that wait on channels.
-fn with_watchdog<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
-    let (tx, rx) = mpsc::channel();
-    std::thread::spawn(move || {
-        let _ = tx.send(f());
-    });
-    rx.recv_timeout(Duration::from_secs(secs))
-        .expect("watchdog: faulty run did not terminate")
-}
 
 #[test]
 fn sim_qant_survives_lossy_slow_link_and_mid_run_crash() {
-    let out = with_watchdog(120, || {
+    let out = with_watchdog("sim qant under loss and crash", 120, || {
         let config = SimConfig::small_test(2024);
         let scenario = Scenario::two_class(config, TwoClassParams::default());
         let trace = two_class_trace(&scenario, 0.05, 0.5, 20);
@@ -122,7 +111,7 @@ fn cluster_terminates_cleanly_under_loss_and_crash() {
     for mech in [ClusterMechanism::Greedy, ClusterMechanism::QaNt] {
         let spec = spec.clone();
         let stranded = stranded.clone();
-        let r = with_watchdog(180, move || {
+        let r = with_watchdog("cluster under loss and crash", 180, move || {
             let mut cfg = ClusterConfig::ci_scale(mech, 8);
             cfg.num_queries = 25;
             cfg.reply_timeout = Duration::from_secs(5);

@@ -15,21 +15,10 @@
 use query_markets::cluster::ctl::{collect_prices, Federation};
 use query_markets::cluster::{run_experiment, run_workload, FedConfig, Transport};
 use query_markets::simnet::telemetry::Telemetry;
+use query_markets::simnet::with_watchdog;
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
-
-/// Runs `f` on its own thread and panics if it does not finish in time —
-/// a 5-process federation must never wedge the suite.
-fn with_watchdog<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
-    let (tx, rx) = mpsc::channel();
-    std::thread::spawn(move || {
-        let _ = tx.send(f());
-    });
-    rx.recv_timeout(Duration::from_secs(secs))
-        .expect("watchdog: multi-process federation run did not terminate")
-}
 
 /// A scratch directory for this test run, removed on drop.
 struct Scratch(PathBuf);
@@ -79,7 +68,7 @@ fn five_process_federation_matches_in_process_allocation_totals() {
     let reference = run_experiment(&fed.spec(), &fed.cluster_config(Telemetry::disabled()))
         .expect("in-process run");
 
-    let (tcp, prices, clean) = with_watchdog(180, move || {
+    let (tcp, prices, clean) = with_watchdog("five-process TCP federation", 180, move || {
         let config_path = dir.join("fed.json");
         std::fs::write(&config_path, fed.dump()).expect("write federation config");
         let trace_dir = dir.join("traces");
@@ -181,7 +170,7 @@ fn federation_survives_driver_disconnect_without_shutdown() {
     let mut fed = test_fed();
     fed.num_nodes = 2;
 
-    with_watchdog(120, move || {
+    with_watchdog("driver reconnect over TCP", 120, move || {
         let config_path = dir.join("fed.json");
         std::fs::write(&config_path, fed.dump()).expect("write federation config");
         let federation = Federation::spawn(
