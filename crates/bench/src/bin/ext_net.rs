@@ -18,7 +18,7 @@ use qa_bench::{fmt_ms, render_table, scale, write_json, Scale, Sweep};
 use qa_cluster::ctl::Federation;
 use qa_cluster::{run_experiment, run_workload, ExperimentResult, FedConfig, Transport};
 use qa_simnet::telemetry::Telemetry;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -98,8 +98,8 @@ fn row(transport: &str, fed: &FedConfig, crashes: usize, r: &ExperimentResult, c
 fn tcp_cell(
     fed: &FedConfig,
     crashes: usize,
-    qad: &PathBuf,
-    scratch: &PathBuf,
+    qad: &Path,
+    scratch: &Path,
     idx: usize,
 ) -> (ExperimentResult, bool) {
     let config_path = scratch.join(format!("cell{idx}.json"));

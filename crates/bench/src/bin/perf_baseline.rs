@@ -11,12 +11,29 @@
 //! Scale and budget follow the usual env vars: `QA_SCALE` (ci/full) for
 //! the bins, `QA_BENCH_SECONDS` for the micro cases.
 //! `scripts/bench_baseline.sh` wraps this with a `--quick` mode for CI.
+//!
+//! ## Check mode
+//!
+//! `perf_baseline --check-against <pinned.json>` runs only the micro
+//! suite and compares each case against the pinned file's `ns_per_iter`,
+//! failing (exit 1) when any case regressed by more than
+//! [`CHECK_TOLERANCE`]× or a pinned case disappeared from the suite. The
+//! sweep-bin wall-clocks are informational only — they measure the
+//! machine as much as the code — so the gate is the micro suite, whose
+//! generous tolerance absorbs CI-runner noise while still catching
+//! order-of-magnitude regressions.
 
 use qa_bench::micro::{self, MicroResult};
 use qa_bench::write_json;
-use qa_simnet::thread_budget;
+use qa_simnet::{thread_budget, Json};
 use std::process::{Command, Stdio};
 use std::time::Instant;
+
+/// A micro case fails the check when it is slower than `tolerance ×
+/// pinned`. 3× is deliberately loose: shared CI runners jitter by
+/// integer factors, and the gate exists to catch structural regressions
+/// (an accidental O(n²), a lost fast path), not percent-level drift.
+const CHECK_TOLERANCE: f64 = 3.0;
 
 /// The sweep-shaped bins the parallel runner accelerates.
 const SWEEP_BINS: [&str; 11] = [
@@ -84,7 +101,89 @@ fn time_bin(name: &str, threads: Option<usize>) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
+/// Parses the `micro` section of a pinned `perf_baseline.json` into
+/// `(name, ns_per_iter)` pairs.
+fn pinned_micro(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read pinned baseline {path}: {e}"));
+    let json = Json::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    let cases = json
+        .get("micro")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("{path}: no `micro` array"));
+    cases
+        .iter()
+        .map(|c| {
+            let name = match c.get("name") {
+                Some(Json::Str(s)) => s.clone(),
+                other => panic!("{path}: bad case name {other:?}"),
+            };
+            let ns = match c.get("ns_per_iter") {
+                Some(Json::Float(v)) => *v,
+                Some(Json::Int(v)) => *v as f64,
+                other => panic!("{path}: bad ns_per_iter {other:?}"),
+            };
+            (name, ns)
+        })
+        .collect()
+}
+
+/// Runs the micro suite and diffs it against the pinned baseline.
+/// Returns the process exit code.
+fn check_against(path: &str) -> i32 {
+    let pinned = pinned_micro(path);
+    println!("checking micro suite against {path} (tolerance {CHECK_TOLERANCE}x)\n");
+    let current = micro::run_all();
+    println!();
+    let mut failures = 0;
+    for (name, pinned_ns) in &pinned {
+        match current.iter().find(|c| &c.name == name) {
+            None => {
+                println!("FAIL {name}: pinned case missing from the current suite");
+                failures += 1;
+            }
+            Some(c) => {
+                let ratio = c.ns_per_iter / pinned_ns.max(1e-9);
+                if ratio > CHECK_TOLERANCE {
+                    println!(
+                        "FAIL {name}: {:.0} ns vs pinned {:.0} ns ({ratio:.2}x > {CHECK_TOLERANCE}x)",
+                        c.ns_per_iter, pinned_ns
+                    );
+                    failures += 1;
+                } else {
+                    println!(
+                        "ok   {name}: {:.0} ns vs pinned {:.0} ns ({ratio:.2}x)",
+                        c.ns_per_iter, pinned_ns
+                    );
+                }
+            }
+        }
+    }
+    for c in &current {
+        if !pinned.iter().any(|(n, _)| n == &c.name) {
+            println!("note {}: not pinned yet (informational)", c.name);
+        }
+    }
+    if failures > 0 {
+        println!("\nperf check FAILED: {failures} case(s) regressed past {CHECK_TOLERANCE}x");
+        1
+    } else {
+        println!(
+            "\nperf check passed: {} case(s) within tolerance",
+            pinned.len()
+        );
+        0
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check-against") {
+        let path = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--check-against needs a path"));
+        std::process::exit(check_against(path));
+    }
     let scale = match qa_bench::scale() {
         qa_bench::Scale::Ci => "ci",
         qa_bench::Scale::Full => "full",

@@ -12,9 +12,10 @@ use qa_bench::Sweep;
 use qa_core::MechanismKind;
 use qa_sim::config::SimConfig;
 use qa_sim::experiments::{
-    fig4_all_algorithms, fig4_summarize, fig4_workload, fig5a_load_sweep, fig5a_point, fig6_point,
-    fig6_scenario, fig6_zipf_sweep, run_cell,
+    fig3_sinusoid_workload, fig4_all_algorithms, fig4_summarize, fig4_workload, fig5a_load_sweep,
+    fig5a_point, fig6_point, fig6_scenario, fig6_zipf_sweep, run_cell, two_class_trace,
 };
+use qa_sim::federation::Federation;
 use qa_sim::scenario::{Scenario, TwoClassParams};
 use qa_simnet::json::ToJson;
 
@@ -68,6 +69,47 @@ fn fig6_json_is_identical_across_thread_counts() {
             pts.to_json().pretty(),
             reference,
             "fig6 diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fig3_json_is_byte_identical_across_runs() {
+    // The fig3 artifact is pure workload generation — no federation, no
+    // threads — but it seeds every downstream figure, so its bytes are
+    // pinned here: two fresh generations must serialize identically.
+    let config = SimConfig::small_test(2007);
+    let reference = fig3_sinusoid_workload(&config, 0.05, 0.6, 20)
+        .to_json()
+        .pretty();
+    let again = fig3_sinusoid_workload(&config, 0.05, 0.6, 20)
+        .to_json()
+        .pretty();
+    assert_eq!(again, reference, "fig3 workload diverged between runs");
+}
+
+#[test]
+fn intra_period_solves_are_identical_across_thread_budgets() {
+    // The federation parallelizes the per-node eq.-4 supply solves inside
+    // a period once the node count crosses its internal threshold (64).
+    // 96 nodes with telemetry off engages that path; the run outcome must
+    // not depend on the intra-run thread budget.
+    let mut config = SimConfig::small_test(2007);
+    config.num_nodes = 96;
+    let scenario = Scenario::two_class(config, TwoClassParams::default());
+    let trace = two_class_trace(&scenario, 0.05, 0.8, 4);
+    let run = |threads: usize| {
+        let mut f = Federation::new(&scenario, MechanismKind::QaNt, &trace);
+        f.set_intra_threads(threads);
+        let outcome = f.run(&trace);
+        format!("{:?}", outcome)
+    };
+    let reference = run(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            run(threads),
+            reference,
+            "federation run diverged at {threads} intra threads"
         );
     }
 }

@@ -193,6 +193,102 @@ impl NonTatonnementPricer {
         });
     }
 
+    /// Applies `count` consecutive [`NonTatonnementPricer::on_rejection`]s
+    /// for class `k`. Bit-identical to calling `on_rejection` in a loop —
+    /// the same stepwise `min(p·(1+λ), ceiling)` multiplications in the
+    /// same order — but while telemetry is disabled the intermediate
+    /// prices are unobservable, so the sequence runs in a register with a
+    /// single store at the end (and stops early at a fixed point: the
+    /// ceiling, where the remaining steps are no-ops). Enabled runs take
+    /// the slow path and still emit one `PriceAdjusted` per rejection.
+    ///
+    /// Callers batch rejection storms: a client resubmission wave that
+    /// was refused `count` times charges the price rise in one call
+    /// instead of `count` market round-trips.
+    pub fn on_rejections(&mut self, k: usize, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if self.telemetry.is_enabled() {
+            for _ in 0..count {
+                self.on_rejection(k);
+            }
+            return;
+        }
+        // `raised` stays finite (min with a finite ceiling) and ≥ the
+        // floor (prices never sit below it), so the one deferred
+        // `set` is exactly the last of the per-step clamped sets.
+        let factor = 1.0 + self.config.lambda;
+        let ceiling = self.config.price_ceiling;
+        let mut p = self.prices.get(k);
+        for _ in 0..count {
+            let raised = (p * factor).min(ceiling);
+            if raised == p {
+                break;
+            }
+            p = raised;
+        }
+        self.prices.set(k, p, self.config.price_floor);
+        self.rejections[k] += count;
+    }
+
+    /// Replays per-pricer rejection counts for class `k` across many
+    /// pricers at once. Result-identical to calling
+    /// [`Self::on_rejections`] on each pricer — every pricer's price walks
+    /// its own `min(p·(1+λ), ceiling)` chain — but the chains are
+    /// *independent across pricers*, so running eight of them interleaved
+    /// hides the multiply latency that makes a lone chain serial.
+    ///
+    /// Lanes that exhaust their count early multiply by exactly `1.0`
+    /// (a bit-exact identity for finite values) until the widest lane in
+    /// the chunk finishes; a lane saturated at the ceiling keeps taking
+    /// `min(ceiling·(1+λ), ceiling) = ceiling`. Callers must only use
+    /// this while telemetry is disabled on every pricer (the eager path
+    /// emits one `PriceAdjusted` per rejection).
+    pub fn on_rejections_batch(
+        pricers: &mut [&mut NonTatonnementPricer],
+        k: usize,
+        counts: &[u64],
+    ) {
+        assert_eq!(pricers.len(), counts.len());
+        const LANES: usize = 8;
+        let mut i = 0;
+        while i < pricers.len() {
+            let n = LANES.min(pricers.len() - i);
+            if n == 1 {
+                pricers[i].on_rejections(k, counts[i]);
+                break;
+            }
+            let chunk = &mut pricers[i..i + n];
+            // Idle lanes (j ≥ n, or exhausted ones once s ≥ d[j]) multiply
+            // by exactly 1.0 — a bit-exact identity for finite values — so
+            // the inner loop can run all LANES unconditionally with a
+            // constant bound, which lets it unroll and vectorize.
+            let mut p = [0.0f64; LANES];
+            let mut fac = [1.0f64; LANES];
+            let mut ceil = [f64::INFINITY; LANES];
+            let mut d = [0u64; LANES];
+            for (j, pr) in chunk.iter().enumerate() {
+                p[j] = pr.prices.get(k);
+                fac[j] = 1.0 + pr.config.lambda;
+                ceil[j] = pr.config.price_ceiling;
+                d[j] = counts[i + j];
+            }
+            let dmax = d.iter().copied().max().unwrap_or(0);
+            for s in 0..dmax {
+                for j in 0..LANES {
+                    let f = if s < d[j] { fac[j] } else { 1.0 };
+                    p[j] = (p[j] * f).min(ceil[j]);
+                }
+            }
+            for (j, pr) in chunk.iter_mut().enumerate() {
+                pr.prices.set(k, p[j], pr.config.price_floor);
+                pr.rejections[k] += d[j];
+            }
+            i += n;
+        }
+    }
+
     /// Steps 12–14 of QA-NT: the period ended with `leftover` unsold supply;
     /// each class' price falls by `s_ik·λ·pₖ`, clamped so it stays positive.
     ///

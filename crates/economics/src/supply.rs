@@ -220,9 +220,10 @@ pub fn price_density_order_into(
     out.sort_by(|&a, &b| {
         let da = prices.get(a) / unit_costs[a].expect("filtered");
         let db = prices.get(b) / unit_costs[b].expect("filtered");
-        db.partial_cmp(&da)
-            .expect("densities are finite")
-            .then(a.cmp(&b))
+        // total_cmp, not partial_cmp: an all-zero price vector is legal
+        // (densities 0.0 compare equal, class index breaks the tie) and
+        // must not panic the solver.
+        db.total_cmp(&da).then(a.cmp(&b))
     });
 }
 
@@ -455,8 +456,7 @@ pub fn solve_supply_optimal(
             .max_by(|a, b| {
                 prices
                     .value_of(a)
-                    .partial_cmp(&prices.value_of(b))
-                    .expect("finite")
+                    .total_cmp(&prices.value_of(b))
                     .then_with(|| a.total().cmp(&b.total()))
             })
             .expect("enumeration always contains the zero vector");
@@ -548,6 +548,23 @@ mod tests {
         let caps = qv(&[0, 2]);
         let s = solve_supply_greedy(&p, &n1(), Some(&caps));
         assert_eq!(s, qv(&[0, 2]));
+    }
+
+    #[test]
+    fn zero_price_vector_solves_without_panic() {
+        // Regression: the density sort used `partial_cmp().expect(...)` and
+        // the constructor rejected zero prices, so an all-zero vector could
+        // never reach (let alone survive) a solve. With zero prices every
+        // density is 0.0; ties break by class index, so greedy fills the
+        // first class first.
+        let p = PriceVector::from_prices(vec![0.0, 0.0]);
+        let s = solve_supply_greedy(&p, &n1(), None);
+        assert_eq!(s, qv(&[1, 1]), "class order breaks the all-zero tie");
+        let o = solve_supply_optimal(&p, &n1(), Some(&qv(&[2, 2])), 1_000);
+        assert!(n1().contains(&o));
+        let mut order = Vec::new();
+        price_density_order_into(&p, &[Some(400.0), Some(100.0)], &mut order);
+        assert_eq!(order, vec![0, 1]);
     }
 
     #[test]

@@ -40,6 +40,13 @@ impl QuantityVector {
         self.0[k] = v;
     }
 
+    /// Resets every count to zero in place (buffer reuse: equivalent to
+    /// replacing the vector with [`Self::zeros`] of the same size, without
+    /// the allocation).
+    pub fn reset_zero(&mut self) {
+        self.0.fill(0);
+    }
+
     /// Adds `n` units of class `k`.
     pub fn add_units(&mut self, k: usize, n: u64) {
         self.0[k] += n;
@@ -181,14 +188,17 @@ impl PriceVector {
         PriceVector(vec![price; k])
     }
 
-    /// Builds from raw prices.
+    /// Builds from raw prices. Zero prices are allowed here — a caller
+    /// constructing a vector directly (rather than running the adjustment
+    /// loop, whose mutators clamp to a positive floor) may legitimately
+    /// start a class at zero, e.g. to model a free class.
     ///
     /// # Panics
-    /// Panics if any price is not strictly positive and finite.
+    /// Panics if any price is negative or not finite.
     pub fn from_prices(prices: Vec<f64>) -> Self {
         assert!(
-            prices.iter().all(|p| p.is_finite() && *p > 0.0),
-            "prices must be positive and finite"
+            prices.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "prices must be non-negative and finite"
         );
         PriceVector(prices)
     }
@@ -326,9 +336,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn rejects_non_positive_prices() {
-        let _ = PriceVector::from_prices(vec![1.0, 0.0]);
+    fn accepts_zero_prices() {
+        let p = PriceVector::from_prices(vec![1.0, 0.0]);
+        assert_eq!(p.get(1), 0.0);
+        assert_eq!(p.value_of(&qv(&[5, 9])), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_prices() {
+        let _ = PriceVector::from_prices(vec![1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_non_finite_prices() {
+        let _ = PriceVector::from_prices(vec![1.0, f64::NAN]);
     }
 
     #[test]

@@ -28,15 +28,14 @@
 //! bit-identical to a build without fault injection).
 
 use crate::metrics::RunMetrics;
-use crate::node::NodeState;
+use crate::node::NodeSoa;
 use crate::scenario::Scenario;
 use qa_core::messages::{OFFER_BYTES, REQUEST_BYTES, RESPONSE_BYTES};
 use qa_core::{
-    choose_best_offer, BnqrdCoordinator, MarkovAllocator, MechanismKind, Offer, RoundRobinState,
-    TwoProbesChooser,
+    BnqrdCoordinator, MarkovAllocator, MechanismKind, RoundRobinState, TwoProbesChooser,
 };
 use qa_simnet::telemetry::{Telemetry, TelemetryEvent};
-use qa_simnet::{DetRng, EventQueue, FaultPlan, SimDuration, SimTime};
+use qa_simnet::{par_for_each_chunk_mut, DetRng, EventQueue, FaultPlan, SimDuration, SimTime};
 use qa_workload::{ClassId, NodeId, Trace};
 
 /// Cap on resubmissions per query (QA-NT rejections, fault losses, and
@@ -48,6 +47,11 @@ const MAX_RETRIES: u32 = 20_000;
 
 /// Salt separating the fault-injection RNG stream from the mechanism's.
 const FAULT_SALT: u64 = 0xFA17_0001;
+
+/// Below this many nodes a period's supply solves are cheaper than the
+/// scoped-thread fork–join that would parallelize them, so the period
+/// update stays inline.
+const INTRA_PAR_MIN_NODES: usize = 64;
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
@@ -71,6 +75,14 @@ enum MechState {
     /// (the §4 partial-deployment case).
     QaNt {
         nodes: Vec<Option<qa_core::QantNode>>,
+        /// Column-major availability mirror, `avail[class * N + node]`:
+        /// how many more class-`k` requests node `n` will answer with an
+        /// offer this period (`u64::MAX` for non-participating nodes).
+        /// Kept in sync by [`sync_avail`] at period boundaries and
+        /// decremented alongside `on_accept`, it lets the hot path
+        /// resolve the common supply-available case with one contiguous
+        /// array read instead of a market call.
+        avail: Vec<u64>,
     },
     Greedy {
         /// Stale backlog snapshot (refreshed each period): clients cannot
@@ -122,7 +134,17 @@ pub struct RunOutcome {
 pub struct Federation<'a> {
     scenario: &'a Scenario,
     mechanism: MechanismKind,
-    nodes: Vec<NodeState>,
+    /// Dynamic per-node state, struct-of-arrays (see [`NodeSoa`]).
+    nodes: NodeSoa,
+    /// Flattened execution-time matrix, `exec[class * N + node]`
+    /// (pre-converted from the scenario's `exec_times_ms`; incapable
+    /// pairs hold a zero sentinel and are never read — `allocate` only
+    /// looks up capable nodes). One row is exactly the slice the offer
+    /// sweep walks.
+    exec: Vec<SimDuration>,
+    /// Worker budget for the per-period supply solves (see the
+    /// `PeriodStart` arm). Defaults to [`qa_simnet::thread_budget`].
+    intra_threads: usize,
     state: MechState,
     rng: DetRng,
     metrics: RunMetrics,
@@ -155,7 +177,32 @@ pub struct Federation<'a> {
     /// path stops allocating once they reach steady-state capacity.
     scratch_capable: Vec<NodeId>,
     scratch_reachable: Vec<NodeId>,
-    scratch_offers: Vec<Offer>,
+    /// QA-NT refusal memo, one flag per class: set when a request saw a
+    /// full refusal this period under stable conditions (no faults, no
+    /// dead nodes, telemetry off). Prices are non-decreasing and supply
+    /// non-increasing within a period, so a fully-refused class stays
+    /// fully refused until the next period boundary — later requests
+    /// short-circuit to `NoOffers` and only count a deferred rejection.
+    /// Cleared at every period start and on any kill/recover event.
+    refused_classes: Vec<bool>,
+    /// Refusals owed to the market while the memo short-circuits, per
+    /// class; flushed into every capable node's pricer (bit-identical
+    /// stepwise price rises) before the period-end price update.
+    deferred_rejections: Vec<u64>,
+    /// Pure-market rejection deferral (set once per run): with no §5.1
+    /// threshold, telemetry off and no fault schedule, a within-period
+    /// price rise is unobservable — `on_request` answers from supply
+    /// alone — so per-poll rejections can be counted here and replayed
+    /// stepwise at the period boundary instead of calling into the
+    /// market per poll. Same multiplication sequence, same final prices.
+    defer_rejections: bool,
+    /// Deferred per-poll rejection counts, `class-major [class × node]`,
+    /// drained by `flush_deferred_rejections`.
+    deferred_node_rejections: Vec<u64>,
+    /// Per-class flag: some entry of the class' `deferred_node_rejections`
+    /// row is non-zero. Lets the flush skip untouched rows without
+    /// scanning the (classes × nodes) matrix every period.
+    deferred_dirty: Vec<bool>,
 }
 
 impl<'a> Federation<'a> {
@@ -175,12 +222,16 @@ impl<'a> Federation<'a> {
         telemetry: Telemetry,
     ) -> Federation<'a> {
         let cfg = &scenario.config;
-        let nodes: Vec<NodeState> = scenario
-            .hardware
-            .iter()
-            .map(|h| NodeState::new(h.clone()))
-            .collect();
+        let nodes = NodeSoa::new(cfg.num_nodes);
         let k = scenario.templates.num_classes();
+        let mut exec = vec![SimDuration::ZERO; k * cfg.num_nodes];
+        for (n, row) in scenario.exec_times_ms.iter().enumerate() {
+            for (c, t) in row.iter().enumerate() {
+                if let Some(ms) = t {
+                    exec[c * cfg.num_nodes + n] = SimDuration::from_millis_f64(*ms);
+                }
+            }
+        }
         let state = match mechanism {
             MechanismKind::QaNt => {
                 let mut price_rng = DetRng::seed_from_u64(cfg.seed).derive("qant-prices");
@@ -193,6 +244,7 @@ impl<'a> Federation<'a> {
                             Some(n)
                         })
                         .collect(),
+                    avail: vec![0; k * cfg.num_nodes],
                 }
             }
             MechanismKind::Greedy => MechState::Greedy {
@@ -221,6 +273,8 @@ impl<'a> Federation<'a> {
             scenario,
             mechanism,
             nodes,
+            exec,
+            intra_threads: qa_simnet::thread_budget(),
             state,
             rng: DetRng::seed_from_u64(cfg.seed ^ mechanism_salt(mechanism)),
             metrics: RunMetrics::new(cfg.period, k),
@@ -236,7 +290,11 @@ impl<'a> Federation<'a> {
             telemetry,
             scratch_capable: Vec::new(),
             scratch_reachable: Vec::new(),
-            scratch_offers: Vec::new(),
+            refused_classes: vec![false; k],
+            deferred_rejections: vec![0; k],
+            defer_rejections: false,
+            deferred_node_rejections: vec![0; k * cfg.num_nodes],
+            deferred_dirty: vec![false; k],
         }
     }
 
@@ -276,24 +334,50 @@ impl<'a> Federation<'a> {
     /// Panics when the mechanism is not QA-NT.
     pub fn restrict_market_to<F: Fn(NodeId) -> bool>(&mut self, participates: F) {
         match &mut self.state {
-            MechState::QaNt { nodes } => {
+            MechState::QaNt { nodes, avail } => {
                 for (i, slot) in nodes.iter_mut().enumerate() {
                     if !participates(NodeId(i as u32)) {
                         *slot = None;
                     }
                 }
+                sync_avail(nodes, avail);
             }
             _ => panic!("partial deployment applies to QA-NT only"),
         }
     }
 
+    /// Overrides the worker budget for the per-period supply solves
+    /// (default: [`qa_simnet::thread_budget`]). The output is identical at
+    /// any budget — the solves are independent per node — so this only
+    /// matters for oversubscription control and determinism tests.
+    pub fn set_intra_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "thread budget must be at least 1");
+        self.intra_threads = threads;
+    }
+
     /// Runs the trace to completion and returns the measurements.
     pub fn run(mut self, trace: &Trace) -> RunOutcome {
         let cfg_period = self.scenario.config.period;
-        let mut queue: EventQueue<Event> = EventQueue::new();
-        for (idx, e) in trace.events().iter().enumerate() {
-            queue.schedule(e.at, Event::Arrival { idx, retries: 0 });
+        // Fixed for the whole run: fault schedules and kill/recover
+        // events are installed before `run`, and the telemetry handle at
+        // construction.
+        self.defer_rejections = self.kills.is_empty()
+            && self.recoveries.is_empty()
+            && self.faults.is_none()
+            && self.scenario.config.qant.price_threshold.is_none()
+            && !self.telemetry.is_enabled();
+        if let MechState::QaNt { nodes, avail } = &mut self.state {
+            sync_avail(nodes, avail);
         }
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        // Trace arrivals are pre-sorted, so they never enter the event
+        // queue: a cursor drains them in order between dynamic events.
+        // Because arrivals used to be scheduled first (lowest sequence
+        // numbers), an arrival always preceded any same-time dynamic
+        // event — the cursor rule `arrival.at <= peek_time` reproduces
+        // that order exactly.
+        let arrivals = trace.events();
+        let mut next_arrival = 0usize;
         for &(at, node) in &self.kills {
             queue.schedule(at, Event::Kill { node });
         }
@@ -309,60 +393,25 @@ impl<'a> Federation<'a> {
             queue.schedule(SimTime::ZERO + cfg_period, Event::PeriodStart);
         }
 
-        while let Some(ev) = queue.pop() {
+        loop {
+            if next_arrival < arrivals.len()
+                && queue
+                    .peek_time()
+                    .is_none_or(|t| arrivals[next_arrival].at <= t)
+            {
+                let idx = next_arrival;
+                next_arrival += 1;
+                let now = arrivals[idx].at;
+                self.telemetry.set_now_us(now.as_micros());
+                self.handle_arrival(&mut queue, trace, now, idx, 0, cfg_period);
+                continue;
+            }
+            let Some(ev) = queue.pop() else { break };
             let now = ev.time;
             self.telemetry.set_now_us(now.as_micros());
             match ev.payload {
                 Event::Arrival { idx, retries } => {
-                    self.attempts[idx] = retries;
-                    let q = trace.events()[idx];
-                    match self.allocate(now, q.class, q.origin, idx) {
-                        Allocation::Assigned {
-                            node,
-                            finish,
-                            delay,
-                        } => {
-                            self.metrics.assign_latency.add(delay.as_millis_f64());
-                            self.telemetry.emit(|| TelemetryEvent::QueryAssigned {
-                                query: idx as u64,
-                                class: q.class.0,
-                                node: node.0,
-                                retries,
-                            });
-                            let gen = self.assign_gen[idx];
-                            queue.schedule(finish, Event::Completion { idx, node, gen });
-                        }
-                        Allocation::NoOffers => {
-                            if retries >= MAX_RETRIES {
-                                self.metrics.unserved += 1;
-                                self.telemetry.emit(|| TelemetryEvent::QueryUnserved {
-                                    query: idx as u64,
-                                    class: q.class.0,
-                                    retries,
-                                });
-                            } else {
-                                self.metrics.retries += 1;
-                                let next = SimTime::from_micros(
-                                    (now.period_index(cfg_period) + 1) * cfg_period.as_micros(),
-                                ) + SimDuration::from_micros(1);
-                                queue.schedule(
-                                    next,
-                                    Event::Arrival {
-                                        idx,
-                                        retries: retries + 1,
-                                    },
-                                );
-                            }
-                        }
-                        Allocation::Impossible => {
-                            self.metrics.unserved += 1;
-                            self.telemetry.emit(|| TelemetryEvent::QueryUnserved {
-                                query: idx as u64,
-                                class: q.class.0,
-                                retries,
-                            });
-                        }
-                    }
+                    self.handle_arrival(&mut queue, trace, now, idx, retries, cfg_period);
                 }
                 Event::Completion { idx, node, gen } => {
                     // Stale completion: the query was orphaned by a crash
@@ -370,7 +419,7 @@ impl<'a> Federation<'a> {
                     if self.done[idx] || gen != self.assign_gen[idx] {
                         continue;
                     }
-                    self.nodes[node.index()].complete();
+                    self.nodes.complete(node.index());
                     self.done[idx] = true;
                     let q = trace.events()[idx];
                     self.metrics
@@ -396,8 +445,13 @@ impl<'a> Federation<'a> {
                         index: now.period_index(cfg_period),
                     });
                     let _span = self.telemetry.span("federation.period_update");
+                    // Deferred refusals belong to the closing period:
+                    // charge them before its price update, then re-arm
+                    // the memo for the fresh supply.
+                    self.flush_deferred_rejections();
+                    self.refused_classes.fill(false);
                     match &mut self.state {
-                        MechState::QaNt { nodes } => {
+                        MechState::QaNt { nodes, avail } => {
                             // Sellers have no reason to reserve more supply
                             // for a class than anyone asked for last period
                             // (with headroom for growth): the caps steer
@@ -409,33 +463,56 @@ impl<'a> Federation<'a> {
                                     .collect(),
                             );
                             let period_ms = cfg_period.as_millis_f64();
-                            for (i, n) in nodes.iter_mut().enumerate() {
-                                let Some(n) = n else { continue };
-                                n.end_period();
-                                if self.nodes[i].alive {
-                                    let backlog = self.nodes[i].backlog(now).as_millis_f64();
-                                    // Work-conserving budget. In the §5.1
-                                    // threshold mode it is floored at T/2
-                                    // so a node that queued work while the
-                                    // bypass was active does not reject
-                                    // everything while draining; in pure
-                                    // market mode backlog never exceeds
-                                    // ~2T and the floor must not oversell.
-                                    let floor =
-                                        if self.scenario.config.qant.price_threshold.is_some() {
-                                            0.5 * period_ms
-                                        } else {
-                                            0.0
-                                        };
-                                    let budget =
-                                        (2.0 * period_ms - backlog).clamp(floor, 2.0 * period_ms);
-                                    n.begin_period_with_budget(
-                                        &self.scenario.exec_times_ms[i],
-                                        Some(&caps),
-                                        budget,
-                                    );
+                            // Work-conserving budget. In the §5.1 threshold
+                            // mode it is floored at T/2 so a node that
+                            // queued work while the bypass was active does
+                            // not reject everything while draining; in pure
+                            // market mode backlog never exceeds ~2T and the
+                            // floor must not oversell. Dead nodes get no
+                            // budget: they end their period and go quiet.
+                            let floor = if self.scenario.config.qant.price_threshold.is_some() {
+                                0.5 * period_ms
+                            } else {
+                                0.0
+                            };
+                            let soa = &self.nodes;
+                            let budgets: Vec<Option<f64>> = (0..nodes.len())
+                                .map(|i| {
+                                    soa.alive(i).then(|| {
+                                        let backlog = soa.backlog(i, now).as_millis_f64();
+                                        (2.0 * period_ms - backlog).clamp(floor, 2.0 * period_ms)
+                                    })
+                                })
+                                .collect();
+                            // The eq.-4 solves are independent per node, so
+                            // they fan over scoped workers; results are
+                            // identical at any thread count — the split
+                            // only decides which worker solves which node.
+                            // Telemetry emission order is part of the
+                            // byte-deterministic contract, so the parallel
+                            // path only engages when tracing is off.
+                            let threads = if self.telemetry.is_enabled()
+                                || nodes.len() < INTRA_PAR_MIN_NODES
+                            {
+                                1
+                            } else {
+                                self.intra_threads
+                            };
+                            let exec_times = &self.scenario.exec_times_ms;
+                            par_for_each_chunk_mut(threads, nodes, |offset, chunk| {
+                                for (j, slot) in chunk.iter_mut().enumerate() {
+                                    let Some(n) = slot else { continue };
+                                    n.end_period();
+                                    if let Some(budget) = budgets[offset + j] {
+                                        n.begin_period_with_budget(
+                                            &exec_times[offset + j],
+                                            Some(&caps),
+                                            budget,
+                                        );
+                                    }
                                 }
-                            }
+                            });
+                            sync_avail(nodes, avail);
                             self.period_demand.iter_mut().for_each(|d| *d = 0);
                         }
                         MechState::Bnqrd { coordinator } => coordinator.tick(0.9),
@@ -443,19 +520,22 @@ impl<'a> Federation<'a> {
                             snapshot,
                             snapshot_at,
                         } => {
-                            for (i, n) in self.nodes.iter().enumerate() {
-                                snapshot[i] = n.backlog(now);
+                            for (i, s) in snapshot.iter_mut().enumerate() {
+                                *s = self.nodes.backlog(i, now);
                             }
                             *snapshot_at = now;
                         }
                         _ => {}
                     }
-                    if !queue.is_empty() {
+                    if !queue.is_empty() || next_arrival < arrivals.len() {
                         queue.schedule(now + cfg_period, Event::PeriodStart);
                     }
                 }
                 Event::Kill { node } => {
-                    self.nodes[node.index()].kill();
+                    // Membership changed: the refusal memo's "conditions
+                    // cannot improve" argument no longer holds.
+                    self.refused_classes.fill(false);
+                    self.nodes.kill(node.index());
                     self.telemetry
                         .emit(|| TelemetryEvent::NodeCrashed { node: node.0 });
                     // §2.2 semantics for crash victims: whatever the dead
@@ -495,51 +575,132 @@ impl<'a> Federation<'a> {
                     }
                 }
                 Event::Recover { node } => {
-                    self.nodes[node.index()].revive(now);
+                    self.refused_classes.fill(false);
+                    self.nodes.revive(node.index(), now);
                     self.telemetry
                         .emit(|| TelemetryEvent::NodeRecovered { node: node.0 });
                 }
             }
         }
-        let total_busy = self
-            .nodes
-            .iter()
-            .fold(SimDuration::ZERO, |acc, n| acc + n.busy);
+        // The final (partial) period never reaches another boundary; pay
+        // its deferred refusals so post-run market state matches an eager
+        // run.
+        self.flush_deferred_rejections();
         RunOutcome {
             mechanism: self.mechanism,
             metrics: self.metrics,
-            total_busy,
+            total_busy: self.nodes.total_busy(),
+        }
+    }
+
+    /// Processes the arrival (or resubmission) of query `idx` at `now`:
+    /// one allocation attempt, then completion scheduling, next-period
+    /// resubmission, or an unserved verdict.
+    fn handle_arrival(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        trace: &Trace,
+        now: SimTime,
+        idx: usize,
+        retries: u32,
+        cfg_period: SimDuration,
+    ) {
+        self.attempts[idx] = retries;
+        let q = trace.events()[idx];
+        match self.allocate(now, q.class, q.origin, idx) {
+            Allocation::Assigned {
+                node,
+                finish,
+                delay,
+            } => {
+                self.metrics.assign_latency.add(delay.as_millis_f64());
+                self.telemetry.emit(|| TelemetryEvent::QueryAssigned {
+                    query: idx as u64,
+                    class: q.class.0,
+                    node: node.0,
+                    retries,
+                });
+                let gen = self.assign_gen[idx];
+                queue.schedule(finish, Event::Completion { idx, node, gen });
+            }
+            Allocation::NoOffers => {
+                if retries >= MAX_RETRIES {
+                    self.metrics.unserved += 1;
+                    self.telemetry.emit(|| TelemetryEvent::QueryUnserved {
+                        query: idx as u64,
+                        class: q.class.0,
+                        retries,
+                    });
+                } else {
+                    self.metrics.retries += 1;
+                    let next = SimTime::from_micros(
+                        (now.period_index(cfg_period) + 1) * cfg_period.as_micros(),
+                    ) + SimDuration::from_micros(1);
+                    queue.schedule(
+                        next,
+                        Event::Arrival {
+                            idx,
+                            retries: retries + 1,
+                        },
+                    );
+                }
+            }
+            Allocation::Impossible => {
+                self.metrics.unserved += 1;
+                self.telemetry.emit(|| TelemetryEvent::QueryUnserved {
+                    query: idx as u64,
+                    class: q.class.0,
+                    retries,
+                });
+            }
+        }
+    }
+
+    /// Pays the refusals the memo short-circuited into every capable
+    /// node's pricer. Must run before any period-end price update (the
+    /// deferred rises belong to the closing period) and after the run
+    /// loop exits (so post-run market state matches an eager run).
+    fn flush_deferred_rejections(&mut self) {
+        if let MechState::QaNt { nodes, .. } = &mut self.state {
+            let n_total = self.nodes.len();
+            for (k, class_d) in self.deferred_rejections.iter_mut().enumerate() {
+                let dirty = std::mem::replace(&mut self.deferred_dirty[k], false);
+                if *class_d == 0 && !dirty {
+                    continue;
+                }
+                let row = &mut self.deferred_node_rejections[k * n_total..(k + 1) * n_total];
+                // Fold the full-refusal memo's class-level count into the
+                // per-node row: every capable node refused each of those
+                // requests. The raises are identical ×(1+λ) steps, so
+                // replay order across the two ledgers is immaterial —
+                // only the per-(node, class) totals reach the price.
+                if *class_d > 0 {
+                    for &n in &self.scenario.capable[k] {
+                        row[n.index()] += *class_d;
+                    }
+                    *class_d = 0;
+                }
+                qa_core::QantNode::apply_rejections_batch(nodes, ClassId(k as u32), row);
+                row.fill(0);
+            }
         }
     }
 
     /// Runs the allocation protocol for one query at `now`.
     fn allocate(&mut self, now: SimTime, class: ClassId, origin: NodeId, idx: usize) -> Allocation {
         let _span = self.telemetry.span("federation.allocate");
-        let link = self.scenario.config.link;
-        self.scratch_capable.clear();
-        let nodes = &self.nodes;
-        self.scratch_capable.extend(
-            self.scenario.capable[class.index()]
-                .iter()
-                .copied()
-                .filter(|n| nodes[n.index()].alive),
-        );
-        if self.scratch_capable.is_empty() {
-            return Allocation::Impossible;
+        // Refusal memo hit: this class was fully refused earlier this
+        // period under conditions that cannot improve before the next
+        // boundary. Charge the same messages and defer the per-node price
+        // rises (see `flush_deferred_rejections`).
+        if self.refused_classes[class.index()] {
+            self.period_demand[class.index()] += 1;
+            self.deferred_rejections[class.index()] += 1;
+            self.metrics.messages += self.scenario.capable[class.index()].len() as u64;
+            return Allocation::NoOffers;
         }
-
-        let exec_of = |n: NodeId| {
-            SimDuration::from_millis_f64(
-                self.scenario.exec_times_ms[n.index()][class.index()]
-                    .expect("capable node has exec time"),
-            )
-        };
-
-        let rtt = link.transfer_time(REQUEST_BYTES)
-            + link.transfer_time(OFFER_BYTES)
-            + link.transfer_time(RESPONSE_BYTES);
-        let one_way = link.transfer_time(REQUEST_BYTES);
-
+        let scenario = self.scenario;
+        let link = scenario.config.link;
         // Fault injection: the polling mechanisms (QA-NT, Greedy,
         // two-probes) exchange a request/reply pair with every candidate;
         // either direction can be lost, removing that candidate from this
@@ -547,64 +708,193 @@ impl<'a> Federation<'a> {
         // never blocks on the full candidate set. `faults_on` gates every
         // draw so the disabled plan stays bit-identical to no-fault runs.
         let faults_on = !self.faults.is_none();
-        let polls = matches!(
-            self.state,
-            MechState::QaNt { .. } | MechState::Greedy { .. } | MechState::TwoProbes
-        );
-        self.scratch_reachable.clear();
-        if faults_on && polls {
-            for &n in &self.scratch_capable {
-                let request_ok = self.faults.delivers(n.index(), now, &mut self.fault_rng);
-                let reply_ok = self.faults.delivers(n.index(), now, &mut self.fault_rng);
-                if request_ok && reply_ok {
-                    self.scratch_reachable.push(n);
-                } else {
-                    self.metrics.lost_messages += 1;
-                    self.telemetry.emit(|| TelemetryEvent::MessageDropped {
-                        node: n.0,
-                        context: "poll".to_string(),
-                    });
-                }
+        // Common case — no link faults, no dead nodes: the scenario's
+        // static capable list *is* both the capable and the reachable set,
+        // so neither scratch copy is needed.
+        let (capable, reachable): (&[NodeId], &[NodeId]) = if !faults_on && self.nodes.all_alive() {
+            let c = scenario.capable[class.index()].as_slice();
+            if c.is_empty() {
+                return Allocation::Impossible;
             }
+            (c, c)
         } else {
-            let capable = &self.scratch_capable;
-            self.scratch_reachable.extend_from_slice(capable);
-        }
-        let capable = &self.scratch_capable;
-        let reachable = &self.scratch_reachable;
-        self.scratch_offers.clear();
-
-        let (choice, mut delay) = match &mut self.state {
-            MechState::QaNt { nodes } => {
-                self.period_demand[class.index()] += 1;
-                // Requests to unreachable nodes were still sent (and paid
-                // for), they just never produced an offer.
-                self.metrics.messages += (capable.len() - reachable.len()) as u64;
-                for &n in reachable {
-                    self.metrics.messages += 1; // call-for-offers
-                    let offered = match &mut nodes[n.index()] {
-                        Some(market) => market.on_request(class),
-                        // Non-participating node: always offers (§4).
-                        None => true,
-                    };
-                    if offered {
-                        self.metrics.messages += 1; // offer
-                        self.scratch_offers.push(Offer {
-                            query_id: idx as u64,
-                            server: n,
-                            estimated_completion: self.nodes[n.index()]
-                                .estimated_completion(now, exec_of(n)),
+            self.scratch_capable.clear();
+            let alive = self.nodes.alive_slice();
+            self.scratch_capable.extend(
+                scenario.capable[class.index()]
+                    .iter()
+                    .copied()
+                    .filter(|n| alive[n.index()]),
+            );
+            if self.scratch_capable.is_empty() {
+                return Allocation::Impossible;
+            }
+            let polls = matches!(
+                self.state,
+                MechState::QaNt { .. } | MechState::Greedy { .. } | MechState::TwoProbes
+            );
+            self.scratch_reachable.clear();
+            if faults_on && polls {
+                for &n in &self.scratch_capable {
+                    let request_ok = self.faults.delivers(n.index(), now, &mut self.fault_rng);
+                    let reply_ok = self.faults.delivers(n.index(), now, &mut self.fault_rng);
+                    if request_ok && reply_ok {
+                        self.scratch_reachable.push(n);
+                    } else {
+                        self.metrics.lost_messages += 1;
+                        self.telemetry.emit(|| TelemetryEvent::MessageDropped {
+                            node: n.0,
+                            context: "poll".to_string(),
                         });
                     }
                 }
-                match choose_best_offer(&self.scratch_offers).copied() {
-                    None => return Allocation::NoOffers,
-                    Some(o) => {
-                        self.metrics.messages += self.scratch_offers.len() as u64; // accept + declines
-                        if let Some(market) = &mut nodes[o.server.index()] {
-                            market.on_accept(class);
+            } else {
+                let capable = &self.scratch_capable;
+                self.scratch_reachable.extend_from_slice(capable);
+            }
+            (&self.scratch_capable, &self.scratch_reachable)
+        };
+
+        let n_total = self.nodes.len();
+        let exec_row = &self.exec[class.index() * n_total..(class.index() + 1) * n_total];
+        let exec_of = move |n: NodeId| exec_row[n.index()];
+
+        let rtt = link.transfer_time(REQUEST_BYTES)
+            + link.transfer_time(OFFER_BYTES)
+            + link.transfer_time(RESPONSE_BYTES);
+        let one_way = link.transfer_time(REQUEST_BYTES);
+
+        let (choice, mut delay) = match &mut self.state {
+            MechState::QaNt { nodes, avail } => {
+                self.period_demand[class.index()] += 1;
+                let avail_row = &mut avail[class.index() * n_total..(class.index() + 1) * n_total];
+                let soa = &self.nodes;
+                // Single fused sweep: collect offers and pick the winner
+                // in one pass. The winner is the first minimum under
+                // `(estimated_completion, server)` — exactly what
+                // `qa_core::client::choose_best_offer` computes over a
+                // materialized offer list, without building the list.
+                let mut offers: u64 = 0;
+                let mut best: Option<(SimDuration, NodeId)> = None;
+                // Fast path inside either loop: the availability mirror
+                // says the node still has supply, so `on_request` would
+                // return `true` without touching market state or
+                // telemetry — skip the call. Non-participating nodes sit
+                // at `u64::MAX` and always take this path (§4).
+                if self.defer_rejections {
+                    // Pure-market deferral: an exhausted node's refusal
+                    // is just a counter bump (the price rise is replayed
+                    // at the boundary), so the sweep never touches market
+                    // state — it reads three flat rows.
+                    let deferred = &mut self.deferred_node_rejections
+                        [class.index() * n_total..(class.index() + 1) * n_total];
+                    let backlog = soa.backlog_until_slice();
+                    if reachable.len() == n_total {
+                        // Every node is a candidate: sweep the full rows
+                        // in lockstep (capable lists are ascending, so a
+                        // full-length list is exactly 0..N) — no index
+                        // gather, no bounds checks.
+                        for (i, ((&a, d), (&b, &exec))) in avail_row
+                            .iter()
+                            .zip(deferred.iter_mut())
+                            .zip(backlog.iter().zip(exec_row.iter()))
+                            .enumerate()
+                        {
+                            if a > 0 {
+                                offers += 1;
+                                let est = b.saturating_since(now) + exec;
+                                let n = NodeId(i as u32);
+                                if best.is_none_or(|x| (est, n) < x) {
+                                    best = Some((est, n));
+                                }
+                            } else {
+                                *d += 1;
+                            }
                         }
-                        (o.server, rtt)
+                    } else {
+                        for &n in reachable {
+                            if avail_row[n.index()] > 0 {
+                                offers += 1;
+                                let est =
+                                    backlog[n.index()].saturating_since(now) + exec_row[n.index()];
+                                if best.is_none_or(|b| (est, n) < b) {
+                                    best = Some((est, n));
+                                }
+                            } else {
+                                deferred[n.index()] += 1;
+                            }
+                        }
+                    }
+                    if (offers as usize) < reachable.len() {
+                        self.deferred_dirty[class.index()] = true;
+                    }
+                } else if reachable.len() == n_total {
+                    // Eager market round-trips (telemetry, §5.1 threshold
+                    // or faults active), full candidate set.
+                    let backlog = soa.backlog_until_slice();
+                    for (i, ((market, &a), (&b, &exec))) in nodes
+                        .iter_mut()
+                        .zip(avail_row.iter())
+                        .zip(backlog.iter().zip(exec_row.iter()))
+                        .enumerate()
+                    {
+                        let offered = a > 0
+                            || match market {
+                                Some(market) => market.on_request(class),
+                                None => true,
+                            };
+                        if offered {
+                            offers += 1;
+                            let est = b.saturating_since(now) + exec;
+                            let n = NodeId(i as u32);
+                            if best.is_none_or(|x| (est, n) < x) {
+                                best = Some((est, n));
+                            }
+                        }
+                    }
+                } else {
+                    for &n in reachable {
+                        let offered = avail_row[n.index()] > 0
+                            || match &mut nodes[n.index()] {
+                                Some(market) => market.on_request(class),
+                                None => true,
+                            };
+                        if offered {
+                            offers += 1;
+                            let est = soa.estimated_completion(n.index(), now, exec_of(n));
+                            if best.is_none_or(|b| (est, n) < b) {
+                                best = Some((est, n));
+                            }
+                        }
+                    }
+                }
+                // One call-for-offers per capable node (unreachable ones
+                // were still sent, they just never produced an offer),
+                // one offer back per offering node, then the accept plus
+                // the declines.
+                self.metrics.messages += capable.len() as u64 + 2 * offers;
+                match best {
+                    None => {
+                        // Full refusal. Under stable conditions the
+                        // outcome is locked in for the rest of the
+                        // period: supply only falls, prices only rise
+                        // (so every node's threshold bypass stays off),
+                        // and the reachable set cannot change without a
+                        // kill/recover event (which clears the memo).
+                        // Telemetry must be off — the eager path emits
+                        // per-request rejection events.
+                        if !faults_on && self.nodes.all_alive() && !self.telemetry.is_enabled() {
+                            self.refused_classes[class.index()] = true;
+                        }
+                        return Allocation::NoOffers;
+                    }
+                    Some((_, server)) => {
+                        if let Some(market) = &mut nodes[server.index()] {
+                            market.on_accept(class);
+                            let a = &mut avail_row[server.index()];
+                            *a = a.saturating_sub(1);
+                        }
+                        (server, rtt)
                     }
                 }
             }
@@ -627,15 +917,34 @@ impl<'a> Federation<'a> {
                 let mut best: Option<(SimDuration, NodeId)> = None;
                 // Only nodes whose estimate round-trip survived the link
                 // are candidates this attempt.
-                for &n in reachable {
-                    let raw = self.nodes[n.index()].estimated_completion(now, exec_of(n));
-                    let noisy = if err > 0.0 {
-                        raw * (1.0 + self.rng.float_in(-err, err))
-                    } else {
-                        raw
-                    };
-                    if best.is_none() || (noisy, n) < best.unwrap() {
-                        best = Some((noisy, n));
+                if reachable.len() == n_total {
+                    // Full candidate set: lockstep row sweep, same as the
+                    // QA-NT arm (ascending capable list of full length is
+                    // exactly 0..N).
+                    let backlog = self.nodes.backlog_until_slice();
+                    for (i, (&b, &exec)) in backlog.iter().zip(exec_row.iter()).enumerate() {
+                        let raw = b.saturating_since(now) + exec;
+                        let noisy = if err > 0.0 {
+                            raw * (1.0 + self.rng.float_in(-err, err))
+                        } else {
+                            raw
+                        };
+                        let n = NodeId(i as u32);
+                        if best.is_none() || (noisy, n) < best.unwrap() {
+                            best = Some((noisy, n));
+                        }
+                    }
+                } else {
+                    for &n in reachable {
+                        let raw = self.nodes.estimated_completion(n.index(), now, exec_of(n));
+                        let noisy = if err > 0.0 {
+                            raw * (1.0 + self.rng.float_in(-err, err))
+                        } else {
+                            raw
+                        };
+                        if best.is_none() || (noisy, n) < best.unwrap() {
+                            best = Some((noisy, n));
+                        }
                     }
                 }
                 match best {
@@ -661,9 +970,9 @@ impl<'a> Federation<'a> {
                 if reachable.is_empty() {
                     return Allocation::NoOffers;
                 }
-                let nodes = &self.nodes;
+                let soa = &self.nodes;
                 let pick = TwoProbesChooser::choose(&mut self.rng, reachable, |n| {
-                    nodes[n.index()].backlog(now).as_millis_f64()
+                    soa.backlog(n.index(), now).as_millis_f64()
                 });
                 (pick, rtt)
             }
@@ -677,7 +986,7 @@ impl<'a> Federation<'a> {
                 // The static distribution may name a dead node; fall back
                 // to a random capable one.
                 let pick = allocator.choose(class, &mut self.rng);
-                let pick = if self.nodes[pick.index()].alive && capable.contains(&pick) {
+                let pick = if self.nodes.alive(pick.index()) && capable.contains(&pick) {
                     pick
                 } else {
                     qa_core::client::choose_random(&mut self.rng, capable)
@@ -713,13 +1022,48 @@ impl<'a> Federation<'a> {
             .add(exec_of(choice).as_millis_f64());
         self.metrics
             .chosen_backlog_ms
-            .add(self.nodes[choice.index()].backlog(start).as_millis_f64());
-        let finish = self.nodes[choice.index()].accept(start, exec_of(choice));
+            .add(self.nodes.backlog(choice.index(), start).as_millis_f64());
+        let finish = self.nodes.accept(choice.index(), start, exec_of(choice));
         self.owners[idx] = Some(choice);
         Allocation::Assigned {
             node: choice,
             finish,
             delay,
+        }
+    }
+}
+
+/// Rebuilds the QA-NT availability mirror from the authoritative per-node
+/// supplies: `avail[class * N + node]` is how many more class requests the
+/// node will answer with an offer this period. Skipping `on_request` while
+/// the mirror is positive is exact because that call, with supply
+/// available, mutates nothing and emits nothing; every event that *can*
+/// change supply (period boundaries, partial-deployment restriction,
+/// accepts) resyncs or decrements the mirror.
+fn sync_avail(nodes: &[Option<qa_core::QantNode>], avail: &mut [u64]) {
+    let num_nodes = nodes.len();
+    let classes = avail.len().checked_div(num_nodes).unwrap_or(0);
+    for (n, slot) in nodes.iter().enumerate() {
+        match slot.as_ref().map(|q| q.supply()) {
+            Some(Some(s)) => {
+                for (k, &units) in s.as_slice().iter().enumerate() {
+                    avail[k * num_nodes + n] = units;
+                }
+            }
+            // Market node between periods (e.g. it died and its period
+            // was ended without a successor): no supply, no offers.
+            Some(None) => {
+                for k in 0..classes {
+                    avail[k * num_nodes + n] = 0;
+                }
+            }
+            // Non-participating node (§4 partial deployment): always
+            // offers; the sentinel is never meaningfully decremented.
+            None => {
+                for k in 0..classes {
+                    avail[k * num_nodes + n] = u64::MAX;
+                }
+            }
         }
     }
 }

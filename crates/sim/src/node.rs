@@ -62,80 +62,138 @@ impl NodeHardware {
     }
 }
 
-/// Dynamic node state: the FIFO backlog.
+/// Dynamic node state for the whole federation, struct-of-arrays.
+///
+/// The allocation hot path scans *one field of every node* (is it alive?
+/// what is its backlog?), not every field of one node, so the state is
+/// laid out as parallel per-field vectors: the capable/reachable/offer
+/// sweeps walk contiguous memory instead of pointer-hopping per node.
+/// Static hardware stays in [`crate::scenario::Scenario`]; this is purely
+/// the mutable simulation state.
 #[derive(Debug, Clone)]
-pub struct NodeState {
-    /// The hardware.
-    pub hardware: NodeHardware,
-    /// Time until which already-accepted work occupies the node.
-    backlog_until: SimTime,
-    /// Queries currently queued or running.
-    pub queued: u32,
-    /// Total busy time accumulated (for utilization metrics).
-    pub busy: SimDuration,
-    /// Whether the node is alive (failure injection).
-    pub alive: bool,
+pub struct NodeSoa {
+    /// Time until which already-accepted work occupies each node.
+    backlog_until: Vec<SimTime>,
+    /// Queries currently queued or running, per node.
+    queued: Vec<u32>,
+    /// Total busy time accumulated per node (utilization metrics).
+    busy: Vec<SimDuration>,
+    /// Liveness (failure injection).
+    alive: Vec<bool>,
+    /// Number of `true` entries in `alive`. Lets the allocation path skip
+    /// the per-query liveness filter entirely in the (overwhelmingly
+    /// common) no-failures case.
+    alive_count: usize,
 }
 
-impl NodeState {
-    /// A fresh idle node.
-    pub fn new(hardware: NodeHardware) -> NodeState {
-        NodeState {
-            hardware,
-            backlog_until: SimTime::ZERO,
-            queued: 0,
-            busy: SimDuration::ZERO,
-            alive: true,
+impl NodeSoa {
+    /// `n` fresh idle nodes.
+    pub fn new(n: usize) -> NodeSoa {
+        NodeSoa {
+            backlog_until: vec![SimTime::ZERO; n],
+            queued: vec![0; n],
+            busy: vec![SimDuration::ZERO; n],
+            alive: vec![true; n],
+            alive_count: n,
         }
     }
 
-    /// Outstanding work as seen at `now`.
-    pub fn backlog(&self, now: SimTime) -> SimDuration {
-        self.backlog_until.saturating_since(now)
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// `true` iff the federation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Whether node `i` is alive.
+    pub fn alive(&self, i: usize) -> bool {
+        self.alive[i]
+    }
+
+    /// The liveness column (contiguous capable-set filtering).
+    pub fn alive_slice(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// `true` iff every node is alive (no failure injected, or all
+    /// recovered).
+    pub fn all_alive(&self) -> bool {
+        self.alive_count == self.alive.len()
+    }
+
+    /// Queries currently queued or running on node `i`.
+    pub fn queued(&self, i: usize) -> u32 {
+        self.queued[i]
+    }
+
+    /// The backlog column (contiguous offer sweeps: zipping this row with
+    /// an execution-time row gives every node's estimated completion with
+    /// no per-node bounds checks).
+    pub fn backlog_until_slice(&self) -> &[SimTime] {
+        &self.backlog_until
+    }
+
+    /// Outstanding work on node `i` as seen at `now`.
+    pub fn backlog(&self, i: usize, now: SimTime) -> SimDuration {
+        self.backlog_until[i].saturating_since(now)
     }
 
     /// Estimated completion (queueing + execution) of a query with the
-    /// given execution time, if accepted at `now`.
-    pub fn estimated_completion(&self, now: SimTime, exec: SimDuration) -> SimDuration {
-        self.backlog(now) + exec
+    /// given execution time, if node `i` accepted it at `now`.
+    pub fn estimated_completion(&self, i: usize, now: SimTime, exec: SimDuration) -> SimDuration {
+        self.backlog(i, now) + exec
     }
 
-    /// Accepts a query at `now`; returns its completion time.
-    pub fn accept(&mut self, now: SimTime, exec: SimDuration) -> SimTime {
-        debug_assert!(self.alive);
-        let start = if self.backlog_until > now {
-            self.backlog_until
+    /// Node `i` accepts a query at `now`; returns its completion time.
+    pub fn accept(&mut self, i: usize, now: SimTime, exec: SimDuration) -> SimTime {
+        debug_assert!(self.alive[i]);
+        let start = if self.backlog_until[i] > now {
+            self.backlog_until[i]
         } else {
             now
         };
         let finish = start + exec;
-        self.backlog_until = finish;
-        self.queued += 1;
-        self.busy += exec;
+        self.backlog_until[i] = finish;
+        self.queued[i] += 1;
+        self.busy[i] += exec;
         finish
     }
 
-    /// A query finished.
-    pub fn complete(&mut self) {
-        debug_assert!(self.queued > 0);
-        self.queued -= 1;
+    /// A query finished on node `i`.
+    pub fn complete(&mut self, i: usize) {
+        debug_assert!(self.queued[i] > 0);
+        self.queued[i] -= 1;
     }
 
-    /// Marks the node dead (failure injection): it stops offering and its
+    /// Marks node `i` dead (failure injection): it stops offering and its
     /// queue is considered lost.
-    pub fn kill(&mut self) {
-        self.alive = false;
-        self.queued = 0;
+    pub fn kill(&mut self, i: usize) {
+        if self.alive[i] {
+            self.alive_count -= 1;
+        }
+        self.alive[i] = false;
+        self.queued[i] = 0;
     }
 
-    /// Brings a dead node back at `now` (crash *recovery*). The node
+    /// Brings dead node `i` back at `now` (crash *recovery*). The node
     /// rejoins with an empty queue — whatever it held when it died was
     /// lost with the crash and is the driver's to resubmit — while `busy`
     /// keeps accumulating across incarnations for utilization accounting.
-    pub fn revive(&mut self, now: SimTime) {
-        self.alive = true;
-        self.backlog_until = now;
-        self.queued = 0;
+    pub fn revive(&mut self, i: usize, now: SimTime) {
+        if !self.alive[i] {
+            self.alive_count += 1;
+        }
+        self.alive[i] = true;
+        self.backlog_until[i] = now;
+        self.queued[i] = 0;
+    }
+
+    /// Total busy time summed over nodes.
+    pub fn total_busy(&self) -> SimDuration {
+        self.busy.iter().fold(SimDuration::ZERO, |acc, &b| acc + b)
     }
 }
 
@@ -240,50 +298,55 @@ mod tests {
 
     #[test]
     fn fifo_queue_accumulates_backlog() {
-        let mut n = NodeState::new(hw(2.3, 42.5, 6.0, true));
+        let mut n = NodeSoa::new(1);
         let now = SimTime::from_millis(100);
-        let f1 = n.accept(now, SimDuration::from_millis(400));
+        let f1 = n.accept(0, now, SimDuration::from_millis(400));
         assert_eq!(f1, SimTime::from_millis(500));
-        let f2 = n.accept(now, SimDuration::from_millis(100));
+        let f2 = n.accept(0, now, SimDuration::from_millis(100));
         assert_eq!(f2, SimTime::from_millis(600), "second query queues behind");
-        assert_eq!(n.queued, 2);
-        assert_eq!(n.backlog(now), SimDuration::from_millis(500));
-        n.complete();
-        assert_eq!(n.queued, 1);
+        assert_eq!(n.queued(0), 2);
+        assert_eq!(n.backlog(0, now), SimDuration::from_millis(500));
+        n.complete(0);
+        assert_eq!(n.queued(0), 1);
     }
 
     #[test]
     fn idle_node_starts_immediately() {
-        let mut n = NodeState::new(hw(2.3, 42.5, 6.0, true));
-        let f = n.accept(SimTime::from_millis(1_000), SimDuration::from_millis(50));
+        let mut n = NodeSoa::new(1);
+        let f = n.accept(0, SimTime::from_millis(1_000), SimDuration::from_millis(50));
         assert_eq!(f, SimTime::from_millis(1_050));
         // Long after finishing, backlog is zero.
-        assert_eq!(n.backlog(SimTime::from_millis(2_000)), SimDuration::ZERO);
+        assert_eq!(n.backlog(0, SimTime::from_millis(2_000)), SimDuration::ZERO);
     }
 
     #[test]
     fn kill_then_revive_resets_queue_but_keeps_busy_time() {
-        let mut n = NodeState::new(hw(2.3, 42.5, 6.0, true));
+        let mut n = NodeSoa::new(2);
         let now = SimTime::from_millis(100);
-        n.accept(now, SimDuration::from_millis(400));
-        let busy_before = n.busy;
-        n.kill();
-        assert!(!n.alive);
-        assert_eq!(n.queued, 0, "crash loses the queue");
+        n.accept(0, now, SimDuration::from_millis(400));
+        let busy_before = n.total_busy();
+        n.kill(0);
+        assert!(!n.alive(0));
+        assert!(n.alive(1), "other nodes unaffected");
+        assert_eq!(n.queued(0), 0, "crash loses the queue");
         let later = SimTime::from_millis(250);
-        n.revive(later);
-        assert!(n.alive);
-        assert_eq!(n.backlog(later), SimDuration::ZERO, "rejoins idle");
-        assert_eq!(n.busy, busy_before, "utilization survives incarnations");
+        n.revive(0, later);
+        assert!(n.alive(0));
+        assert_eq!(n.backlog(0, later), SimDuration::ZERO, "rejoins idle");
+        assert_eq!(
+            n.total_busy(),
+            busy_before,
+            "utilization survives incarnations"
+        );
     }
 
     #[test]
     fn estimated_completion_matches_accept() {
-        let mut n = NodeState::new(hw(2.3, 42.5, 6.0, true));
+        let mut n = NodeSoa::new(1);
         let now = SimTime::from_millis(0);
-        n.accept(now, SimDuration::from_millis(300));
-        let est = n.estimated_completion(now, SimDuration::from_millis(200));
-        let actual = n.accept(now, SimDuration::from_millis(200));
+        n.accept(0, now, SimDuration::from_millis(300));
+        let est = n.estimated_completion(0, now, SimDuration::from_millis(200));
+        let actual = n.accept(0, now, SimDuration::from_millis(200));
         assert_eq!(now + est, actual);
     }
 }

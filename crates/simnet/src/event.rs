@@ -3,15 +3,28 @@
 //! A discrete-event simulation is a loop that pops the earliest scheduled
 //! event, advances the clock to its timestamp, and lets the handler schedule
 //! further events. Correctness of our experiments requires *determinism*:
-//! two runs with the same seed must process events in the same order.
-//! `std::collections::BinaryHeap` alone is not enough because events with
-//! equal timestamps would pop in unspecified order, so every event carries a
-//! monotonically increasing sequence number used as a tie-breaker —
-//! simultaneous events pop in the order they were scheduled.
+//! two runs with the same seed must process events in the same order, so
+//! every event carries a monotonically increasing sequence number used as a
+//! timestamp tie-breaker — simultaneous events pop in the order they were
+//! scheduled.
+//!
+//! The store is a calendar queue rather than a binary heap: a ring of
+//! buckets keyed by absolute time slot (`time_µs >> width_shift`). Because
+//! a simulation clock only moves forward, every pending event's slot lies
+//! in `[slot(now), slot(now) + buckets)` — the queue grows the ring (while
+//! it is smaller than ~4× the pending-event count) or the slot width until
+//! that invariant holds, so each bucket holds at most one distinct slot and
+//! the earliest non-empty bucket at or after `slot(now)` always holds the
+//! globally earliest event. Scheduling is an append plus an `O(1)`
+//! cached-head update; popping re-scans only the buckets between the old
+//! and new head slot through a per-bucket occupancy bitmap (64 empty
+//! buckets per word load), ranges that never overlap across pops, so total
+//! scan work is bounded by elapsed virtual time divided by `64 ×` the slot
+//! width. Buckets sort lazily: the common append-in-time-order case is
+//! recognised and served by a reversal instead of a comparison sort.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// An event scheduled for a point in virtual time.
 #[derive(Debug, Clone)]
@@ -22,6 +35,13 @@ pub struct ScheduledEvent<E> {
     pub seq: u64,
     /// The caller-defined payload.
     pub payload: E,
+}
+
+impl<E> ScheduledEvent<E> {
+    /// The total order key: earlier time first, then scheduling order.
+    fn key(&self) -> (u64, u64) {
+        (self.time.as_micros(), self.seq)
+    }
 }
 
 impl<E> PartialEq for ScheduledEvent<E> {
@@ -39,7 +59,8 @@ impl<E> PartialOrd for ScheduledEvent<E> {
 }
 
 impl<E> Ord for ScheduledEvent<E> {
-    /// Reversed so that the *earliest* event is the max of the heap.
+    /// Reversed so that the *earliest* event is the max of a max-heap
+    /// (kept for callers that use `ScheduledEvent` in a `BinaryHeap`).
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .time
@@ -48,6 +69,84 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
+/// How a bucket's backing vector is currently ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BucketOrder {
+    /// Push order happens to be ascending by key (the common case when a
+    /// slot's events are scheduled in time order). Pop-ready after an
+    /// `O(n)` reversal, no comparisons.
+    PushAscending,
+    /// Descending by key: the minimum is at the back, `Vec::pop` serves it.
+    Descending,
+    /// Out of order; the next pop sorts it descending first.
+    Dirty,
+}
+
+#[derive(Debug)]
+struct Bucket<E> {
+    events: Vec<ScheduledEvent<E>>,
+    order: BucketOrder,
+}
+
+impl<E> Bucket<E> {
+    fn new() -> Self {
+        Bucket {
+            events: Vec::new(),
+            order: BucketOrder::PushAscending,
+        }
+    }
+
+    fn push(&mut self, ev: ScheduledEvent<E>) {
+        if let Some(last) = self.events.last() {
+            let keeps = match self.order {
+                BucketOrder::PushAscending => ev.key() > last.key(),
+                BucketOrder::Descending => ev.key() < last.key(),
+                BucketOrder::Dirty => false,
+            };
+            if !keeps {
+                self.order = BucketOrder::Dirty;
+            }
+        }
+        self.events.push(ev);
+    }
+
+    /// Ensures the minimum-key event sits at the back of `events`.
+    fn make_pop_ready(&mut self) {
+        match self.order {
+            BucketOrder::PushAscending => self.events.reverse(),
+            BucketOrder::Descending => {}
+            BucketOrder::Dirty => {
+                self.events
+                    .sort_unstable_by_key(|e| core::cmp::Reverse(e.key()));
+            }
+        }
+        self.order = BucketOrder::Descending;
+    }
+
+    fn pop_min(&mut self) -> Option<ScheduledEvent<E>> {
+        self.make_pop_ready();
+        let ev = self.events.pop();
+        if self.events.is_empty() {
+            self.order = BucketOrder::PushAscending;
+        }
+        ev
+    }
+
+    fn min_key(&mut self) -> Option<(u64, u64)> {
+        self.make_pop_ready();
+        self.events.last().map(|e| e.key())
+    }
+}
+
+/// Starting ring size; slots map to buckets by `slot & (len - 1)`.
+const INITIAL_BUCKETS: usize = 256;
+/// Hard ceiling on ring doubling; in practice the occupancy bound in
+/// [`EventQueue::grow`] stops the ring far earlier and the slot *width*
+/// doubles instead (halving the live slot span), so any horizon fits.
+const MAX_BUCKETS: usize = 1 << 16;
+/// Starting slot width: `2^9` µs = 512 µs per bucket.
+const INITIAL_WIDTH_SHIFT: u32 = 9;
+
 /// A future-event list with a virtual clock.
 ///
 /// The queue owns the notion of "now": popping an event advances the clock,
@@ -55,7 +154,19 @@ impl<E> Ord for ScheduledEvent<E> {
 /// the simulation non-causal).
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    buckets: Vec<Bucket<E>>,
+    /// One bit per bucket (set iff non-empty), packed into `u64` words.
+    /// Lets the head scan skip 64 empty buckets per word instead of
+    /// touching each `Bucket` — sparse queues (few events spread over a
+    /// long horizon) would otherwise pay a cache miss per empty bucket.
+    occupied: Vec<u64>,
+    /// Bucket index mask; `buckets.len()` is always a power of two.
+    mask: u64,
+    /// Slot width is `2^width_shift` µs.
+    width_shift: u32,
+    /// Key `(time_µs, seq)` of the earliest pending event.
+    head: Option<(u64, u64)>,
+    len: usize,
     now: SimTime,
     next_seq: u64,
 }
@@ -70,7 +181,12 @@ impl<E> EventQueue<E> {
     /// An empty queue with the clock at the origin.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..INITIAL_BUCKETS).map(|_| Bucket::new()).collect(),
+            occupied: vec![0; INITIAL_BUCKETS / 64],
+            mask: INITIAL_BUCKETS as u64 - 1,
+            width_shift: INITIAL_WIDTH_SHIFT,
+            head: None,
+            len: 0,
             now: SimTime::ZERO,
             next_seq: 0,
         }
@@ -83,12 +199,23 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// `true` iff no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// The slot the clock currently sits in. Every pending event's slot is
+    /// at or after this (causality: pending times are `>= now`), which is
+    /// what makes `slot & mask` collision-free within the live span.
+    fn base_slot(&self) -> u64 {
+        self.now.as_micros() >> self.width_shift
+    }
+
+    fn bucket_of(&self, time_us: u64) -> usize {
+        ((time_us >> self.width_shift) & self.mask) as usize
     }
 
     /// Schedules `payload` to fire at absolute time `at`.
@@ -101,31 +228,127 @@ impl<E> EventQueue<E> {
             "cannot schedule event in the past: at={at} now={}",
             self.now
         );
+        let t_us = at.as_micros();
+        loop {
+            let slot = t_us >> self.width_shift;
+            if slot - self.base_slot() < self.buckets.len() as u64 {
+                break;
+            }
+            self.grow();
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent {
+        let key = (t_us, seq);
+        if self.head.is_none_or(|h| key < h) {
+            self.head = Some(key);
+        }
+        let b = self.bucket_of(t_us);
+        self.buckets[b].push(ScheduledEvent {
             time: at,
             seq,
             payload,
         });
+        self.occupied[b / 64] |= 1 << (b % 64);
+        self.len += 1;
+    }
+
+    /// Doubles the ring or the slot width and re-buckets every pending
+    /// event. The ring doubles only while it is smaller than ~4× the
+    /// pending-event count (and below [`MAX_BUCKETS`]); otherwise the slot
+    /// *width* doubles. Ring size must track occupancy, not horizon — a
+    /// handful of far-future completions would otherwise inflate the ring
+    /// to [`MAX_BUCKETS`] and every later grow/drop would drag megabytes
+    /// of empty buckets around. Amortised: growth happens `O(log horizon)`
+    /// times per queue lifetime.
+    fn grow(&mut self) {
+        let want = (4 * self.len.max(16)).next_power_of_two().min(MAX_BUCKETS);
+        let nb = if self.buckets.len() < want {
+            self.buckets.len() * 2
+        } else {
+            self.width_shift += 1;
+            self.buckets.len()
+        };
+        let mut pending: Vec<ScheduledEvent<E>> = Vec::with_capacity(self.len);
+        // Drain through the bitmap so the ring's empty buckets cost nothing.
+        for w in 0..self.occupied.len() {
+            let mut bits = self.occupied[w];
+            while bits != 0 {
+                let b = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                pending.append(&mut self.buckets[b].events);
+                self.buckets[b].order = BucketOrder::PushAscending;
+            }
+        }
+        self.buckets.resize_with(nb, Bucket::new);
+        self.occupied.clear();
+        self.occupied.resize(nb / 64, 0);
+        self.mask = nb as u64 - 1;
+        for ev in pending {
+            let b = self.bucket_of(ev.time.as_micros());
+            self.buckets[b].push(ev);
+            self.occupied[b / 64] |= 1 << (b % 64);
+        }
     }
 
     /// Pops the earliest event and advances the clock to its timestamp.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        let ev = self.heap.pop()?;
+        let (t_us, seq) = self.head?;
+        let b = self.bucket_of(t_us);
+        let ev = self.buckets[b].pop_min().expect("head bucket is non-empty");
+        if self.buckets[b].events.is_empty() {
+            self.occupied[b / 64] &= !(1 << (b % 64));
+        }
+        debug_assert_eq!(ev.key(), (t_us, seq));
+        self.len -= 1;
         debug_assert!(ev.time >= self.now);
         self.now = ev.time;
+        self.refresh_head();
         Some(ev)
+    }
+
+    /// Recomputes the cached head after a pop: the first non-empty bucket
+    /// scanning forward from `slot(now)` holds the earliest pending event
+    /// (slot-per-bucket uniqueness within the live span). The scan walks
+    /// the occupancy bitmap a word at a time, so 64 empty buckets cost one
+    /// load and a `trailing_zeros`.
+    fn refresh_head(&mut self) {
+        if self.len == 0 {
+            self.head = None;
+            return;
+        }
+        let from = (self.base_slot() & self.mask) as usize;
+        let words = self.occupied.len();
+        let mut w = from / 64;
+        // Mask off buckets before `from` in the first word; the wrap-around
+        // visit at the end re-reads the full word, restoring them in ring
+        // order (they can only hold events if the scan wrapped past them).
+        let mut cur = self.occupied[w] & (!0u64 << (from % 64));
+        for _ in 0..=words {
+            if cur != 0 {
+                let b = w * 64 + cur.trailing_zeros() as usize;
+                self.head = self.buckets[b].min_key();
+                return;
+            }
+            w = (w + 1) % words;
+            cur = self.occupied[w];
+        }
+        unreachable!("len > 0 but every bucket is empty");
     }
 
     /// The timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.head.map(|(t_us, _)| SimTime::from_micros(t_us))
     }
 
     /// Drops every pending event, keeping the clock where it is.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for b in &mut self.buckets {
+            b.events.clear();
+            b.order = BucketOrder::PushAscending;
+        }
+        self.occupied.fill(0);
+        self.head = None;
+        self.len = 0;
     }
 }
 
@@ -200,5 +423,61 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop().map(|e| e.payload), None);
+    }
+
+    #[test]
+    fn far_future_event_grows_ring_then_slot_width() {
+        // 40 virtual seconds needs more slots than MAX_BUCKETS at the
+        // initial 512 µs width: both growth paths must fire.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(1), "near");
+        q.schedule(SimTime::from_secs(40), "far");
+        q.schedule(SimTime::from_millis(3), "mid");
+        assert_eq!(q.pop().map(|e| e.payload), Some("near"));
+        assert_eq!(q.pop().map(|e| e.payload), Some("mid"));
+        assert_eq!(q.pop().map(|e| e.payload), Some("far"));
+        assert_eq!(q.now(), SimTime::from_secs(40));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn late_insert_below_pending_head_pops_first() {
+        // A pop-then-schedule of an earlier (but still causal) timestamp
+        // must displace the cached head.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), "first");
+        q.schedule(SimTime::from_millis(900), "tail");
+        assert_eq!(q.pop().map(|e| e.payload), Some("first"));
+        q.schedule(SimTime::from_millis(2), "insert");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(q.pop().map(|e| e.payload), Some("insert"));
+        assert_eq!(q.pop().map(|e| e.payload), Some("tail"));
+    }
+
+    #[test]
+    fn out_of_order_pushes_into_one_bucket_still_sort() {
+        // Several distinct timestamps inside a single 512 µs slot,
+        // scheduled out of order: the lazy bucket sort must untangle them.
+        let mut q = EventQueue::new();
+        for &us in &[400u64, 100, 300, 100, 200] {
+            q.schedule(SimTime::from_micros(us), us);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![100, 100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn dense_wrap_around_keeps_order() {
+        // Slots wrap around the ring modulo the bucket count; order must
+        // follow absolute time, not bucket index.
+        let mut q = EventQueue::new();
+        let step = SimDuration::from_micros(700); // > one slot
+        let mut t = SimTime::ZERO;
+        for i in 0..4096u32 {
+            t += step;
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..4096).collect::<Vec<_>>());
     }
 }

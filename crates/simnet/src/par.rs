@@ -41,8 +41,16 @@ fn parse_threads(value: Option<&str>, default: usize) -> usize {
 /// The number of worker threads sweeps should use: `QA_THREADS` when set
 /// to a positive integer, otherwise all available cores (and 1 when even
 /// that is unknown).
+///
+/// The core count is probed once and cached: `available_parallelism`
+/// re-reads cgroup limits from the filesystem on every call (~20 µs),
+/// which matters to callers on per-run construction paths. The env var is
+/// still read every call so tests can vary `QA_THREADS` at runtime.
 pub fn thread_budget() -> usize {
-    let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+    use std::sync::OnceLock;
+    static CORES: OnceLock<usize> = OnceLock::new();
+    let default =
+        *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     parse_threads(std::env::var("QA_THREADS").ok().as_deref(), default)
 }
 
@@ -111,6 +119,43 @@ where
                 .expect("every job filled its slot")
         })
         .collect()
+}
+
+/// Runs `f(offset, chunk)` over contiguous chunks of `items`, one chunk
+/// per worker, mutating in place. `offset` is the index of the chunk's
+/// first element in `items`.
+///
+/// This is the intra-run counterpart of [`par_map_indexed_with`]: where
+/// that fans out whole simulation cells, this fans the *independent
+/// per-element updates inside one run* (e.g. each node's eq.-4 supply
+/// solve at a period boundary). Because every element is visited exactly
+/// once and elements share nothing, the result is identical at any thread
+/// count — the split only decides which worker performs which update.
+///
+/// * `threads == 1` (or an empty/singleton slice) runs inline on the
+///   caller thread: byte-for-byte the serial loop, no threads spawned.
+/// * A panicking chunk panics this call when the scope joins.
+///
+/// # Panics
+/// Panics if `threads == 0`, or propagates the first chunk panic.
+pub fn par_for_each_chunk_mut<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(threads >= 1, "thread budget must be at least 1");
+    let n = items.len();
+    if threads == 1 || n <= 1 {
+        f(0, items);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (c, part) in items.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || f(c * chunk, part));
+        }
+    });
 }
 
 #[cfg(test)]
@@ -199,5 +244,37 @@ mod tests {
     #[test]
     fn thread_budget_is_positive() {
         assert!(thread_budget() >= 1);
+    }
+
+    #[test]
+    fn chunked_mutation_visits_every_element_once() {
+        for threads in [1, 2, 3, 8, 64] {
+            let mut items: Vec<u64> = (0..257).collect();
+            par_for_each_chunk_mut(threads, &mut items, |offset, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    assert_eq!(*x, (offset + j) as u64);
+                    *x = *x * 2 + 1;
+                }
+            });
+            let expect: Vec<u64> = (0..257).map(|x| x * 2 + 1).collect();
+            assert_eq!(items, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_mutation_single_thread_runs_inline() {
+        let caller = std::thread::current().id();
+        let mut items = [1u32, 2, 3];
+        par_for_each_chunk_mut(1, &mut items, |_, chunk| {
+            assert_eq!(std::thread::current().id(), caller);
+            chunk.iter_mut().for_each(|x| *x += 1);
+        });
+        assert_eq!(items, [2, 3, 4]);
+    }
+
+    #[test]
+    fn chunked_mutation_empty_slice_is_a_noop() {
+        let mut items: [u32; 0] = [];
+        par_for_each_chunk_mut(4, &mut items, |_, _| {});
     }
 }

@@ -3,7 +3,8 @@
 //! over 200 random cases from a fixed seed, so failures reproduce exactly.
 
 use qa_simnet::stats::Welford;
-use qa_simnet::{DetRng, EventQueue, SimTime, Zipf};
+use qa_simnet::{DetRng, EventQueue, ScheduledEvent, SimDuration, SimTime, Zipf};
+use std::collections::BinaryHeap;
 
 const CASES: usize = 200;
 
@@ -28,6 +29,93 @@ fn event_queue_is_stably_ordered() {
                 }
             }
             last = Some((t, i));
+        }
+    }
+}
+
+/// A trivially-correct reference future-event list: a `BinaryHeap` over
+/// the exported (reversed-`Ord`) `ScheduledEvent`, exactly the store the
+/// calendar queue replaced.
+struct HeapQueue {
+    heap: BinaryHeap<ScheduledEvent<u32>>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl HeapQueue {
+    fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, payload: u32) {
+        assert!(at >= self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq,
+            payload,
+        });
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, u32)> {
+        let ev = self.heap.pop()?;
+        self.now = ev.time;
+        Some((ev.time, ev.seq, ev.payload))
+    }
+}
+
+/// The calendar queue and the reference heap, driven through identical
+/// schedule/pop interleavings (bursts of same-time events, mixed nearby
+/// offsets, and rare far-future jumps that force ring and slot-width
+/// growth), pop identical `(time, seq, payload)` streams.
+#[test]
+fn calendar_queue_matches_reference_heap() {
+    let mut rng = DetRng::seed_from_u64(0x51B1_0006);
+    for case in 0..CASES {
+        let mut cal: EventQueue<u32> = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let ops = 1 + rng.index(300);
+        let mut payload = 0u32;
+        for _ in 0..ops {
+            let roll = rng.index(100);
+            if roll < 60 {
+                // Schedule 1–4 events; offset class picked per event.
+                for _ in 0..1 + rng.index(4) {
+                    let off = match rng.index(10) {
+                        0..=3 => SimDuration::ZERO, // same-time burst
+                        4..=7 => SimDuration::from_micros(rng.int_in(1, 2_000)),
+                        8 => SimDuration::from_millis(rng.int_in(1, 800)),
+                        _ => SimDuration::from_secs(rng.int_in(1, 90)), // far future
+                    };
+                    let at = cal.now() + off;
+                    cal.schedule(at, payload);
+                    heap.schedule(at, payload);
+                    payload += 1;
+                }
+            } else {
+                assert_eq!(
+                    cal.peek_time(),
+                    heap.heap.peek().map(|e| e.time),
+                    "case {case}: peek diverged"
+                );
+                let got = cal.pop().map(|e| (e.time, e.seq, e.payload));
+                assert_eq!(got, heap.pop(), "case {case}: pop diverged");
+            }
+            assert_eq!(cal.len(), heap.heap.len(), "case {case}: len diverged");
+        }
+        // Drain both: the tails must agree event for event.
+        loop {
+            let got = cal.pop().map(|e| (e.time, e.seq, e.payload));
+            let want = heap.pop();
+            assert_eq!(got, want, "case {case}: drain diverged");
+            if got.is_none() {
+                break;
+            }
         }
     }
 }

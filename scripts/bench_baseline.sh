@@ -2,21 +2,38 @@
 # Pins the performance baseline: builds the release bench bins, then runs
 # `perf_baseline`, which times every sweep-shaped bin (QA_THREADS=1 vs the
 # full thread budget) plus the micro-bench suite and writes
-# bench_results/perf_baseline.json.
+# bench_results/perf_baseline.json. With a pinned reference committed at
+# bench_results/pinned/perf_baseline.json, `--check` diffs the current
+# micro suite against it and fails on any >3x regression.
 #
 # Usage:
 #   scripts/bench_baseline.sh            # honours QA_SCALE / QA_BENCH_SECONDS
 #   scripts/bench_baseline.sh --quick    # CI smoke: ci scale, 0.05s/case micro budget
+#   scripts/bench_baseline.sh --check    # gate against the committed pinned baseline
 set -eu
 cd "$(dirname "$0")/.."
 
-if [ "${1:-}" = "--quick" ]; then
-  export QA_SCALE=ci
-  export QA_BENCH_SECONDS=0.05
-else
-  export QA_SCALE="${QA_SCALE:-ci}"
-  export QA_BENCH_SECONDS="${QA_BENCH_SECONDS:-1}"
-fi
+PINNED=bench_results/pinned/perf_baseline.json
+
+case "${1:-}" in
+  --quick)
+    export QA_SCALE=ci
+    export QA_BENCH_SECONDS=0.05
+    ;;
+  --check)
+    # A longer per-case budget than --quick: the check statistic is the
+    # per-batch minimum, and a few extra batches keep runner noise from
+    # tripping the (already loose) 3x tolerance.
+    export QA_SCALE=ci
+    export QA_BENCH_SECONDS="${QA_BENCH_SECONDS:-0.2}"
+    cargo build --release -p qa-bench
+    exec ./target/release/perf_baseline --check-against "$PINNED"
+    ;;
+  *)
+    export QA_SCALE="${QA_SCALE:-ci}"
+    export QA_BENCH_SECONDS="${QA_BENCH_SECONDS:-1}"
+    ;;
+esac
 
 cargo build --release -p qa-bench
 ./target/release/perf_baseline
