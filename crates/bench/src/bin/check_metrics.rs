@@ -1,0 +1,194 @@
+//! Fleet-stats validator: proves a `qa-ctl stats` report is well-formed.
+//!
+//! Usage: `check_metrics <stats.json> --nodes N [--require name,...]
+//! [--fetch ADDR]`
+//!
+//! Checks that the aggregated report says every node answered the scrape,
+//! that the merged fleet registry carries the expected metric families
+//! (the worker pre-registers its families at spawn, so even an idle fleet
+//! must show them), and — with `--fetch` — that a live `/metrics`
+//! endpoint serves syntactically valid Prometheus text exposition.
+//! Exits non-zero on the first violation. This is the assertion half of
+//! `scripts/metrics_smoke.sh`.
+
+use qa_cluster::metrics_http::http_get;
+use qa_simnet::json::Json;
+use std::process::ExitCode;
+
+/// Families every healthy `qad` fleet scrape must carry, even idle.
+const REQUIRED_COUNTERS: &[&str] = &[
+    "qad.queries_executed",
+    "qad.offers_made",
+    "qad.offers_rejected",
+    "net.frames_sent",
+    "net.frames_received",
+    "net.bytes_sent",
+    "net.bytes_received",
+];
+const REQUIRED_HISTOGRAMS: &[&str] = &["qad.exec_ms", "qad.period_ms"];
+const REQUIRED_GAUGES: &[&str] = &["qad.backlog_ms"];
+
+fn check_report(text: &str, nodes: usize, extra: &[String]) -> Result<(), String> {
+    let report = Json::parse(text).map_err(|e| format!("stats report is not JSON: {e}"))?;
+    let alive = report
+        .get("alive")
+        .and_then(Json::as_u64)
+        .ok_or("report has no numeric 'alive'")?;
+    let total = report
+        .get("nodes")
+        .and_then(Json::as_u64)
+        .ok_or("report has no numeric 'nodes'")?;
+    if total != nodes as u64 {
+        return Err(format!("expected {nodes} nodes in report, found {total}"));
+    }
+    if alive != total {
+        return Err(format!("only {alive}/{total} nodes answered the scrape"));
+    }
+    for n in 0..nodes {
+        let node = report
+            .get("per_node")
+            .and_then(|p| p.get(&format!("node{n}")))
+            .ok_or_else(|| format!("per_node is missing node{n}"))?;
+        if !matches!(node.get("alive"), Some(Json::Bool(true))) {
+            return Err(format!("node{n} is not alive"));
+        }
+    }
+    let fleet = report.get("fleet").ok_or("report has no 'fleet' section")?;
+    let present = |section: &str, name: &str| -> bool {
+        fleet.get(section).and_then(|s| s.get(name)).is_some()
+    };
+    for name in REQUIRED_COUNTERS
+        .iter()
+        .copied()
+        .chain(extra.iter().map(String::as_str))
+    {
+        if !present("counters", name) {
+            return Err(format!("fleet.counters is missing family {name:?}"));
+        }
+    }
+    for name in REQUIRED_HISTOGRAMS {
+        if !present("histograms", name) {
+            return Err(format!("fleet.histograms is missing family {name:?}"));
+        }
+    }
+    for name in REQUIRED_GAUGES {
+        if !present("gauges", name) {
+            return Err(format!("fleet.gauges is missing family {name:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates one line of Prometheus text exposition (0.0.4): a comment,
+/// or `name[{labels}] value`.
+fn valid_exposition_line(line: &str) -> bool {
+    if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+        return true;
+    }
+    let (name_part, value) = match line.rsplit_once(' ') {
+        Some(parts) => parts,
+        None => return false,
+    };
+    let name = match name_part.split_once('{') {
+        Some((n, labels)) => {
+            if !labels.ends_with('}') {
+                return false;
+            }
+            n
+        }
+        None => name_part,
+    };
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && (value.parse::<f64>().is_ok() || value == "+Inf" || value == "-Inf" || value == "NaN")
+}
+
+fn check_endpoint(addr: &str) -> Result<(), String> {
+    let addr: std::net::SocketAddr = addr.parse().map_err(|e| format!("--fetch {addr:?}: {e}"))?;
+    let (status, body) = http_get(&addr, "/metrics")?;
+    if !status.contains("200") {
+        return Err(format!("GET /metrics returned {status:?}"));
+    }
+    if body.is_empty() {
+        return Err("GET /metrics returned an empty body".to_string());
+    }
+    for (i, line) in body.lines().enumerate() {
+        if !valid_exposition_line(line) {
+            return Err(format!(
+                "/metrics line {} is not valid exposition: {line:?}",
+                i + 1
+            ));
+        }
+    }
+    if !body.contains("_bucket{le=\"+Inf\"}") {
+        return Err("/metrics has no histogram with a +Inf bucket".to_string());
+    }
+    let (status, _) = http_get(&addr, "/definitely-not-a-route")?;
+    if !status.contains("404") {
+        return Err(format!("unknown path returned {status:?}, want 404"));
+    }
+    Ok(())
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut nodes = None;
+    let mut extra: Vec<String> = Vec::new();
+    let mut fetch: Vec<String> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--nodes" => {
+                nodes = Some(
+                    take("--nodes")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--nodes: {e}"))?,
+                )
+            }
+            "--require" => extra.extend(
+                take("--require")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string),
+            ),
+            "--fetch" => fetch.push(take("--fetch")?),
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err("exactly one stats.json path expected".to_string());
+                }
+            }
+        }
+    }
+    let path =
+        path.ok_or("usage: check_metrics <stats.json> --nodes N [--require a,b] [--fetch ADDR]")?;
+    let nodes = nodes.ok_or("--nodes N is required")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    check_report(&text, nodes, &extra)?;
+    println!("stats report OK: {nodes} nodes alive, all required families present");
+    for addr in &fetch {
+        check_endpoint(addr)?;
+        println!("exposition OK: {addr}/metrics");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("check_metrics: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -10,15 +10,24 @@
 //! qa-ctl init                          # print a starter federation config
 //! qa-ctl run    --config fed.json     # spawn, submit queries, report, stop
 //! qa-ctl prices --config fed.json     # spawn, dump price vectors, stop
+//! qa-ctl stats  --config fed.json     # spawn, scrape + merge metrics, stop
+//! qa-ctl stats  --addrs a:p,b:p       # scrape an already-running fleet
 //! ```
+//!
+//! `stats` is the fleet observability entry point: it scrapes every
+//! node's metrics-registry snapshot over the wire
+//! ([`qa_net::WireMsg::StatsRequest`]), merges them with
+//! [`MetricsRegistry::merge_snapshot`], and prints the aggregate as JSON
+//! on stdout plus a per-node liveness table on stderr. `--watch` repeats
+//! the scrape on an interval, one JSON line per round.
 
 use crate::driver::run_workload;
 use crate::node::PricesReply;
 use crate::qad::FedConfig;
-use crate::transport::{TcpTransport, Transport};
+use crate::transport::{NodeStats, TcpTransport, Transport};
 use crate::ClusterError;
 use qa_simnet::json::Json;
-use qa_simnet::telemetry::Telemetry;
+use qa_simnet::telemetry::{MetricsRegistry, Telemetry};
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -37,6 +46,9 @@ pub struct Federation {
     children: Vec<Child>,
     /// The bound loopback address of each node, in node order.
     pub addrs: Vec<String>,
+    /// Each node's bound `/metrics` endpoint, in node order (empty
+    /// unless spawned via [`Federation::spawn_with_metrics`]).
+    pub metrics_addrs: Vec<String>,
 }
 
 impl Federation {
@@ -54,9 +66,26 @@ impl Federation {
         config_path: &str,
         trace_dir: Option<&Path>,
     ) -> Result<Federation, String> {
+        Federation::spawn_with_metrics(fed, qad_bin, config_path, trace_dir, false)
+    }
+
+    /// [`Federation::spawn`], optionally passing `--metrics-addr
+    /// 127.0.0.1:0` to every child and collecting the announced
+    /// `/metrics` endpoints into [`Federation::metrics_addrs`].
+    ///
+    /// # Errors
+    /// Same as [`Federation::spawn`].
+    pub fn spawn_with_metrics(
+        fed: &FedConfig,
+        qad_bin: &Path,
+        config_path: &str,
+        trace_dir: Option<&Path>,
+        metrics: bool,
+    ) -> Result<Federation, String> {
         let mut federation = Federation {
             children: Vec::new(),
             addrs: Vec::new(),
+            metrics_addrs: Vec::new(),
         };
         for node in 0..fed.num_nodes {
             let mut cmd = Command::new(qad_bin);
@@ -72,14 +101,20 @@ impl Federation {
                 cmd.arg("--trace")
                     .arg(dir.join(format!("node{node}.jsonl")));
             }
+            if metrics {
+                cmd.arg("--metrics-addr").arg("127.0.0.1:0");
+            }
             let mut child = cmd.spawn().map_err(|e| {
                 federation.kill();
                 format!("spawn {}: {e}", qad_bin.display())
             })?;
             let stdout = child.stdout.take().expect("stdout was piped");
             federation.children.push(child);
-            match read_announced_addr(stdout) {
-                Ok(addr) => federation.addrs.push(addr),
+            match read_announcements(stdout, metrics) {
+                Ok((addr, metrics_addr)) => {
+                    federation.addrs.push(addr);
+                    federation.metrics_addrs.extend(metrics_addr);
+                }
                 Err(e) => {
                     federation.kill();
                     return Err(format!("node {node} never announced its address: {e}"));
@@ -134,22 +169,36 @@ impl Federation {
     }
 }
 
-/// Reads the `qad listening <addr>` announcement from a child's stdout.
-fn read_announced_addr(stdout: std::process::ChildStdout) -> Result<String, String> {
+/// Reads the `qad listening <addr>` announcement from a child's stdout —
+/// plus, with `metrics`, the `qad metrics <addr>` line that follows it.
+fn read_announcements(
+    stdout: std::process::ChildStdout,
+    metrics: bool,
+) -> Result<(String, Option<String>), String> {
     // A dedicated reader thread bounds the wait: a child that wedges
     // before binding would otherwise hang the whole spawn.
     let (tx, rx) = channel();
     std::thread::spawn(move || {
-        let mut line = String::new();
         let mut reader = std::io::BufReader::new(stdout);
-        let result = match reader.read_line(&mut line) {
-            Ok(0) => Err("stdout closed before announcement".to_string()),
-            Ok(_) => match line.trim().strip_prefix("qad listening ") {
-                Some(addr) => Ok(addr.to_string()),
-                None => Err(format!("unexpected announcement {line:?}")),
-            },
-            Err(e) => Err(format!("read stdout: {e}")),
+        let mut announced = |prefix: &str| -> Result<String, String> {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => Err("stdout closed before announcement".to_string()),
+                Ok(_) => line
+                    .trim()
+                    .strip_prefix(prefix)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("unexpected announcement {line:?}")),
+                Err(e) => Err(format!("read stdout: {e}")),
+            }
         };
+        let result = announced("qad listening ").and_then(|addr| {
+            if metrics {
+                announced("qad metrics ").map(|m| (addr, Some(m)))
+            } else {
+                Ok((addr, None))
+            }
+        });
         let _ = tx.send(result);
     });
     rx.recv_timeout(SPAWN_TIMEOUT)
@@ -185,6 +234,118 @@ fn prices_json(prices: &[Option<PricesReply>]) -> Json {
     )
 }
 
+/// Scrapes every node's metrics-registry snapshot over the transport.
+/// `None` marks a node that never answered within `timeout` (dead, or
+/// speaking a pre-v2 protocol without the stats scrape).
+pub fn collect_stats(transport: &TcpTransport, timeout: Duration) -> Vec<Option<NodeStats>> {
+    (0..transport.num_nodes())
+        .map(|n| {
+            let (tx, rx) = channel();
+            if transport.request_stats(n, tx).is_err() {
+                return None;
+            }
+            rx.recv_timeout(timeout).ok()
+        })
+        .collect()
+}
+
+/// Builds the fleet stats report: per-node digests plus the merged
+/// registry. Counters add across nodes, Welford summaries and histograms
+/// merge exactly; gauges are last-write-wins and therefore only
+/// meaningful per node, which is why the per-node section carries them
+/// too.
+pub fn fleet_report(stats: &[Option<NodeStats>], prices: &[Option<PricesReply>]) -> Json {
+    let merged = MetricsRegistry::new();
+    let mut alive = 0i64;
+    let nodes = Json::Obj(
+        stats
+            .iter()
+            .enumerate()
+            .map(|(n, s)| {
+                let detail = match s {
+                    None => Json::object([("alive", Json::Bool(false))]),
+                    Some(s) => {
+                        alive += 1;
+                        let snap = Json::parse(&s.json).unwrap_or(Json::Null);
+                        merged.merge_snapshot(&snap);
+                        let counter = |name: &str| {
+                            snap.get("counters")
+                                .and_then(|c| c.get(name))
+                                .and_then(Json::as_u64)
+                                .unwrap_or(0)
+                        };
+                        let backlog = snap
+                            .get("gauges")
+                            .and_then(|g| g.get("qad.backlog_ms"))
+                            .and_then(Json::as_f64)
+                            .unwrap_or(0.0);
+                        let price_vec = match prices.get(n).and_then(Option::as_ref) {
+                            None => Json::Null,
+                            Some(p) => {
+                                Json::Arr(p.prices.iter().map(|&v| Json::Float(v)).collect())
+                            }
+                        };
+                        Json::object([
+                            ("alive", Json::Bool(true)),
+                            (
+                                "queries_executed",
+                                Json::Int(counter("qad.queries_executed") as i64),
+                            ),
+                            ("offers_made", Json::Int(counter("qad.offers_made") as i64)),
+                            (
+                                "offers_rejected",
+                                Json::Int(counter("qad.offers_rejected") as i64),
+                            ),
+                            ("backlog_ms", Json::Float(backlog)),
+                            ("prices", price_vec),
+                        ])
+                    }
+                };
+                (format!("node{n}"), detail)
+            })
+            .collect(),
+    );
+    Json::object([
+        ("alive", Json::Int(alive)),
+        ("nodes", Json::Int(stats.len() as i64)),
+        ("per_node", nodes),
+        ("fleet", merged.snapshot()),
+    ])
+}
+
+/// Renders the per-node liveness table (the human half of `qa-ctl
+/// stats`; stdout stays machine-readable JSON).
+fn stats_table(report: &Json) -> String {
+    let mut out = String::from(
+        "node    alive  queries  rejected  backlog_ms  prices\n\
+         ------  -----  -------  --------  ----------  ------\n",
+    );
+    let Some(Json::Obj(nodes)) = report.get("per_node") else {
+        return out;
+    };
+    for (name, d) in nodes {
+        let alive = matches!(d.get("alive"), Some(Json::Bool(true)));
+        let num = |k: &str| d.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        let prices = match d.get("prices") {
+            Some(Json::Arr(p)) => p
+                .iter()
+                .filter_map(Json::as_f64)
+                .map(|v| format!("{v:.2}"))
+                .collect::<Vec<_>>()
+                .join(","),
+            _ => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{name:<6}  {:<5}  {:>7}  {:>8}  {:>10.1}  {prices}\n",
+            if alive { "yes" } else { "NO" },
+            num("queries_executed") as u64,
+            num("offers_rejected") as u64,
+            num("backlog_ms"),
+        ));
+    }
+    out
+}
+
 /// Locates the `qad` binary: explicit flag, `QAD_BIN` env, or a sibling
 /// of the running executable.
 fn find_qad(explicit: Option<String>) -> Result<PathBuf, String> {
@@ -211,6 +372,16 @@ struct CtlArgs {
     qad: Option<String>,
     trace: Option<String>,
     trace_dir: Option<String>,
+    /// `stats`: scrape these already-running nodes instead of spawning.
+    addrs: Option<String>,
+    /// `stats`: repeat the scrape on an interval.
+    watch: bool,
+    /// `stats --watch`: stop after this many rounds (default: forever).
+    rounds: Option<u64>,
+    /// `stats --watch`: milliseconds between rounds.
+    interval_ms: u64,
+    /// `stats` spawn mode: also bind per-node `/metrics` endpoints.
+    metrics: bool,
 }
 
 fn parse_ctl_args(args: &[String]) -> Result<CtlArgs, String> {
@@ -219,6 +390,11 @@ fn parse_ctl_args(args: &[String]) -> Result<CtlArgs, String> {
         qad: None,
         trace: None,
         trace_dir: None,
+        addrs: None,
+        watch: false,
+        rounds: None,
+        interval_ms: 2000,
+        metrics: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -232,6 +408,21 @@ fn parse_ctl_args(args: &[String]) -> Result<CtlArgs, String> {
             "--qad" => out.qad = Some(take("--qad")?),
             "--trace" => out.trace = Some(take("--trace")?),
             "--trace-dir" => out.trace_dir = Some(take("--trace-dir")?),
+            "--addrs" => out.addrs = Some(take("--addrs")?),
+            "--watch" => out.watch = true,
+            "--rounds" => {
+                out.rounds = Some(
+                    take("--rounds")?
+                        .parse()
+                        .map_err(|e| format!("--rounds: {e}"))?,
+                )
+            }
+            "--interval-ms" => {
+                out.interval_ms = take("--interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?
+            }
+            "--metrics" => out.metrics = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -311,10 +502,89 @@ fn cmd_prices(args: CtlArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// One scrape round: stats + prices from every node, merged, printed.
+/// `pretty` selects the single-shot pretty layout over watch-mode JSONL.
+fn scrape_once(transport: &TcpTransport, timeout: Duration, pretty: bool) -> Json {
+    let stats = collect_stats(transport, timeout);
+    let prices = collect_prices(transport, timeout);
+    let report = fleet_report(&stats, &prices);
+    eprint!("{}", stats_table(&report));
+    if pretty {
+        println!("{}", report.pretty());
+    } else {
+        println!("{}", report.dump());
+    }
+    report
+}
+
+/// Scrapes the fleet's metrics registries and prints the merged view:
+/// aggregate JSON on stdout, a per-node table on stderr. Spawns a fresh
+/// federation from `--config`, or attaches to a running one via
+/// `--addrs` (attach mode never sends `Shutdown` — observation must not
+/// perturb the observed fleet).
+fn cmd_stats(args: CtlArgs) -> Result<(), String> {
+    let timeout = Duration::from_secs(10);
+    let telemetry = driver_telemetry(&args.trace)?;
+    let rounds = match (args.watch, args.rounds) {
+        (false, _) => 1,
+        (true, Some(n)) => n.max(1),
+        (true, None) => u64::MAX,
+    };
+    let scrape_all = |transport: &TcpTransport, pretty: bool| {
+        for round in 0..rounds {
+            scrape_once(transport, timeout, pretty);
+            if round + 1 < rounds {
+                std::thread::sleep(Duration::from_millis(args.interval_ms));
+            }
+        }
+    };
+    if let Some(list) = &args.addrs {
+        let addrs: Vec<String> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if addrs.is_empty() {
+            return Err("--addrs needs at least one host:port".to_string());
+        }
+        let transport = TcpTransport::connect(&addrs, &qa_net::ConnConfig::default(), &telemetry)
+            .map_err(|e| format!("connect: {e}"))?;
+        scrape_all(&transport, !args.watch);
+        // Attach mode must not perturb the observed fleet: sever the
+        // connections *before* the transport drops, because `Drop` runs
+        // `shutdown()` and would send `Shutdown` to every node.
+        transport.disconnect();
+        return Ok(());
+    }
+    let config_path = args
+        .config
+        .ok_or("stats requires --config FILE (or --addrs)")?;
+    let fed = FedConfig::load(&config_path)?;
+    let qad_bin = find_qad(args.qad)?;
+    let federation =
+        Federation::spawn_with_metrics(&fed, &qad_bin, &config_path, None, args.metrics)?;
+    for addr in &federation.metrics_addrs {
+        eprintln!("metrics endpoint http://{addr}/metrics");
+    }
+    let transport = federation
+        .connect(&telemetry)
+        .map_err(|e| format!("connect: {e}"))?;
+    scrape_all(&transport, !args.watch);
+    transport.shutdown();
+    let clean = federation.wait();
+    if !clean {
+        return Err("federation did not shut down cleanly".to_string());
+    }
+    Ok(())
+}
+
 /// Entry point for the `qa-ctl` binary. Returns the process exit code.
 pub fn ctl_main(args: &[String]) -> i32 {
-    let usage = "usage: qa-ctl <init|run|prices> [--config FILE] [--qad PATH] \
-                 [--trace FILE] [--trace-dir DIR]";
+    let usage = "usage: qa-ctl <init|run|prices|stats> [--config FILE] [--qad PATH] \
+                 [--trace FILE] [--trace-dir DIR]\n\
+                 \x20      qa-ctl stats [--addrs A,B,...] [--watch] [--rounds N] \
+                 [--interval-ms MS] [--metrics]";
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{usage}");
         return 2;
@@ -326,6 +596,7 @@ pub fn ctl_main(args: &[String]) -> i32 {
         }
         "run" => parse_ctl_args(rest).and_then(cmd_run),
         "prices" => parse_ctl_args(rest).and_then(cmd_prices),
+        "stats" => parse_ctl_args(rest).and_then(cmd_stats),
         "--help" | "-h" | "help" => {
             println!("{usage}");
             Ok(())

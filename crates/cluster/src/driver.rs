@@ -31,7 +31,7 @@ use crate::node::{spawn_node_with_faults, EstimateReply, ExecReply, NodeHandle, 
 use crate::setup::ClusterSpec;
 use crate::transport::{ChannelTransport, Transport};
 use qa_core::QantConfig;
-use qa_simnet::telemetry::{Telemetry, TelemetryEvent};
+use qa_simnet::telemetry::{HistogramHandle, Telemetry, TelemetryEvent};
 use qa_simnet::{DetRng, FaultPlan, SimDuration};
 use qa_workload::ClassId;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -197,6 +197,30 @@ qa_simnet::impl_to_json!(ExperimentResult {
     completion_rate
 });
 
+/// Driver-side latency histograms, resolved once per run from the
+/// telemetry registry (`None` without one). These go to the *registry
+/// only* — never the event stream — so enabling them cannot perturb
+/// trace byte-determinism.
+struct DriverMetrics {
+    /// Issue-to-assignment latency per query (ms).
+    assign_ms: HistogramHandle,
+    /// Issue-to-result latency per query (ms).
+    total_ms: HistogramHandle,
+    /// One negotiation round trip: fan-out to last collected reply (ms).
+    rpc_ms: HistogramHandle,
+}
+
+impl DriverMetrics {
+    fn resolve(telemetry: &Telemetry) -> Option<DriverMetrics> {
+        let r = telemetry.registry()?;
+        Some(DriverMetrics {
+            assign_ms: r.histogram("driver.assign_ms"),
+            total_ms: r.histogram("driver.total_ms"),
+            rpc_ms: r.histogram("driver.rpc_ms"),
+        })
+    }
+}
+
 /// State shared by every per-query protocol thread.
 struct Shared {
     transport: Arc<dyn Transport>,
@@ -209,6 +233,8 @@ struct Shared {
     dead: Vec<AtomicBool>,
     /// Driver-side telemetry (query lifecycle, crashes, lost sends).
     telemetry: Telemetry,
+    /// Registry-backed latency histograms (`None` without a registry).
+    metrics: Option<DriverMetrics>,
     /// Wall-clock origin for trace timestamps.
     epoch: Instant,
 }
@@ -329,6 +355,7 @@ pub fn run_workload(
         max_retries: config.max_retries,
         dead: (0..num_nodes).map(|_| AtomicBool::new(false)).collect(),
         telemetry: config.telemetry.clone(),
+        metrics: DriverMetrics::resolve(&config.telemetry),
         epoch,
     });
 
@@ -489,7 +516,14 @@ fn poll_round(
         return Err(ClusterError::NoCandidates);
     }
     let _span = shared.telemetry.span("cluster.poll_round");
-    let deadline = Instant::now() + shared.reply_timeout;
+    let started = Instant::now();
+    let deadline = started + shared.reply_timeout;
+    let rpc_observed = |r| {
+        if let Some(m) = &shared.metrics {
+            m.rpc_ms.observe(started.elapsed().as_secs_f64() * 1e3);
+        }
+        r
+    };
     match shared.mechanism {
         ClusterMechanism::Greedy => {
             let (tx, rx) = channel::<EstimateReply>();
@@ -516,7 +550,7 @@ fn poll_round(
                     best = Some((r.exec_ms, r.node));
                 }
             }
-            Ok(best.map(|(_, n)| n))
+            rpc_observed(Ok(best.map(|(_, n)| n)))
         }
         ClusterMechanism::QaNt => {
             let (tx, rx) = channel::<OfferReply>();
@@ -550,7 +584,7 @@ fn poll_round(
                     best = Some((r.completion_ms, r.node));
                 }
             }
-            Ok(best.map(|(_, n)| n))
+            rpc_observed(Ok(best.map(|(_, n)| n)))
         }
     }
 }
@@ -602,6 +636,9 @@ fn run_one(
             }
         };
         let assign_ms = issued.elapsed().as_secs_f64() * 1e3;
+        if let Some(m) = &shared.metrics {
+            m.assign_ms.observe(assign_ms);
+        }
         shared.telemetry().emit(|| TelemetryEvent::QueryAssigned {
             query: idx as u64,
             class: class.0,
@@ -628,6 +665,9 @@ fn run_one(
         match rx.recv_timeout(EXEC_TIMEOUT) {
             Ok(r) => {
                 let total_ms = issued.elapsed().as_secs_f64() * 1e3;
+                if let Some(m) = &shared.metrics {
+                    m.total_ms.observe(total_ms);
+                }
                 shared.telemetry().emit(|| TelemetryEvent::QueryCompleted {
                     query: idx as u64,
                     class: class.0,

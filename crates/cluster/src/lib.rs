@@ -34,6 +34,7 @@ pub mod ctl;
 pub mod driver;
 pub mod error;
 pub mod explore;
+pub mod metrics_http;
 pub mod node;
 pub mod qad;
 pub mod setup;
@@ -53,4 +54,4 @@ pub use node::{spawn_node, spawn_node_with_faults, NodeHandle, NodeMsg};
 pub use qad::FedConfig;
 pub use setup::{ClusterSpec, QueryClassSpec};
 pub use simtransport::{SharedSchedule, SimNodeState, SimTransport};
-pub use transport::{ChannelTransport, TcpTransport, Transport};
+pub use transport::{ChannelTransport, NodeStats, TcpTransport, Transport};

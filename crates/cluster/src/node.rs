@@ -13,7 +13,7 @@
 use crate::setup::ClusterSpec;
 use qa_core::{PlanHistoryEstimator, QantConfig, QantNode};
 use qa_minidb::Database;
-use qa_simnet::telemetry::{Telemetry, TelemetryEvent};
+use qa_simnet::telemetry::{Counter, Gauge, HistogramHandle, Telemetry, TelemetryEvent};
 use qa_simnet::{DetRng, LinkFaults, SimTime};
 use qa_workload::ClassId;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -125,6 +125,45 @@ impl NodeHandle {
     }
 }
 
+/// Metric handles the node worker feeds, resolved once at spawn from the
+/// telemetry registry (`None` when telemetry carries no registry — the
+/// serving path then costs a single branch per message). Resolving at
+/// spawn also *pre-registers* every family, so a stats scrape of an idle
+/// node already lists them at zero instead of omitting them.
+struct NodeMetrics {
+    estimates_served: Counter,
+    offers_made: Counter,
+    offers_rejected: Counter,
+    queries_executed: Counter,
+    queries_failed: Counter,
+    periods: Counter,
+    /// Per-class rejection counters, indexed by [`ClassId::index`].
+    rejected_by_class: Vec<Counter>,
+    backlog_ms: Gauge,
+    exec_ms: HistogramHandle,
+    period_ms: HistogramHandle,
+}
+
+impl NodeMetrics {
+    fn resolve(telemetry: &Telemetry, num_classes: usize) -> Option<NodeMetrics> {
+        let r = telemetry.registry()?;
+        Some(NodeMetrics {
+            estimates_served: r.counter("qad.estimates_served"),
+            offers_made: r.counter("qad.offers_made"),
+            offers_rejected: r.counter("qad.offers_rejected"),
+            queries_executed: r.counter("qad.queries_executed"),
+            queries_failed: r.counter("qad.queries_failed"),
+            periods: r.counter("qad.periods"),
+            rejected_by_class: (0..num_classes)
+                .map(|k| r.counter(&format!("qad.rejected.class{k}")))
+                .collect(),
+            backlog_ms: r.gauge("qad.backlog_ms"),
+            exec_ms: r.histogram("qad.exec_ms"),
+            period_ms: r.histogram("qad.period_ms"),
+        })
+    }
+}
+
 /// Internal node state.
 struct NodeWorker {
     id: usize,
@@ -150,6 +189,11 @@ struct NodeWorker {
     /// carry wall-clock timestamps (and are *not* byte-deterministic,
     /// unlike the simulator's).
     telemetry: Telemetry,
+    /// Registry-backed metric handles (`None` without a registry).
+    metrics: Option<NodeMetrics>,
+    /// Wall clock of the last period tick, for the period-duration
+    /// histogram.
+    last_tick: Instant,
 }
 
 /// Spawns a node thread: loads its share of the data, optionally arms the
@@ -224,6 +268,7 @@ pub fn spawn_node_with_faults(
 
     let fault_rng =
         DetRng::seed_from_u64(data_seed ^ (node as u64).wrapping_mul(0x9E37) ^ FAULT_SALT);
+    let metrics = NodeMetrics::resolve(&telemetry, num_classes);
     let join = std::thread::Builder::new()
         .name(format!("qa-node-{node}"))
         .spawn(move || {
@@ -253,6 +298,8 @@ pub fn spawn_node_with_faults(
                 fault_rng,
                 epoch,
                 telemetry,
+                metrics,
+                last_tick: Instant::now(),
             };
             worker.init_market();
             worker.run();
@@ -369,6 +416,9 @@ impl NodeWorker {
             // One-way link latency before any reply leaves the node.
             match msg {
                 NodeMsg::Estimate { sql, reply } => {
+                    if let Some(m) = &self.metrics {
+                        m.estimates_served.incr();
+                    }
                     let exec_ms = self.estimate_ms(&sql).unwrap_or(f64::INFINITY);
                     std::thread::sleep(self.link_latency + self.reply_jitter());
                     // A dropped reply is simply never sent; the client's
@@ -387,6 +437,16 @@ impl NodeWorker {
                         Some(q) => q.on_request(class),
                         None => true,
                     };
+                    if let Some(m) = &self.metrics {
+                        if offered {
+                            m.offers_made.incr();
+                        } else {
+                            m.offers_rejected.incr();
+                            if let Some(c) = m.rejected_by_class.get(class.index()) {
+                                c.incr();
+                            }
+                        }
+                    }
                     let completion_ms = if offered {
                         self.backlog_ms + self.estimate_ms(&sql).unwrap_or(f64::INFINITY)
                     } else {
@@ -409,6 +469,9 @@ impl NodeWorker {
                     }
                     let est = self.estimate_ms(&sql).unwrap_or(0.0);
                     self.backlog_ms += est;
+                    if let Some(m) = &self.metrics {
+                        m.backlog_ms.set(self.backlog_ms);
+                    }
                     let started = Instant::now();
                     let outcome = self.db.query(&sql);
                     let raw_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -420,6 +483,14 @@ impl NodeWorker {
                     }
                     let exec_ms = started.elapsed().as_secs_f64() * 1e3;
                     self.backlog_ms = (self.backlog_ms - est).max(0.0);
+                    if let Some(m) = &self.metrics {
+                        m.backlog_ms.set(self.backlog_ms);
+                        m.exec_ms.observe(exec_ms);
+                        m.queries_executed.incr();
+                        if outcome.is_err() {
+                            m.queries_failed.incr();
+                        }
+                    }
                     if let Ok(ex) = self.db.explain(&sql) {
                         // Record the *unscaled-by-slowdown* time? No: the
                         // estimator predicts this node's wall time, so it
@@ -453,7 +524,15 @@ impl NodeWorker {
                         }
                     }
                 }
-                NodeMsg::PeriodTick => self.restart_period(),
+                NodeMsg::PeriodTick => {
+                    if let Some(m) = &self.metrics {
+                        m.periods.incr();
+                        m.period_ms
+                            .observe(self.last_tick.elapsed().as_secs_f64() * 1e3);
+                    }
+                    self.last_tick = Instant::now();
+                    self.restart_period();
+                }
                 NodeMsg::DumpPrices { reply } => {
                     let prices = self
                         .qant

@@ -274,12 +274,17 @@ enum SessionEnd {
 /// Binds `listen`, announces the bound address on stdout, spawns the node
 /// worker, and serves driver connections until a `Shutdown` frame.
 ///
+/// With `metrics_addr` set, a second listener serves `GET /metrics`
+/// (Prometheus text format) from this node's registry, announced as a
+/// `qad metrics <addr>` stdout line after the listening announcement.
+///
 /// # Errors
 /// Socket-level failures (bind/accept) as readable text. Per-session
 /// failures are not fatal — the server returns to accepting.
 pub fn serve(
     node: usize,
     listen: &str,
+    metrics_addr: Option<&str>,
     fed: &FedConfig,
     telemetry: Telemetry,
 ) -> Result<(), String> {
@@ -308,9 +313,20 @@ pub fn serve(
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
     // The discovery contract: qa-ctl (and the loopback tests) parse this
-    // exact line to learn the ephemeral port.
+    // exact line to learn the ephemeral port. It must stay the *first*
+    // line — `read_announced_addr` reads exactly one.
     println!("qad listening {bound}");
     let _ = std::io::stdout().flush();
+
+    if let Some(addr) = metrics_addr {
+        let registry = telemetry
+            .registry()
+            .cloned()
+            .ok_or("--metrics-addr requires live telemetry (registry missing)")?;
+        let metrics_bound = crate::metrics_http::serve_metrics(addr, registry)?;
+        println!("qad metrics {metrics_bound}");
+        let _ = std::io::stdout().flush();
+    }
 
     let conn_cfg = ConnConfig {
         epoch,
@@ -319,7 +335,9 @@ pub fn serve(
     loop {
         let (stream, _) = listener.accept().map_err(|e| format!("accept: {e}"))?;
         let session = match Connection::accept(stream, node as u32, &conn_cfg, &telemetry) {
-            Ok((conn, rx)) => serve_session(Arc::new(conn), rx, &handle.sender),
+            Ok((conn, rx)) => {
+                serve_session(Arc::new(conn), rx, &handle.sender, node as u32, &telemetry)
+            }
             // A failed handshake (wrong version, port scanner, truncated
             // hello) poisons only that socket.
             Err(_) => SessionEnd::PeerGone,
@@ -341,6 +359,8 @@ fn serve_session(
     conn: Arc<Connection>,
     rx: std::sync::mpsc::Receiver<WireMsg>,
     mailbox: &std::sync::mpsc::Sender<NodeMsg>,
+    node: u32,
+    telemetry: &Telemetry,
 ) -> SessionEnd {
     /// Forwards one typed reply back over the connection when (if) it
     /// arrives; a dropped reply sender just ends the thread silently.
@@ -422,6 +442,16 @@ fn serve_session(
                     prices: r.prices,
                 });
             }
+            WireMsg::StatsRequest { token } => {
+                // Answered inline from the registry, *not* via the node
+                // mailbox: a stats scrape must stay responsive even when
+                // the single-worker node is saturated by a long query.
+                let json = telemetry
+                    .registry()
+                    .map(|r| r.snapshot().dump())
+                    .unwrap_or_else(|| "{}".to_string());
+                let _ = conn.send(WireMsg::StatsReply { token, node, json });
+            }
             WireMsg::PeriodTick => {
                 let sent = mailbox.send(NodeMsg::PeriodTick);
                 if sent.is_err() {
@@ -440,12 +470,14 @@ fn serve_session(
 
 /// Entry point for the `qad` binary. Returns the process exit code.
 ///
-/// Usage: `qad --listen ADDR --node-id N --config FILE [--trace FILE]`
+/// Usage: `qad --listen ADDR --node-id N --config FILE [--trace FILE]
+/// [--metrics-addr ADDR]`
 pub fn qad_main(args: &[String]) -> i32 {
     let mut listen = None;
     let mut node_id = None;
     let mut config = None;
     let mut trace = None;
+    let mut metrics_addr = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take = |name: &str| {
@@ -462,8 +494,12 @@ pub fn qad_main(args: &[String]) -> i32 {
             }),
             "--config" => take("--config").map(|v| config = Some(v)),
             "--trace" => take("--trace").map(|v| trace = Some(v)),
+            "--metrics-addr" => take("--metrics-addr").map(|v| metrics_addr = Some(v)),
             "--help" | "-h" => {
-                println!("usage: qad --listen ADDR --node-id N --config FILE [--trace FILE]");
+                println!(
+                    "usage: qad --listen ADDR --node-id N --config FILE \
+                     [--trace FILE] [--metrics-addr ADDR]"
+                );
                 return 0;
             }
             other => Err(format!("unknown argument {other:?}")),
@@ -484,8 +520,10 @@ pub fn qad_main(args: &[String]) -> i32 {
             return 2;
         }
     };
+    // Metrics are always live (the stats scrape and `--metrics-addr`
+    // both read the registry); only the *event stream* is opt-in.
     let telemetry = match &trace {
-        None => Telemetry::disabled(),
+        None => Telemetry::metrics_only(),
         Some(path) => match Telemetry::to_file(path) {
             Ok(t) => t,
             Err(e) => {
@@ -494,7 +532,7 @@ pub fn qad_main(args: &[String]) -> i32 {
             }
         },
     };
-    match serve(node, &listen, &fed, telemetry) {
+    match serve(node, &listen, metrics_addr.as_deref(), &fed, telemetry) {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("qad: {e}");

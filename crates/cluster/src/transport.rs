@@ -217,12 +217,22 @@ impl Transport for ChannelTransport {
 // TCP
 // ---------------------------------------------------------------------------
 
+/// One node's metrics-registry snapshot, scraped over the wire.
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    /// The responding fleet node.
+    pub node: usize,
+    /// Its `MetricsRegistry::snapshot()` as compact JSON.
+    pub json: String,
+}
+
 /// A reply sender parked under its request token.
 enum Pending {
     Estimate(Sender<EstimateReply>),
     Offer(Sender<OfferReply>),
     Exec(Sender<ExecReply>),
     Prices(Sender<PricesReply>),
+    Stats(Sender<NodeStats>),
 }
 
 /// Shared between a peer's handle and its dispatcher thread.
@@ -322,6 +332,18 @@ impl TcpTransport {
         })?;
         conn.send(msg)
             .map_err(|e| ClusterError::net(phase, node, peer.state.addr.clone(), e))
+    }
+
+    /// Requests one node's metrics-registry snapshot (the fleet stats
+    /// scrape). Answered by the `qad` session loop directly — never the
+    /// node worker — so a saturated market still reports its stats.
+    ///
+    /// # Errors
+    /// [`ClusterError`] when the send itself fails (peer dead).
+    pub fn request_stats(&self, node: usize, reply: Sender<NodeStats>) -> Result<(), ClusterError> {
+        self.request("stats", node, Pending::Stats(reply), |token| {
+            WireMsg::StatsRequest { token }
+        })
     }
 
     /// Registers the reply slot under a fresh token, then sends. On a
@@ -468,7 +490,8 @@ fn dispatch_replies(state: Arc<PeerState>, rx: Receiver<WireMsg>) {
             WireMsg::EstimateReply { token, .. }
             | WireMsg::OfferReply { token, .. }
             | WireMsg::ExecReply { token, .. }
-            | WireMsg::Prices { token, .. } => *token,
+            | WireMsg::Prices { token, .. }
+            | WireMsg::StatsReply { token, .. } => *token,
             // Anything else is not a reply; a well-behaved qad never
             // sends these to a driver.
             _ => continue,
@@ -519,6 +542,12 @@ fn dispatch_replies(state: Arc<PeerState>, rx: Receiver<WireMsg>) {
                 let _ = tx.send(PricesReply {
                     node: node as usize,
                     prices,
+                });
+            }
+            (Some((Pending::Stats(tx), _)), WireMsg::StatsReply { node, json, .. }) => {
+                let _ = tx.send(NodeStats {
+                    node: node as usize,
+                    json,
                 });
             }
             _ => {}

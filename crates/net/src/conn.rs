@@ -18,10 +18,17 @@
 //! Liveness transitions emit `peer_connected` / `handshake_completed` /
 //! `peer_died`; undecodable frames emit `frame_dropped` before the
 //! (unrecoverable — TCP has no resync point) teardown.
+//!
+//! When the telemetry handle carries a metrics registry, every
+//! connection also feeds the process-wide `net.*` transport counters
+//! (frames/bytes in and out, dropped frames, dial retries, heartbeats
+//! sent, heartbeat misses) — the transport family of the fleet stats
+//! scrape. Counter handles are resolved once at handshake/dial time, so
+//! the steady-state cost is one atomic add per frame.
 
-use crate::frame::{recv_msg, send_msg, MAX_FRAME, PROTOCOL_VERSION};
+use crate::frame::{read_frame, recv_msg, send_msg, write_frame, MAX_FRAME, PROTOCOL_VERSION};
 use crate::wire::{NetError, WireMsg};
-use qa_simnet::telemetry::{Telemetry, TelemetryEvent};
+use qa_simnet::telemetry::{Counter, Telemetry, TelemetryEvent};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -74,6 +81,34 @@ impl Default for ConnConfig {
     }
 }
 
+/// Process-wide `net.*` transport counters, resolved from the telemetry
+/// registry once per connection. `None` when telemetry is disabled — the
+/// hot paths then pay a single branch, exactly like `Telemetry::emit`.
+struct NetCounters {
+    frames_sent: Counter,
+    frames_received: Counter,
+    frames_dropped: Counter,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+    heartbeats_sent: Counter,
+    heartbeat_misses: Counter,
+}
+
+impl NetCounters {
+    fn resolve(telemetry: &Telemetry) -> Option<NetCounters> {
+        let reg = telemetry.registry()?;
+        Some(NetCounters {
+            frames_sent: reg.counter("net.frames_sent"),
+            frames_received: reg.counter("net.frames_received"),
+            frames_dropped: reg.counter("net.frames_dropped"),
+            bytes_sent: reg.counter("net.bytes_sent"),
+            bytes_received: reg.counter("net.bytes_received"),
+            heartbeats_sent: reg.counter("net.heartbeats_sent"),
+            heartbeat_misses: reg.counter("net.heartbeat_misses"),
+        })
+    }
+}
+
 /// State shared between the connection handle and its IO threads.
 struct ConnState {
     alive: AtomicBool,
@@ -88,6 +123,7 @@ struct ConnState {
     peer_node: u32,
     peer_addr: SocketAddr,
     idle_timeout: Duration,
+    counters: Option<NetCounters>,
 }
 
 impl ConnState {
@@ -177,6 +213,9 @@ impl Connection {
         for attempt in 0..attempts {
             if attempt > 0 {
                 let delay = backoff(cfg.backoff_base, attempt - 1);
+                if let Some(reg) = telemetry.registry() {
+                    reg.counter("net.dial_retries").incr();
+                }
                 if telemetry.is_enabled() {
                     telemetry.set_now_us(cfg.epoch.elapsed().as_micros() as u64);
                 }
@@ -388,6 +427,7 @@ fn handshake(
         peer_node,
         peer_addr,
         idle_timeout: cfg.idle_timeout,
+        counters: NetCounters::resolve(telemetry),
     });
     state.emit(|| TelemetryEvent::PeerConnected {
         node: peer_node,
@@ -446,15 +486,24 @@ fn reader_loop(
     max_frame: u32,
 ) {
     loop {
-        match recv_msg(&mut stream, max_frame) {
-            Ok(WireMsg::Ping { nonce }) => {
+        // Read the raw frame first so byte/frame counters see the wire
+        // size; decode is a separate step (its errors count as drops).
+        let decoded = read_frame(&mut stream, max_frame).map(|payload| {
+            if let Some(c) = &state.counters {
+                c.frames_received.incr();
+                c.bytes_received.add(payload.len() as u64 + 4);
+            }
+            WireMsg::decode(&payload).map_err(NetError::Codec)
+        });
+        match decoded {
+            Ok(Ok(WireMsg::Ping { nonce })) => {
                 state.touch();
                 if out_tx.send(WireMsg::Pong { nonce }).is_err() {
                     break;
                 }
             }
-            Ok(WireMsg::Pong { .. }) => state.touch(),
-            Ok(msg) => {
+            Ok(Ok(WireMsg::Pong { .. })) => state.touch(),
+            Ok(Ok(msg)) => {
                 state.touch();
                 if in_tx.send(msg).is_err() {
                     // Consumer hung up; nothing left to read for.
@@ -466,16 +515,19 @@ fn reader_loop(
                 state.mark_dead("peer closed connection");
                 break;
             }
-            Err(NetError::Codec(e)) => {
+            Ok(Err(NetError::Codec(e))) | Err(NetError::Codec(e)) => {
                 // A desynced TCP stream has no resync point: record the
                 // bad frame, then the connection is unrecoverable.
+                if let Some(c) = &state.counters {
+                    c.frames_dropped.incr();
+                }
                 let node = state.peer_node;
                 let context = e.to_string();
                 state.emit(|| TelemetryEvent::FrameDropped { node, context });
                 state.mark_dead(&format!("codec desync: {e}"));
                 break;
             }
-            Err(e) => {
+            Ok(Err(e)) | Err(e) => {
                 state.mark_dead(&e.to_string());
                 break;
             }
@@ -491,10 +543,21 @@ fn writer_loop(
     heartbeat: Duration,
 ) {
     let mut nonce = 0u64;
+    // Encode-then-write (instead of `send_msg`) so the counters see the
+    // framed wire size.
+    let put = |mut stream: &mut dyn Write, msg: &WireMsg| -> Result<(), NetError> {
+        let payload = msg.encode();
+        write_frame(&mut stream, &payload)?;
+        if let Some(c) = &state.counters {
+            c.frames_sent.incr();
+            c.bytes_sent.add(payload.len() as u64 + 4);
+        }
+        Ok(())
+    };
     loop {
         match out_rx.recv_timeout(heartbeat) {
             Ok(msg) => {
-                if let Err(e) = send_msg(&mut stream, &msg) {
+                if let Err(e) = put(&mut stream, &msg) {
                     state.mark_dead(&e.to_string());
                     break;
                 }
@@ -504,11 +567,17 @@ fn writer_loop(
                     break;
                 }
                 if state.idle_exceeded() {
+                    if let Some(c) = &state.counters {
+                        c.heartbeat_misses.incr();
+                    }
                     state.mark_dead("heartbeat timeout");
                     break;
                 }
                 nonce += 1;
-                if let Err(e) = send_msg(&mut stream, &WireMsg::Ping { nonce }) {
+                if let Some(c) = &state.counters {
+                    c.heartbeats_sent.incr();
+                }
+                if let Err(e) = put(&mut stream, &WireMsg::Ping { nonce }) {
                     state.mark_dead(&e.to_string());
                     break;
                 }
@@ -714,6 +783,82 @@ mod tests {
             client.send(WireMsg::PeriodTick).is_err(),
             "sends must fail once dead"
         );
+        drop(client);
+        zombie.join().unwrap();
+    }
+
+    #[test]
+    fn transport_counters_feed_the_registry() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let (server_tel, _buf) = Telemetry::buffered();
+        let server = {
+            let tel = server_tel.clone();
+            std::thread::spawn(move || {
+                let (stream, _) = listener.accept().expect("accept");
+                Connection::accept(stream, 5, &fast_cfg(), &tel).expect("handshake")
+            })
+        };
+        let client_tel = Telemetry::metrics_only();
+        let (client, client_rx) =
+            Connection::dial(&addr, CLIENT_NODE, 5, &fast_cfg(), &client_tel).unwrap();
+        let (server_conn, server_rx) = server.join().unwrap();
+
+        client.send(WireMsg::StatsRequest { token: 1 }).unwrap();
+        let got = server_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, WireMsg::StatsRequest { token: 1 });
+        server_conn
+            .send(WireMsg::StatsReply {
+                token: 1,
+                node: 5,
+                json: "{}".into(),
+            })
+            .unwrap();
+        client_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        let creg = client_tel.registry().unwrap();
+        assert!(creg.counter("net.frames_sent").get() >= 1);
+        assert!(creg.counter("net.frames_received").get() >= 1);
+        // Framed wire size: payload + 4-byte length prefix per frame.
+        assert!(creg.counter("net.bytes_sent").get() >= 13);
+        assert!(creg.counter("net.bytes_received").get() >= 13);
+        let sreg = server_tel.registry().unwrap();
+        assert!(sreg.counter("net.frames_received").get() >= 1);
+        assert!(sreg.counter("net.frames_sent").get() >= 1);
+        client.close();
+        server_conn.close();
+    }
+
+    #[test]
+    fn dial_retries_and_heartbeat_misses_are_counted() {
+        // Nothing listens: every attempt fails, two retries are counted.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let tel = Telemetry::metrics_only();
+        assert!(Connection::dial(&addr, CLIENT_NODE, 9, &fast_cfg(), &tel).is_err());
+        let reg = tel.registry().unwrap();
+        assert_eq!(reg.counter("net.dial_retries").get(), 2);
+
+        // A zombie peer that never pongs: the idle deadline fires and the
+        // miss is counted, along with the heartbeats we sent chasing it.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let zombie = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            recv_msg(&mut stream, MAX_FRAME).unwrap();
+            send_msg(&mut stream, &WireMsg::HelloAck { node: 9 }).unwrap();
+            std::thread::sleep(Duration::from_secs(2));
+            drop(stream);
+        });
+        let (client, _rx) = Connection::dial(&addr, CLIENT_NODE, 9, &fast_cfg(), &tel).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while client.is_alive() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(!client.is_alive());
+        assert_eq!(reg.counter("net.heartbeat_misses").get(), 1);
+        assert!(reg.counter("net.heartbeats_sent").get() >= 1);
         drop(client);
         zombie.join().unwrap();
     }

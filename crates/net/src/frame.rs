@@ -20,7 +20,8 @@ use std::io::{Read, Write};
 pub const MAGIC: [u8; 4] = *b"QANT";
 
 /// The protocol version this build speaks. Bump on any wire change.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// v2: added `StatsRequest`/`StatsReply` (fleet metrics scrape).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard cap on one frame's payload (1 MiB — generous for SQL text, tiny
 /// against a hostile length prefix).

@@ -260,6 +260,26 @@ pub enum WireMsg {
         /// Private per-class prices.
         prices: Vec<f64>,
     },
+    /// Ask the node for a snapshot of its metrics registry (counters,
+    /// gauges, Welford summaries, log-bucket histograms). The fleet
+    /// scrape (`qa-ctl stats`) fans this to every node and merges the
+    /// replies.
+    StatsRequest {
+        /// Reply-correlation token.
+        token: u64,
+    },
+    /// Reply to [`WireMsg::StatsRequest`].
+    StatsReply {
+        /// The request's token.
+        token: u64,
+        /// The responding node.
+        node: u32,
+        /// The registry snapshot as compact JSON
+        /// (`MetricsRegistry::snapshot().dump()`): self-describing,
+        /// forward-compatible as metric families come and go, and
+        /// directly mergeable via `MetricsRegistry::merge_snapshot`.
+        json: String,
+    },
     /// Shut the node down.
     Shutdown,
 }
@@ -281,6 +301,8 @@ const TAG_EXEC_REPLY: u8 = 0x15;
 const TAG_PERIOD_TICK: u8 = 0x20;
 const TAG_DUMP_PRICES: u8 = 0x21;
 const TAG_PRICES: u8 = 0x22;
+const TAG_STATS_REQUEST: u8 = 0x23;
+const TAG_STATS_REPLY: u8 = 0x24;
 const TAG_SHUTDOWN: u8 = 0x2f;
 
 // -- encode helpers ---------------------------------------------------------
@@ -511,6 +533,16 @@ impl WireMsg {
                 put_u32(&mut out, *node);
                 put_f64s(&mut out, prices);
             }
+            WireMsg::StatsRequest { token } => {
+                out.push(TAG_STATS_REQUEST);
+                put_u64(&mut out, *token);
+            }
+            WireMsg::StatsReply { token, node, json } => {
+                out.push(TAG_STATS_REPLY);
+                put_u64(&mut out, *token);
+                put_u32(&mut out, *node);
+                put_str(&mut out, json);
+            }
             WireMsg::Shutdown => out.push(TAG_SHUTDOWN),
         }
         out
@@ -586,6 +618,14 @@ impl WireMsg {
                 node: c.u32("node")?,
                 prices: c.f64s("prices")?,
             },
+            TAG_STATS_REQUEST => WireMsg::StatsRequest {
+                token: c.u64("token")?,
+            },
+            TAG_STATS_REPLY => WireMsg::StatsReply {
+                token: c.u64("token")?,
+                node: c.u32("node")?,
+                json: c.str("json")?,
+            },
             TAG_SHUTDOWN => WireMsg::Shutdown,
             other => return Err(CodecError::UnknownTag(other)),
         };
@@ -609,6 +649,8 @@ impl WireMsg {
             WireMsg::PeriodTick => "period_tick",
             WireMsg::DumpPrices { .. } => "dump_prices",
             WireMsg::Prices { .. } => "prices",
+            WireMsg::StatsRequest { .. } => "stats_request",
+            WireMsg::StatsReply { .. } => "stats_reply",
             WireMsg::Shutdown => "shutdown",
         }
     }
@@ -685,6 +727,29 @@ mod tests {
         assert_eq!(
             WireMsg::decode(&bytes),
             Err(CodecError::BadValue { field: "offered" })
+        );
+    }
+
+    #[test]
+    fn stats_messages_round_trip() {
+        let req = WireMsg::StatsRequest { token: 42 };
+        assert_eq!(WireMsg::decode(&req.encode()), Ok(req.clone()));
+        assert_eq!(req.kind(), "stats_request");
+        let reply = WireMsg::StatsReply {
+            token: 42,
+            node: 3,
+            json:
+                r#"{"counters":{"qad.queries_executed":7},"gauges":{},"stats":{},"histograms":{}}"#
+                    .into(),
+        };
+        assert_eq!(WireMsg::decode(&reply.encode()), Ok(reply.clone()));
+        assert_eq!(reply.kind(), "stats_reply");
+        // Truncating the JSON length field is a typed error, not a panic.
+        let mut bytes = reply.encode();
+        bytes.truncate(14);
+        assert_eq!(
+            WireMsg::decode(&bytes),
+            Err(CodecError::Truncated { field: "json" })
         );
     }
 

@@ -5,7 +5,7 @@
 //! the algorithms. The latter was normalized by dividing it with the
 //! respective response time of QA-NT."
 
-use qa_simnet::stats::{TimeSeries, Welford};
+use qa_simnet::stats::{LogHistogram, TimeSeries, Welford};
 use qa_simnet::telemetry::MetricsRegistry;
 use qa_simnet::{SimDuration, SimTime};
 use qa_workload::{ClassId, NodeId};
@@ -16,6 +16,8 @@ pub struct RunMetrics {
     period: SimDuration,
     /// Response times (ms) of completed queries.
     pub response: Welford,
+    /// Response-time distribution (log-bucket, mergeable across runs).
+    pub response_hist: LogHistogram,
     /// Response-time series binned by period.
     pub response_series: TimeSeries,
     /// Executed-count series binned by the period of *completion*.
@@ -55,6 +57,7 @@ impl RunMetrics {
         RunMetrics {
             period,
             response: Welford::new(),
+            response_hist: LogHistogram::new(),
             response_series: TimeSeries::new(period),
             executed_per_period: Vec::new(),
             executed_per_period_class: vec![Vec::new(); num_classes],
@@ -87,6 +90,7 @@ impl RunMetrics {
     ) {
         let resp_ms = finished.saturating_since(arrived).as_millis_f64();
         self.response.add(resp_ms);
+        self.response_hist.record(resp_ms);
         if class.index() < self.num_classes {
             self.response_per_class[class.index()].add(resp_ms);
         }
@@ -174,6 +178,9 @@ impl RunMetrics {
             .counter("sim.lost_messages")
             .add(self.lost_messages);
         registry.welford("sim.response_ms").merge(&self.response);
+        registry
+            .histogram("sim.response_ms.hist")
+            .merge(&self.response_hist);
         registry
             .welford("sim.assign_latency_ms")
             .merge(&self.assign_latency);

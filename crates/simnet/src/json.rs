@@ -81,6 +81,23 @@ impl Json {
         }
     }
 
+    /// The value as `f64` (accepts both `Int` and `Float`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` (`None` for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// The keys of an object, in order (`None` for non-objects).
     pub fn keys(&self) -> Option<Vec<&str>> {
         match self {

@@ -38,6 +38,7 @@
 
 pub mod dist;
 pub mod event;
+pub mod exposition;
 pub mod fault;
 pub mod json;
 pub mod link;
@@ -51,6 +52,7 @@ pub mod watchdog;
 
 pub use dist::{Exponential, Uniform, Zipf};
 pub use event::{EventQueue, ScheduledEvent};
+pub use exposition::prometheus_text;
 pub use fault::{FaultPlan, LinkFaults, OutageWindow};
 pub use json::{Json, ToJson};
 pub use link::LinkSpec;

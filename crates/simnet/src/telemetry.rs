@@ -17,8 +17,10 @@
 //!   [`CountingSink`] — pluggable destinations (in-memory for tests and
 //!   `trace_dump`, JSONL writers for files/stderr, a counter for
 //!   overhead benches),
-//! * [`MetricsRegistry`] — named counters, gauges and [`Welford`]
-//!   handles with a deterministic JSON snapshot,
+//! * [`MetricsRegistry`] — named counters, gauges, [`Welford`] handles
+//!   and log-bucket [`HistogramHandle`]s with a deterministic JSON
+//!   snapshot; snapshots from different processes merge exactly, which
+//!   is what the fleet stats scrape (`qa-ctl stats`) builds on,
 //! * [`Span`] — wall-clock timing guards around hot paths (supply
 //!   solve, assignment round, price update) that record into the
 //!   registry, *not* the event stream, so traces stay byte-deterministic,
@@ -40,7 +42,7 @@
 //! for strict round-trip validation (`scripts/check_trace.sh`).
 
 use crate::json::{Json, ToJson};
-use crate::stats::Welford;
+use crate::stats::{LogHistogram, Welford};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -746,11 +748,37 @@ impl WelfordHandle {
     }
 }
 
+/// A named log-bucket distribution ([`LogHistogram`]). The fixed bucket
+/// layout makes any two handles — including one rebuilt from a scraped
+/// snapshot — exactly mergeable.
+#[derive(Clone, Default, Debug)]
+pub struct HistogramHandle {
+    inner: Arc<Mutex<LogHistogram>>,
+}
+
+impl HistogramHandle {
+    /// Records one observation.
+    pub fn observe(&self, x: f64) {
+        self.inner.lock().unwrap().record(x);
+    }
+
+    /// Merges a whole histogram in.
+    pub fn merge(&self, other: &LogHistogram) {
+        self.inner.lock().unwrap().merge(other);
+    }
+
+    /// Snapshot of the histogram.
+    pub fn snapshot(&self) -> LogHistogram {
+        self.inner.lock().unwrap().clone()
+    }
+}
+
 #[derive(Default)]
 struct RegistryInner {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     stats: BTreeMap<String, WelfordHandle>,
+    histograms: BTreeMap<String, HistogramHandle>,
 }
 
 /// Registry of named metrics. Cloning shares the underlying store;
@@ -784,9 +812,22 @@ impl MetricsRegistry {
         inner.stats.entry(name.to_string()).or_default().clone()
     }
 
-    /// JSON snapshot: `{"counters":{…},"gauges":{…},"stats":{…}}`, keys
-    /// sorted, empty sections omitted from their maps but the three keys
-    /// always present.
+    /// Gets or creates the log-bucket histogram named `name`.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// JSON snapshot:
+    /// `{"counters":{…},"gauges":{…},"stats":{…},"histograms":{…}}`, keys
+    /// sorted, empty sections omitted from their maps but the four keys
+    /// always present. Histogram entries include `p50`/`p90`/`p99`
+    /// quantiles plus the sparse bucket counts that
+    /// [`MetricsRegistry::merge_snapshot`] rebuilds from.
     pub fn snapshot(&self) -> Json {
         let inner = self.inner.lock().unwrap();
         let counters = Json::object(
@@ -807,7 +848,80 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, w)| (k.clone(), w.snapshot().to_json())),
         );
-        Json::object([("counters", counters), ("gauges", gauges), ("stats", stats)])
+        let histograms = Json::object(
+            inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot().to_json())),
+        );
+        Json::object([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("stats", stats),
+            ("histograms", histograms),
+        ])
+    }
+
+    /// Merges another registry's [`snapshot`](Self::snapshot) into this
+    /// one: counters add, gauges take the incoming value (last write
+    /// wins), Welford summaries reconstruct-and-merge, histograms merge
+    /// by bucket. This is the fleet-aggregation primitive behind
+    /// `qa-ctl stats`: scrape each node's snapshot off the wire, merge
+    /// them all into a fresh registry, snapshot that. Unparseable
+    /// entries are skipped (a malformed node must not poison the fleet
+    /// view); returns the number of entries merged.
+    pub fn merge_snapshot(&self, snap: &Json) -> usize {
+        let mut merged = 0;
+        if let Some(Json::Obj(pairs)) = snap.get("counters") {
+            for (name, v) in pairs {
+                if let Some(n) = v.as_u64() {
+                    self.counter(name).add(n);
+                    merged += 1;
+                }
+            }
+        }
+        if let Some(Json::Obj(pairs)) = snap.get("gauges") {
+            for (name, v) in pairs {
+                if let Some(x) = v.as_f64() {
+                    self.gauge(name).set(x);
+                    merged += 1;
+                }
+            }
+        }
+        if let Some(Json::Obj(pairs)) = snap.get("stats") {
+            for (name, v) in pairs {
+                let Some(n) = v.get("count").and_then(Json::as_u64) else {
+                    continue;
+                };
+                if n == 0 {
+                    // An empty accumulator serializes its optionals as
+                    // null; merging it is a no-op, but still register the
+                    // name so the merged snapshot lists every family.
+                    self.welford(name);
+                    merged += 1;
+                    continue;
+                }
+                let field = |k: &str| v.get(k).and_then(Json::as_f64);
+                let (Some(mean), Some(min), Some(max)) =
+                    (field("mean"), field("min"), field("max"))
+                else {
+                    continue;
+                };
+                let std_dev = field("std_dev").unwrap_or(0.0);
+                self.welford(name)
+                    .merge(&Welford::from_summary(n, mean, std_dev, min, max));
+                merged += 1;
+            }
+        }
+        if let Some(Json::Obj(pairs)) = snap.get("histograms") {
+            for (name, v) in pairs {
+                if let Some(h) = LogHistogram::from_json(v) {
+                    self.histogram(name).merge(&h);
+                    merged += 1;
+                }
+            }
+        }
+        merged
     }
 }
 
@@ -844,6 +958,19 @@ impl Telemetry {
     /// A handle that drops everything (the zero-cost default).
     pub fn disabled() -> Telemetry {
         Telemetry::default()
+    }
+
+    /// A handle with a live [`MetricsRegistry`] but no event stream:
+    /// every emitted record is discarded at the sink. This is what `qad`
+    /// runs by default — the stats scrape and `/metrics` endpoint always
+    /// have a registry to answer from, without paying for (or leaking)
+    /// JSONL traces nobody asked for.
+    pub fn metrics_only() -> Telemetry {
+        struct NullSink;
+        impl EventSink for NullSink {
+            fn record(&mut self, _record: &TraceRecord) {}
+        }
+        Telemetry::with_sink(Box::new(NullSink))
     }
 
     /// A handle writing into an in-memory buffer; returns the buffer too.
@@ -1090,11 +1217,17 @@ impl ToJson for ConvergenceReport {
     }
 }
 
-/// Population variance of `ln(x)` over the values.
+/// Population variance of `ln(x)` over the *positive* values.
+/// Non-positive prices have no logarithm — a node that zeroes a price
+/// (e.g. while crashed) would otherwise inject `−∞`/NaN into the series
+/// and, through it, `null`-holes into the report JSON.
 fn log_variance(values: impl Iterator<Item = f64> + Clone) -> f64 {
     let mut n = 0u64;
     let mut sum = 0.0;
     for v in values.clone() {
+        if v <= 0.0 {
+            continue;
+        }
         n += 1;
         sum += v.ln();
     }
@@ -1104,6 +1237,9 @@ fn log_variance(values: impl Iterator<Item = f64> + Clone) -> f64 {
     let mean = sum / n as f64;
     let mut ss = 0.0;
     for v in values {
+        if v <= 0.0 {
+            continue;
+        }
         let d = v.ln() - mean;
         ss += d * d;
     }
@@ -1423,6 +1559,83 @@ mod tests {
             &Json::Int(2)
         );
         assert_eq!(reg.welford("latency_us").snapshot().count(), 2);
+        // All four sections are present even when empty.
+        assert_eq!(
+            snap.keys().unwrap(),
+            vec!["counters", "gauges", "stats", "histograms"]
+        );
+        assert_eq!(snap.get("histograms").unwrap().keys().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn registry_histograms_snapshot_with_quantiles() {
+        let reg = MetricsRegistry::new();
+        for i in 0..100 {
+            reg.histogram("alloc_ms").observe(i as f64);
+        }
+        let snap = reg.snapshot();
+        let h = snap.get("histograms").unwrap().get("alloc_ms").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(100));
+        assert!(h.get("p50").unwrap().as_f64().unwrap() >= 49.0);
+        assert!(h.get("p99").unwrap().as_f64().unwrap() >= 99.0);
+        assert_eq!(reg.histogram("alloc_ms").snapshot().count(), 100);
+    }
+
+    #[test]
+    fn registry_merge_snapshot_aggregates_across_processes() {
+        // Two "remote" registries, scraped as JSON, merged into a fresh one.
+        let (a, b, fleet) = (
+            MetricsRegistry::new(),
+            MetricsRegistry::new(),
+            MetricsRegistry::new(),
+        );
+        a.counter("qad.queries").add(3);
+        b.counter("qad.queries").add(4);
+        a.gauge("qad.backlog_ms").set(10.0);
+        b.gauge("qad.backlog_ms").set(20.0);
+        for x in [1.0, 2.0, 3.0] {
+            a.welford("lat").observe(x);
+            a.histogram("lat_h").observe(x);
+        }
+        for x in [4.0, 5.0] {
+            b.welford("lat").observe(x);
+            b.histogram("lat_h").observe(x);
+        }
+        b.welford("empty_family").snapshot(); // registered, never observed
+        for snap in [a.snapshot(), b.snapshot()] {
+            // Round-trip through the dump, as the wire does.
+            let parsed = Json::parse(&snap.dump()).unwrap();
+            assert!(fleet.merge_snapshot(&parsed) > 0);
+        }
+        assert_eq!(fleet.counter("qad.queries").get(), 7);
+        assert_eq!(fleet.gauge("qad.backlog_ms").get(), 20.0);
+        let lat = fleet.welford("lat").snapshot();
+        assert_eq!(lat.count(), 5);
+        assert!((lat.mean().unwrap() - 3.0).abs() < 1e-9);
+        assert_eq!(lat.min(), Some(1.0));
+        assert_eq!(lat.max(), Some(5.0));
+        let lat_h = fleet.histogram("lat_h").snapshot();
+        assert_eq!(lat_h.count(), 5);
+        assert!((lat_h.sum() - 15.0).abs() < 1e-9);
+        // Empty families still appear in the merged snapshot.
+        assert!(fleet
+            .snapshot()
+            .get("stats")
+            .unwrap()
+            .get("empty_family")
+            .is_some());
+        // Garbage input merges nothing and does not panic.
+        assert_eq!(fleet.merge_snapshot(&Json::Null), 0);
+    }
+
+    #[test]
+    fn metrics_only_has_registry_but_silent_event_stream() {
+        let tel = Telemetry::metrics_only();
+        assert!(tel.is_enabled());
+        tel.emit(|| TelemetryEvent::PeriodStarted { index: 0 });
+        let reg = tel.registry().expect("metrics-only handle has a registry");
+        reg.counter("x").incr();
+        assert_eq!(reg.counter("x").get(), 1);
     }
 
     #[test]
@@ -1520,5 +1733,50 @@ mod tests {
         assert!(report.per_class.is_empty());
         // The report itself serializes.
         assert!(report.to_json().dump().contains("\"periods\":1"));
+    }
+
+    #[test]
+    fn convergence_report_single_period_trace() {
+        // Every record lands in period 0; nothing to pad, nothing NaN.
+        let records = vec![adj(0, 0, 7, 1.0, 2.0), adj(500, 1, 7, 1.0, 3.0)];
+        let report = ConvergenceReport::from_records(&records, 1_000, 1e-3);
+        assert_eq!(report.periods, 1);
+        assert_eq!(report.nodes, 2);
+        let c = &report.per_class[0];
+        assert_eq!(c.class, 7);
+        assert_eq!(c.log_price_variance.len(), 1);
+        assert_eq!(c.mean_abs_log_step.len(), 1);
+        assert!(c.log_price_variance[0].is_finite());
+        assert!(c.mean_abs_log_step[0].is_finite());
+        // A single still-moving period never counts as stabilized.
+        assert_eq!(c.stabilized_at_period, None);
+        report.to_json().dump();
+    }
+
+    #[test]
+    fn convergence_report_zero_price_class_has_no_nans() {
+        // A class whose every market node reports a non-positive price
+        // (e.g. zeroed while crashed): ln() is undefined there, but the
+        // report must stay finite — no NaN/±∞ leaking into JSON as
+        // spurious nulls.
+        let records = vec![
+            adj(0, 0, 3, 1.0, 0.0),
+            adj(10, 1, 3, 1.0, 0.0),
+            adj(2_500, 0, 3, 0.0, 0.0),
+        ];
+        let report = ConvergenceReport::from_records(&records, 1_000, 1e-3);
+        let c = &report.per_class[0];
+        assert_eq!(c.class, 3);
+        assert_eq!(c.final_mean_price, 0.0);
+        assert!(c.log_price_variance.iter().all(|v| v.is_finite()));
+        assert!(c.mean_abs_log_step.iter().all(|v| v.is_finite()));
+        // Mixed case: one live node (positive price), one zeroed — the
+        // variance is computed over the positive prices only.
+        let mixed = vec![adj(0, 0, 3, 1.0, 2.0), adj(10, 1, 3, 1.0, 0.0)];
+        let report = ConvergenceReport::from_records(&mixed, 1_000, 1e-3);
+        let c = &report.per_class[0];
+        assert!(c.log_price_variance.iter().all(|v| v.is_finite()));
+        let dump = report.to_json().dump();
+        assert!(!dump.contains("NaN") && !dump.contains("inf"));
     }
 }
