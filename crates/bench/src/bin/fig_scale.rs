@@ -1,0 +1,123 @@
+//! `fig_scale`: throughput scaling of the sharded federation engine.
+//!
+//! Sweeps the federation size (100 → 10 000 nodes at full scale) and runs
+//! the same trace through the engine flat (`S = 1`, byte-identical to the
+//! pre-sharding event loop) and sharded, reporting wall-clock throughput
+//! (periods/s, queries/s) and the market's convergence period.
+//!
+//! Two artifacts:
+//! * `bench_results/fig_scale.json` — the full points, timings included;
+//! * `bench_results/fig_scale_determinism.json` — the timing-free
+//!   projection, byte-identical at any `QA_THREADS` and machine speed
+//!   (the CI `scale-smoke` job diffs it across 1 vs 8 threads).
+//!
+//! `--quick` shrinks the sweep for CI (seconds, not minutes).
+
+use qa_bench::{fmt_ms, render_table, write_json, Scale};
+use qa_sim::experiments::{scale_point, scale_trace, scale_world, ScalePoint};
+use std::time::Instant;
+
+/// Cells as `(nodes, shards, horizon_secs)`. Each size runs flat (S = 1)
+/// and sharded on the identical trace so the speedup column is
+/// like-for-like.
+fn cells(quick: bool) -> Vec<(usize, usize, u64)> {
+    if quick {
+        vec![(60, 1, 10), (60, 4, 10), (200, 1, 10), (200, 8, 10)]
+    } else {
+        vec![
+            (100, 1, 60),
+            (100, 8, 60),
+            (300, 1, 60),
+            (300, 8, 60),
+            (1_000, 1, 120),
+            (1_000, 16, 120),
+            (3_000, 1, 60),
+            (3_000, 16, 60),
+            (10_000, 1, 20),
+            (10_000, 16, 20),
+        ]
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick") || qa_bench::scale() == Scale::Ci;
+    let seed = 2007;
+    let mut points: Vec<ScalePoint> = Vec::new();
+    for (nodes, shards, secs) in cells(quick) {
+        let scenario = scale_world(nodes, seed);
+        let trace = scale_trace(&scenario, secs);
+        let start = Instant::now();
+        let mut p = scale_point(&scenario, &trace, shards);
+        let elapsed = start.elapsed().as_secs_f64();
+        p.elapsed_s = elapsed;
+        p.periods_per_s = p.periods as f64 / elapsed.max(1e-9);
+        p.queries_per_s = p.queries as f64 / elapsed.max(1e-9);
+        eprintln!(
+            "  {} nodes x S={}: {} queries in {:.2}s",
+            nodes, shards, p.queries, elapsed
+        );
+        points.push(p);
+    }
+
+    println!("fig_scale — sharded engine throughput vs federation size\n");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            // Speedup vs the flat (S = 1) run of the same size, which by
+            // construction precedes the sharded run in `points`.
+            let flat = points
+                .iter()
+                .find(|q| q.nodes == p.nodes && q.shards == 1)
+                .expect("every size has a flat row");
+            vec![
+                p.nodes.to_string(),
+                p.shards.to_string(),
+                p.queries.to_string(),
+                format!("{:.2}", p.elapsed_s),
+                format!("{:.0}", p.queries_per_s),
+                format!("{:.0}", p.periods_per_s),
+                format!("{:.2}x", flat.elapsed_s / p.elapsed_s.max(1e-9)),
+                fmt_ms(p.mean_response_ms),
+                if p.convergence_period < 0 {
+                    "-".into()
+                } else {
+                    p.convergence_period.to_string()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "nodes",
+                "shards",
+                "queries",
+                "wall (s)",
+                "queries/s",
+                "periods/s",
+                "speedup",
+                "response",
+                "conv. period"
+            ],
+            &rows
+        )
+    );
+
+    let path = write_json("fig_scale", &points).expect("write result");
+    println!("wrote {}", path.display());
+
+    // Timing-free projection: what the CI byte-identity check compares
+    // across thread budgets and shard layouts.
+    let det: Vec<ScalePoint> = points
+        .iter()
+        .map(|p| ScalePoint {
+            elapsed_s: 0.0,
+            periods_per_s: 0.0,
+            queries_per_s: 0.0,
+            ..p.clone()
+        })
+        .collect();
+    let path = write_json("fig_scale_determinism", &det).expect("write determinism artifact");
+    println!("wrote {}", path.display());
+}

@@ -29,7 +29,9 @@ use qa_economics::{
 use qa_sim::config::SimConfig;
 use qa_sim::experiments::two_class_trace;
 use qa_sim::federation::Federation;
+use qa_sim::metrics::RunMetrics;
 use qa_sim::scenario::{Scenario, TwoClassParams};
+use qa_sim::sharded::ShardPlan;
 use qa_simnet::{EventQueue, SimTime};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -213,6 +215,53 @@ fn bench_federation_period(out: &mut Vec<MicroResult>) {
     });
 }
 
+fn bench_sharded(out: &mut Vec<MicroResult>) {
+    // The regression gate for the sharded engine: the same 1000-node
+    // world per period, flat (S = 1 event loop) vs sharded (8 shards,
+    // boundary-batched signals). The sharded figure must stay well under
+    // the flat one — shorter per-query capable sweeps are the point.
+    const PERIODS: f64 = 16.0;
+    let mut cfg = SimConfig::small_test(42);
+    cfg.num_nodes = 1_000;
+    let scenario = Scenario::two_class(cfg, TwoClassParams::default());
+    let trace = two_class_trace(&scenario, 0.05, 0.8, 8);
+    bench_scaled(out, "federation/single_period_1000_nodes", PERIODS, || {
+        Federation::new(black_box(&scenario), MechanismKind::QaNt, black_box(&trace)).run(&trace)
+    });
+    let plan = ShardPlan::build(&scenario, 8);
+    bench_scaled(
+        out,
+        "federation/single_period_1000_nodes_sharded",
+        PERIODS,
+        || plan.run(black_box(&trace)),
+    );
+    // The epilogue's shard-index-order metrics merge, isolated: 8 shards'
+    // worth of per-period series, per-class stats and origin Welfords
+    // folded into one.
+    let shard_metrics: Vec<RunMetrics> = (0..8)
+        .map(|s| {
+            let mut m = RunMetrics::new(qa_simnet::SimDuration::from_millis(500), 2);
+            for i in 0..500u64 {
+                m.record_completion_from(
+                    qa_workload::ClassId((i % 2) as u32),
+                    qa_workload::NodeId(((s * 37 + i as usize) % 125) as u32),
+                    SimTime::from_millis(i * 16),
+                    SimTime::from_millis(i * 16 + 900),
+                );
+            }
+            m.messages = 4_000 + s as u64;
+            m
+        })
+        .collect();
+    bench(out, "shard/cross_shard_merge", || {
+        let mut acc = shard_metrics[0].clone();
+        for m in &shard_metrics[1..] {
+            acc.merge_from(black_box(m));
+        }
+        acc
+    });
+}
+
 fn bench_allocation(out: &mut Vec<MicroResult>) {
     let mut cfg = SimConfig::small_test(42);
     cfg.num_nodes = 50;
@@ -331,6 +380,7 @@ pub fn run_all() -> Vec<MicroResult> {
     bench_price_adjustment(&mut out);
     bench_event_queue(&mut out);
     bench_federation_period(&mut out);
+    bench_sharded(&mut out);
     bench_allocation(&mut out);
     bench_telemetry(&mut out);
     bench_minidb(&mut out);

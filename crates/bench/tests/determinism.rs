@@ -13,10 +13,12 @@ use qa_core::MechanismKind;
 use qa_sim::config::SimConfig;
 use qa_sim::experiments::{
     fig3_sinusoid_workload, fig4_all_algorithms, fig4_summarize, fig4_workload, fig5a_load_sweep,
-    fig5a_point, fig6_point, fig6_scenario, fig6_zipf_sweep, run_cell, two_class_trace,
+    fig5a_point, fig6_point, fig6_scenario, fig6_zipf_sweep, run_cell, scale_point, scale_trace,
+    scale_world, two_class_trace,
 };
 use qa_sim::federation::Federation;
 use qa_sim::scenario::{Scenario, TwoClassParams};
+use qa_sim::sharded::ShardPlan;
 use qa_simnet::json::ToJson;
 
 const THREADS: [usize; 3] = [1, 2, 8];
@@ -86,6 +88,49 @@ fn fig3_json_is_byte_identical_across_runs() {
         .to_json()
         .pretty();
     assert_eq!(again, reference, "fig3 workload diverged between runs");
+}
+
+#[test]
+fn sharded_single_shard_is_byte_identical_to_flat_engine() {
+    // The S = 1 contract: the sharded window loop must replay the flat
+    // event loop exactly — same market jitter, same event order, same
+    // Debug-formatted outcome — on the artifact-relevant scale world.
+    let scenario = scale_world(60, 2007);
+    let trace = scale_trace(&scenario, 10);
+    let flat = Federation::new(&scenario, MechanismKind::QaNt, &trace).run(&trace);
+    let sharded = ShardPlan::build(&scenario, 1).run_with_budget(&trace, 1);
+    assert_eq!(format!("{:?}", sharded.outcome), format!("{flat:?}"));
+}
+
+#[test]
+fn sharded_scale_points_are_identical_across_thread_budgets() {
+    // The fig_scale determinism artifact: the timing-free point of any
+    // (size, shards) cell must serialize identically at any total thread
+    // budget. `ShardPlan::run_with_budget` pins the budget explicitly —
+    // env mutation would race the concurrent test harness.
+    let scenario = scale_world(60, 2007);
+    let trace = scale_trace(&scenario, 10);
+    for shards in [1, 4] {
+        let plan = ShardPlan::build(&scenario, shards);
+        let reference = {
+            let out = plan.run_with_budget(&trace, 1);
+            (format!("{:?}", out.outcome), out.signal_history)
+        };
+        for budget in [2, 8] {
+            let out = plan.run_with_budget(&trace, budget);
+            assert_eq!(
+                (format!("{:?}", out.outcome), out.signal_history),
+                reference,
+                "sharded S={shards} diverged at budget {budget}"
+            );
+        }
+        // And the JSON projection the sweep writes (timing fields are
+        // zero until the harness stamps them, so this is the determinism
+        // artifact's exact serialization).
+        let a = scale_point(&scenario, &trace, shards).to_json().pretty();
+        let b = scale_point(&scenario, &trace, shards).to_json().pretty();
+        assert_eq!(a, b, "scale_point not reproducible at S={shards}");
+    }
 }
 
 #[test]

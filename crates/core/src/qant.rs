@@ -180,6 +180,14 @@ impl QantNode {
         self.pricer.prices()
     }
 
+    /// Batched log-price read (see
+    /// [`NonTatonnementPricer::ln_prices_into`][qa_economics::NonTatonnementPricer::ln_prices_into]):
+    /// one call per node fills the per-class signal row the sharded
+    /// engine's period reports aggregate.
+    pub fn ln_prices_into(&self, out: &mut [f64]) {
+        self.pricer.ln_prices_into(out);
+    }
+
     /// Remaining supply for the current period.
     pub fn supply(&self) -> Option<&QuantityVector> {
         self.supply.as_ref()

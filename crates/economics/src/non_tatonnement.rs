@@ -165,6 +165,22 @@ impl NonTatonnementPricer {
         &self.prices
     }
 
+    /// Batched price read: writes `ln(price_k)` for every class into
+    /// `out` (sized to the class count) in one call. The log domain is
+    /// what aggregated price signals are exchanged in — the geometric
+    /// mean over a region's pricers is an arithmetic mean of these — so
+    /// the sharded engine's per-period reports read each market exactly
+    /// once instead of taking `K` getter round-trips.
+    ///
+    /// # Panics
+    /// Panics when `out` is not sized to the class count.
+    pub fn ln_prices_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.num_classes(), "class count mismatch");
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.prices.get(k).max(f64::MIN_POSITIVE).ln();
+        }
+    }
+
     /// Number of classes.
     pub fn num_classes(&self) -> usize {
         self.prices.num_classes()

@@ -67,6 +67,16 @@ impl SimConfig {
         }
     }
 
+    /// The paper defaults scaled to an arbitrary federation size — the
+    /// `fig_scale` sweep worlds (100 → 10 000 nodes).
+    pub fn scaled(num_nodes: usize, seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            num_nodes,
+            ..SimConfig::paper_defaults()
+        }
+    }
+
     /// Validates ranges.
     ///
     /// # Panics

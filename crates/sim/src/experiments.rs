@@ -9,6 +9,7 @@ use crate::config::SimConfig;
 use crate::federation::{Federation, RunOutcome};
 use crate::metrics::MechanismSummary;
 use crate::scenario::{Scenario, TwoClassParams};
+use crate::sharded::ShardPlan;
 use qa_core::MechanismKind;
 use qa_simnet::{DetRng, SimTime};
 use qa_workload::arrival::{ArrivalProcess, SinusoidProcess, ZipfProcess};
@@ -318,6 +319,93 @@ pub fn fig6_zipf_sweep(
         .iter()
         .map(|&gap_ms| fig6_point(&scenario, gap_ms, max_queries))
         .collect()
+}
+
+// ------------------------------------------------------------- fig_scale
+
+/// One cell of the scaling sweep: the QA-NT federation at `nodes` nodes
+/// run through the sharded engine at `shards` shards (1 = the flat
+/// engine's exact behaviour). Timing fields are filled by the harness —
+/// the simulation itself never reads a wall clock, so the timing-free
+/// projection of a point is deterministic.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Federation size.
+    pub nodes: u64,
+    /// Shard count the engine used.
+    pub shards: u64,
+    /// Arrivals in the trace.
+    pub queries: u64,
+    /// Period boundaries stepped.
+    pub periods: u64,
+    /// Completed queries.
+    pub completed: u64,
+    /// Unserved queries.
+    pub unserved: u64,
+    /// Mean response (ms).
+    pub mean_response_ms: f64,
+    /// First period whose mean |Δ ln p| fell below
+    /// [`SCALE_CONVERGENCE_EPS`]; −1 when the run never settled.
+    pub convergence_period: i64,
+    /// Cross-shard signal messages (2 per shard per boundary).
+    pub cross_messages: u64,
+    /// Wall-clock seconds (harness-filled; 0 in determinism artifacts).
+    pub elapsed_s: f64,
+    /// Simulated periods per wall-clock second (harness-filled).
+    pub periods_per_s: f64,
+    /// Queries per wall-clock second (harness-filled).
+    pub queries_per_s: f64,
+}
+
+qa_simnet::impl_to_json!(ScalePoint {
+    nodes,
+    shards,
+    queries,
+    periods,
+    completed,
+    unserved,
+    mean_response_ms,
+    convergence_period,
+    cross_messages,
+    elapsed_s,
+    periods_per_s,
+    queries_per_s
+});
+
+/// Price-settling threshold for the sweep's convergence-period column.
+pub const SCALE_CONVERGENCE_EPS: f64 = 1e-2;
+
+/// The scaling world: the two-class scenario at an arbitrary node count.
+pub fn scale_world(nodes: usize, seed: u64) -> Scenario {
+    Scenario::two_class(SimConfig::scaled(nodes, seed), TwoClassParams::default())
+}
+
+/// The scaling trace: 0.05 Hz sinusoid at 75 % of the (size-dependent)
+/// system capacity, so per-node load is constant across sweep sizes.
+pub fn scale_trace(scenario: &Scenario, secs: u64) -> Trace {
+    two_class_trace(scenario, 0.05, 0.75, secs)
+}
+
+/// Runs one scaling cell and folds it into a [`ScalePoint`] (timing
+/// fields zeroed — the harness stamps them).
+pub fn scale_point(scenario: &Scenario, trace: &Trace, shards: usize) -> ScalePoint {
+    let out = ShardPlan::build(scenario, shards).run(trace);
+    ScalePoint {
+        nodes: scenario.config.num_nodes as u64,
+        shards: out.num_shards as u64,
+        queries: trace.len() as u64,
+        periods: out.periods as u64,
+        completed: out.outcome.metrics.completed,
+        unserved: out.outcome.metrics.unserved,
+        mean_response_ms: out.outcome.metrics.mean_response_ms().unwrap_or(f64::NAN),
+        convergence_period: out
+            .convergence_period(SCALE_CONVERGENCE_EPS)
+            .map_or(-1, |p| p as i64),
+        cross_messages: out.cross_messages,
+        elapsed_s: 0.0,
+        periods_per_s: 0.0,
+        queries_per_s: 0.0,
+    }
 }
 
 /// `SimTime` lacks a public fractional-seconds constructor; adapter trait

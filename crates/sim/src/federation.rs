@@ -36,7 +36,7 @@ use qa_core::{
 };
 use qa_simnet::telemetry::{Telemetry, TelemetryEvent};
 use qa_simnet::{par_for_each_chunk_mut, DetRng, EventQueue, FaultPlan, SimDuration, SimTime};
-use qa_workload::{ClassId, NodeId, Trace};
+use qa_workload::{ClassId, NodeId, QueryEvent, Trace};
 
 /// Cap on resubmissions per query (QA-NT rejections, fault losses, and
 /// crash re-entries all count); beyond it the query counts as unserved.
@@ -145,6 +145,22 @@ pub struct Federation<'a> {
     /// Worker budget for the per-period supply solves (see the
     /// `PeriodStart` arm). Defaults to [`qa_simnet::thread_budget`].
     intra_threads: usize,
+    /// Owned arrival buffer. Trace arrivals are pre-sorted, so they never
+    /// enter the event queue: a cursor drains them in order between
+    /// dynamic events. The flat [`Federation::run`] copies the whole
+    /// trace in at once; the sharded engine injects one period window at
+    /// a time via `push_arrivals`.
+    arrivals: Vec<QueryEvent>,
+    /// Cursor into `arrivals`: the next not-yet-processed arrival.
+    next_arrival: usize,
+    /// The dynamic event queue (completions, period boundaries, retries,
+    /// failure injections).
+    queue: EventQueue<Event>,
+    /// Stepped mode only: further `push_arrivals` calls may follow, so
+    /// the period chain must stay alive across boundaries even when the
+    /// currently-injected arrivals are exhausted. Always `false` in flat
+    /// runs — there the full buffer answers the question exactly.
+    more_arrivals: bool,
     state: MechState,
     rng: DetRng,
     metrics: RunMetrics,
@@ -275,6 +291,10 @@ impl<'a> Federation<'a> {
             nodes,
             exec,
             intra_threads: qa_simnet::thread_budget(),
+            arrivals: Vec::new(),
+            next_arrival: 0,
+            queue: EventQueue::new(),
+            more_arrivals: false,
             state,
             rng: DetRng::seed_from_u64(cfg.seed ^ mechanism_salt(mechanism)),
             metrics: RunMetrics::new(cfg.period, k),
@@ -357,6 +377,47 @@ impl<'a> Federation<'a> {
 
     /// Runs the trace to completion and returns the measurements.
     pub fn run(mut self, trace: &Trace) -> RunOutcome {
+        self.push_arrivals(trace.events());
+        self.begin_run();
+        while self.process_next() {}
+        self.finish()
+    }
+
+    /// Appends arrivals to the run's input buffer (time-ordered within
+    /// and across calls) and grows the per-query bookkeeping to match.
+    /// The flat [`Federation::run`] injects the whole trace at once; the
+    /// sharded engine injects one period window at a time.
+    ///
+    /// # Panics
+    /// Panics when the new arrivals start before already-buffered ones.
+    pub(crate) fn push_arrivals(&mut self, events: &[QueryEvent]) {
+        if let (Some(last), Some(first)) = (self.arrivals.last(), events.first()) {
+            assert!(
+                last.at <= first.at,
+                "arrivals must be injected in time order"
+            );
+        }
+        debug_assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+        self.arrivals.extend_from_slice(events);
+        let n = self.arrivals.len();
+        self.owners.resize(n, None);
+        self.done.resize(n, false);
+        self.attempts.resize(n, 0);
+        self.assign_gen.resize(n, 0);
+    }
+
+    /// Stepped mode: marks whether further [`Federation::push_arrivals`]
+    /// calls may follow. While set, the period chain stays alive across
+    /// boundaries even when the currently-injected arrivals are
+    /// exhausted — exactly the condition the flat run reads off its full
+    /// arrival buffer.
+    pub(crate) fn set_more_arrivals(&mut self, more: bool) {
+        self.more_arrivals = more;
+    }
+
+    /// Starts a run: fixes the rejection-deferral mode, seeds the event
+    /// queue with the failure schedule and the first period boundary.
+    pub(crate) fn begin_run(&mut self) {
         let cfg_period = self.scenario.config.period;
         // Fixed for the whole run: fault schedules and kill/recover
         // events are installed before `run`, and the telemetry handle at
@@ -369,20 +430,11 @@ impl<'a> Federation<'a> {
         if let MechState::QaNt { nodes, avail } = &mut self.state {
             sync_avail(nodes, avail);
         }
-        let mut queue: EventQueue<Event> = EventQueue::new();
-        // Trace arrivals are pre-sorted, so they never enter the event
-        // queue: a cursor drains them in order between dynamic events.
-        // Because arrivals used to be scheduled first (lowest sequence
-        // numbers), an arrival always preceded any same-time dynamic
-        // event — the cursor rule `arrival.at <= peek_time` reproduces
-        // that order exactly.
-        let arrivals = trace.events();
-        let mut next_arrival = 0usize;
         for &(at, node) in &self.kills {
-            queue.schedule(at, Event::Kill { node });
+            self.queue.schedule(at, Event::Kill { node });
         }
         for &(at, node) in &self.recoveries {
-            queue.schedule(at, Event::Recover { node });
+            self.queue.schedule(at, Event::Recover { node });
         }
         // Periods matter for QA-NT (market), BNQRD (report decay) and
         // Greedy (stale load snapshots).
@@ -390,198 +442,42 @@ impl<'a> Federation<'a> {
             self.state,
             MechState::QaNt { .. } | MechState::Bnqrd { .. } | MechState::Greedy { .. }
         ) {
-            queue.schedule(SimTime::ZERO + cfg_period, Event::PeriodStart);
+            self.queue
+                .schedule(SimTime::ZERO + cfg_period, Event::PeriodStart);
         }
+    }
 
-        loop {
-            if next_arrival < arrivals.len()
-                && queue
-                    .peek_time()
-                    .is_none_or(|t| arrivals[next_arrival].at <= t)
-            {
-                let idx = next_arrival;
-                next_arrival += 1;
-                let now = arrivals[idx].at;
-                self.telemetry.set_now_us(now.as_micros());
-                self.handle_arrival(&mut queue, trace, now, idx, 0, cfg_period);
-                continue;
-            }
-            let Some(ev) = queue.pop() else { break };
-            let now = ev.time;
-            self.telemetry.set_now_us(now.as_micros());
-            match ev.payload {
-                Event::Arrival { idx, retries } => {
-                    self.handle_arrival(&mut queue, trace, now, idx, retries, cfg_period);
-                }
-                Event::Completion { idx, node, gen } => {
-                    // Stale completion: the query was orphaned by a crash
-                    // (generation bumped) or already finished elsewhere.
-                    if self.done[idx] || gen != self.assign_gen[idx] {
-                        continue;
-                    }
-                    self.nodes.complete(node.index());
-                    self.done[idx] = true;
-                    let q = trace.events()[idx];
-                    self.metrics
-                        .record_completion_from(q.class, q.origin, q.at, now);
-                    self.telemetry.emit(|| TelemetryEvent::QueryCompleted {
-                        query: idx as u64,
-                        class: q.class.0,
-                        node: node.0,
-                        response_ms: now.saturating_since(q.at).as_millis_f64(),
-                    });
-                    if let MechState::Bnqrd { coordinator } = &mut self.state {
-                        let ref_cost = self
-                            .scenario
-                            .templates
-                            .get(q.class)
-                            .base_cost
-                            .as_millis_f64();
-                        coordinator.report_completion(node, ref_cost);
-                    }
-                }
-                Event::PeriodStart => {
-                    self.telemetry.emit(|| TelemetryEvent::PeriodStarted {
-                        index: now.period_index(cfg_period),
-                    });
-                    let _span = self.telemetry.span("federation.period_update");
-                    // Deferred refusals belong to the closing period:
-                    // charge them before its price update, then re-arm
-                    // the memo for the fresh supply.
-                    self.flush_deferred_rejections();
-                    self.refused_classes.fill(false);
-                    match &mut self.state {
-                        MechState::QaNt { nodes, avail } => {
-                            // Sellers have no reason to reserve more supply
-                            // for a class than anyone asked for last period
-                            // (with headroom for growth): the caps steer
-                            // leftover capacity to classes with live demand.
-                            let caps = qa_economics::QuantityVector::from_counts(
-                                self.period_demand
-                                    .iter()
-                                    .map(|&d| d.saturating_mul(2).max(2))
-                                    .collect(),
-                            );
-                            let period_ms = cfg_period.as_millis_f64();
-                            // Work-conserving budget. In the §5.1 threshold
-                            // mode it is floored at T/2 so a node that
-                            // queued work while the bypass was active does
-                            // not reject everything while draining; in pure
-                            // market mode backlog never exceeds ~2T and the
-                            // floor must not oversell. Dead nodes get no
-                            // budget: they end their period and go quiet.
-                            let floor = if self.scenario.config.qant.price_threshold.is_some() {
-                                0.5 * period_ms
-                            } else {
-                                0.0
-                            };
-                            let soa = &self.nodes;
-                            let budgets: Vec<Option<f64>> = (0..nodes.len())
-                                .map(|i| {
-                                    soa.alive(i).then(|| {
-                                        let backlog = soa.backlog(i, now).as_millis_f64();
-                                        (2.0 * period_ms - backlog).clamp(floor, 2.0 * period_ms)
-                                    })
-                                })
-                                .collect();
-                            // The eq.-4 solves are independent per node, so
-                            // they fan over scoped workers; results are
-                            // identical at any thread count — the split
-                            // only decides which worker solves which node.
-                            // Telemetry emission order is part of the
-                            // byte-deterministic contract, so the parallel
-                            // path only engages when tracing is off.
-                            let threads = if self.telemetry.is_enabled()
-                                || nodes.len() < INTRA_PAR_MIN_NODES
-                            {
-                                1
-                            } else {
-                                self.intra_threads
-                            };
-                            let exec_times = &self.scenario.exec_times_ms;
-                            par_for_each_chunk_mut(threads, nodes, |offset, chunk| {
-                                for (j, slot) in chunk.iter_mut().enumerate() {
-                                    let Some(n) = slot else { continue };
-                                    n.end_period();
-                                    if let Some(budget) = budgets[offset + j] {
-                                        n.begin_period_with_budget(
-                                            &exec_times[offset + j],
-                                            Some(&caps),
-                                            budget,
-                                        );
-                                    }
-                                }
-                            });
-                            sync_avail(nodes, avail);
-                            self.period_demand.iter_mut().for_each(|d| *d = 0);
-                        }
-                        MechState::Bnqrd { coordinator } => coordinator.tick(0.9),
-                        MechState::Greedy {
-                            snapshot,
-                            snapshot_at,
-                        } => {
-                            for (i, s) in snapshot.iter_mut().enumerate() {
-                                *s = self.nodes.backlog(i, now);
-                            }
-                            *snapshot_at = now;
-                        }
-                        _ => {}
-                    }
-                    if !queue.is_empty() || next_arrival < arrivals.len() {
-                        queue.schedule(now + cfg_period, Event::PeriodStart);
-                    }
-                }
-                Event::Kill { node } => {
-                    // Membership changed: the refusal memo's "conditions
-                    // cannot improve" argument no longer holds.
-                    self.refused_classes.fill(false);
-                    self.nodes.kill(node.index());
-                    self.telemetry
-                        .emit(|| TelemetryEvent::NodeCrashed { node: node.0 });
-                    // §2.2 semantics for crash victims: whatever the dead
-                    // node owned re-enters the next period's demand vector
-                    // as a fresh arrival, rather than silently vanishing.
-                    let orphans: Vec<usize> = self
-                        .owners
-                        .iter()
-                        .enumerate()
-                        .filter(|(q, owner)| **owner == Some(node) && !self.done[*q])
-                        .map(|(q, _)| q)
-                        .collect();
-                    for q in orphans {
-                        self.assign_gen[q] = self.assign_gen[q].wrapping_add(1);
-                        self.owners[q] = None;
-                        let tried = self.attempts[q];
-                        if tried >= MAX_RETRIES {
-                            self.metrics.unserved += 1;
-                            self.telemetry.emit(|| TelemetryEvent::QueryUnserved {
-                                query: q as u64,
-                                class: trace.events()[q].class.0,
-                                retries: tried,
-                            });
-                        } else {
-                            self.metrics.retries += 1;
-                            let next = SimTime::from_micros(
-                                (now.period_index(cfg_period) + 1) * cfg_period.as_micros(),
-                            ) + SimDuration::from_micros(1);
-                            queue.schedule(
-                                next,
-                                Event::Arrival {
-                                    idx: q,
-                                    retries: tried + 1,
-                                },
-                            );
-                        }
-                    }
-                }
-                Event::Recover { node } => {
-                    self.refused_classes.fill(false);
-                    self.nodes.revive(node.index(), now);
-                    self.telemetry
-                        .emit(|| TelemetryEvent::NodeRecovered { node: node.0 });
-                }
-            }
+    /// Earliest pending event time — the arrival cursor head or the queue
+    /// head, whichever the run loop would take next.
+    pub(crate) fn peek_next_time(&self) -> Option<SimTime> {
+        let arrival = self.arrivals.get(self.next_arrival).map(|e| e.at);
+        match (arrival, self.queue.peek_time()) {
+            (Some(a), Some(q)) => Some(a.min(q)),
+            (a, q) => a.or(q),
         }
+    }
+
+    /// Processes every pending event with `time <= until`, in exactly the
+    /// order the flat run processes them (the arrival cursor wins ties,
+    /// then queue key order). The caller must have injected all arrivals
+    /// belonging to the window first; `until` is normally a period
+    /// boundary, so the `PeriodStart` at exactly `until` is processed
+    /// before returning.
+    pub(crate) fn step_through(&mut self, until: SimTime) {
+        while self.peek_next_time().is_some_and(|t| t <= until) {
+            self.process_next();
+        }
+    }
+
+    /// Processes everything that is left (stepped mode epilogue: retries
+    /// and completions past the last injected window).
+    pub(crate) fn drain(&mut self) {
+        while self.process_next() {}
+    }
+
+    /// Ends the run: pays the final partial period's deferred refusals
+    /// and returns the measurements.
+    pub(crate) fn finish(mut self) -> RunOutcome {
         // The final (partial) period never reaches another boundary; pay
         // its deferred refusals so post-run market state matches an eager
         // run.
@@ -593,20 +489,216 @@ impl<'a> Federation<'a> {
         }
     }
 
+    /// Processes the single next event — the arrival cursor head or the
+    /// queue head. Returns `false` when nothing is pending.
+    ///
+    /// Because arrivals used to be scheduled first (lowest sequence
+    /// numbers), an arrival always preceded any same-time dynamic
+    /// event — the cursor rule `arrival.at <= peek_time` reproduces
+    /// that order exactly.
+    fn process_next(&mut self) -> bool {
+        let cfg_period = self.scenario.config.period;
+        if self.next_arrival < self.arrivals.len()
+            && self
+                .queue
+                .peek_time()
+                .is_none_or(|t| self.arrivals[self.next_arrival].at <= t)
+        {
+            let idx = self.next_arrival;
+            self.next_arrival += 1;
+            let now = self.arrivals[idx].at;
+            self.telemetry.set_now_us(now.as_micros());
+            self.handle_arrival(now, idx, 0, cfg_period);
+            return true;
+        }
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        let now = ev.time;
+        self.telemetry.set_now_us(now.as_micros());
+        match ev.payload {
+            Event::Arrival { idx, retries } => {
+                self.handle_arrival(now, idx, retries, cfg_period);
+            }
+            Event::Completion { idx, node, gen } => {
+                // Stale completion: the query was orphaned by a crash
+                // (generation bumped) or already finished elsewhere.
+                if self.done[idx] || gen != self.assign_gen[idx] {
+                    return true;
+                }
+                self.nodes.complete(node.index());
+                self.done[idx] = true;
+                let q = self.arrivals[idx];
+                self.metrics
+                    .record_completion_from(q.class, q.origin, q.at, now);
+                self.telemetry.emit(|| TelemetryEvent::QueryCompleted {
+                    query: idx as u64,
+                    class: q.class.0,
+                    node: node.0,
+                    response_ms: now.saturating_since(q.at).as_millis_f64(),
+                });
+                if let MechState::Bnqrd { coordinator } = &mut self.state {
+                    let ref_cost = self
+                        .scenario
+                        .templates
+                        .get(q.class)
+                        .base_cost
+                        .as_millis_f64();
+                    coordinator.report_completion(node, ref_cost);
+                }
+            }
+            Event::PeriodStart => {
+                self.telemetry.emit(|| TelemetryEvent::PeriodStarted {
+                    index: now.period_index(cfg_period),
+                });
+                let _span = self.telemetry.span("federation.period_update");
+                // Deferred refusals belong to the closing period:
+                // charge them before its price update, then re-arm
+                // the memo for the fresh supply.
+                self.flush_deferred_rejections();
+                self.refused_classes.fill(false);
+                match &mut self.state {
+                    MechState::QaNt { nodes, avail } => {
+                        // Sellers have no reason to reserve more supply
+                        // for a class than anyone asked for last period
+                        // (with headroom for growth): the caps steer
+                        // leftover capacity to classes with live demand.
+                        let caps = qa_economics::QuantityVector::from_counts(
+                            self.period_demand
+                                .iter()
+                                .map(|&d| d.saturating_mul(2).max(2))
+                                .collect(),
+                        );
+                        let period_ms = cfg_period.as_millis_f64();
+                        // Work-conserving budget. In the §5.1 threshold
+                        // mode it is floored at T/2 so a node that
+                        // queued work while the bypass was active does
+                        // not reject everything while draining; in pure
+                        // market mode backlog never exceeds ~2T and the
+                        // floor must not oversell. Dead nodes get no
+                        // budget: they end their period and go quiet.
+                        let floor = if self.scenario.config.qant.price_threshold.is_some() {
+                            0.5 * period_ms
+                        } else {
+                            0.0
+                        };
+                        let soa = &self.nodes;
+                        let budgets: Vec<Option<f64>> = (0..nodes.len())
+                            .map(|i| {
+                                soa.alive(i).then(|| {
+                                    let backlog = soa.backlog(i, now).as_millis_f64();
+                                    (2.0 * period_ms - backlog).clamp(floor, 2.0 * period_ms)
+                                })
+                            })
+                            .collect();
+                        // The eq.-4 solves are independent per node, so
+                        // they fan over scoped workers; results are
+                        // identical at any thread count — the split
+                        // only decides which worker solves which node.
+                        // Telemetry emission order is part of the
+                        // byte-deterministic contract, so the parallel
+                        // path only engages when tracing is off.
+                        let threads =
+                            if self.telemetry.is_enabled() || nodes.len() < INTRA_PAR_MIN_NODES {
+                                1
+                            } else {
+                                self.intra_threads
+                            };
+                        let exec_times = &self.scenario.exec_times_ms;
+                        par_for_each_chunk_mut(threads, nodes, |offset, chunk| {
+                            for (j, slot) in chunk.iter_mut().enumerate() {
+                                let Some(n) = slot else { continue };
+                                n.end_period();
+                                if let Some(budget) = budgets[offset + j] {
+                                    n.begin_period_with_budget(
+                                        &exec_times[offset + j],
+                                        Some(&caps),
+                                        budget,
+                                    );
+                                }
+                            }
+                        });
+                        sync_avail(nodes, avail);
+                        self.period_demand.iter_mut().for_each(|d| *d = 0);
+                    }
+                    MechState::Bnqrd { coordinator } => coordinator.tick(0.9),
+                    MechState::Greedy {
+                        snapshot,
+                        snapshot_at,
+                    } => {
+                        for (i, s) in snapshot.iter_mut().enumerate() {
+                            *s = self.nodes.backlog(i, now);
+                        }
+                        *snapshot_at = now;
+                    }
+                    _ => {}
+                }
+                if !self.queue.is_empty()
+                    || self.next_arrival < self.arrivals.len()
+                    || self.more_arrivals
+                {
+                    self.queue.schedule(now + cfg_period, Event::PeriodStart);
+                }
+            }
+            Event::Kill { node } => {
+                // Membership changed: the refusal memo's "conditions
+                // cannot improve" argument no longer holds.
+                self.refused_classes.fill(false);
+                self.nodes.kill(node.index());
+                self.telemetry
+                    .emit(|| TelemetryEvent::NodeCrashed { node: node.0 });
+                // §2.2 semantics for crash victims: whatever the dead
+                // node owned re-enters the next period's demand vector
+                // as a fresh arrival, rather than silently vanishing.
+                let orphans: Vec<usize> = self
+                    .owners
+                    .iter()
+                    .enumerate()
+                    .filter(|(q, owner)| **owner == Some(node) && !self.done[*q])
+                    .map(|(q, _)| q)
+                    .collect();
+                for q in orphans {
+                    self.assign_gen[q] = self.assign_gen[q].wrapping_add(1);
+                    self.owners[q] = None;
+                    let tried = self.attempts[q];
+                    if tried >= MAX_RETRIES {
+                        self.metrics.unserved += 1;
+                        self.telemetry.emit(|| TelemetryEvent::QueryUnserved {
+                            query: q as u64,
+                            class: self.arrivals[q].class.0,
+                            retries: tried,
+                        });
+                    } else {
+                        self.metrics.retries += 1;
+                        let next = SimTime::from_micros(
+                            (now.period_index(cfg_period) + 1) * cfg_period.as_micros(),
+                        ) + SimDuration::from_micros(1);
+                        self.queue.schedule(
+                            next,
+                            Event::Arrival {
+                                idx: q,
+                                retries: tried + 1,
+                            },
+                        );
+                    }
+                }
+            }
+            Event::Recover { node } => {
+                self.refused_classes.fill(false);
+                self.nodes.revive(node.index(), now);
+                self.telemetry
+                    .emit(|| TelemetryEvent::NodeRecovered { node: node.0 });
+            }
+        }
+        true
+    }
+
     /// Processes the arrival (or resubmission) of query `idx` at `now`:
     /// one allocation attempt, then completion scheduling, next-period
     /// resubmission, or an unserved verdict.
-    fn handle_arrival(
-        &mut self,
-        queue: &mut EventQueue<Event>,
-        trace: &Trace,
-        now: SimTime,
-        idx: usize,
-        retries: u32,
-        cfg_period: SimDuration,
-    ) {
+    fn handle_arrival(&mut self, now: SimTime, idx: usize, retries: u32, cfg_period: SimDuration) {
         self.attempts[idx] = retries;
-        let q = trace.events()[idx];
+        let q = self.arrivals[idx];
         match self.allocate(now, q.class, q.origin, idx) {
             Allocation::Assigned {
                 node,
@@ -621,7 +713,8 @@ impl<'a> Federation<'a> {
                     retries,
                 });
                 let gen = self.assign_gen[idx];
-                queue.schedule(finish, Event::Completion { idx, node, gen });
+                self.queue
+                    .schedule(finish, Event::Completion { idx, node, gen });
             }
             Allocation::NoOffers => {
                 if retries >= MAX_RETRIES {
@@ -636,7 +729,7 @@ impl<'a> Federation<'a> {
                     let next = SimTime::from_micros(
                         (now.period_index(cfg_period) + 1) * cfg_period.as_micros(),
                     ) + SimDuration::from_micros(1);
-                    queue.schedule(
+                    self.queue.schedule(
                         next,
                         Event::Arrival {
                             idx,
@@ -683,6 +776,54 @@ impl<'a> Federation<'a> {
                 qa_core::QantNode::apply_rejections_batch(nodes, ClassId(k as u32), row);
                 row.fill(0);
             }
+        }
+    }
+
+    /// Per-class market signals for the sharded router, written into
+    /// `supply[k]` / `ln_price[k]` (both sized to the class count):
+    /// remaining supply units summed over this federation's capable
+    /// nodes, and the mean log price over the same nodes (the log of the
+    /// geometric-mean price — the aggregate each shard reports upward in
+    /// the WALRAS-style decomposition). Reads only: calling this never
+    /// perturbs the market.
+    ///
+    /// # Panics
+    /// Panics for non-QA-NT mechanisms.
+    pub(crate) fn qant_signals_into(&self, supply: &mut [u64], ln_price: &mut [f64]) {
+        let MechState::QaNt { nodes, avail } = &self.state else {
+            panic!("market signals apply to QA-NT only");
+        };
+        let n_total = self.nodes.len();
+        let k_count = supply.len();
+        for (k, s) in supply.iter_mut().enumerate() {
+            let mut units: u64 = 0;
+            for &node in &self.scenario.capable[k] {
+                let a = avail[k * n_total + node.index()];
+                if a != u64::MAX {
+                    units = units.saturating_add(a);
+                }
+            }
+            *s = units;
+        }
+        let mut sums = vec![0.0; k_count];
+        let mut counts = vec![0u32; k_count];
+        let mut node_lnp = vec![0.0; k_count];
+        for (i, slot) in nodes.iter().enumerate() {
+            let Some(market) = slot else { continue };
+            market.ln_prices_into(&mut node_lnp);
+            for (k, &lnp) in node_lnp.iter().enumerate() {
+                if self.scenario.exec_times_ms[i][k].is_some() {
+                    sums[k] += lnp;
+                    counts[k] += 1;
+                }
+            }
+        }
+        for (k, lnp) in ln_price.iter_mut().enumerate() {
+            *lnp = if counts[k] > 0 {
+                sums[k] / counts[k] as f64
+            } else {
+                0.0
+            };
         }
     }
 

@@ -30,6 +30,7 @@ pub mod metrics;
 pub mod node;
 pub mod replay;
 pub mod scenario;
+pub mod sharded;
 pub mod tracedump;
 
 pub use config::SimConfig;
@@ -40,4 +41,5 @@ pub use replay::{
     GOLDEN_PATH, GOLDEN_SEED,
 };
 pub use scenario::{Scenario, TwoClassParams};
+pub use sharded::{ShardPlan, ShardSpec, ShardedOutcome};
 pub use tracedump::{run_trace_dump, TraceDump, TraceDumpSpec};

@@ -196,6 +196,68 @@ impl RunMetrics {
         }
     }
 
+    /// Merges another run's measurements into this one (used by the
+    /// sharded engine to combine per-shard metrics). Both sides must use
+    /// the same period and class count; per-period and per-origin series
+    /// are summed element-wise, streaming stats via Welford/histogram
+    /// merges. Order-insensitive, so the shard-index merge order only
+    /// matters for determinism of floating-point accumulation.
+    pub fn merge_from(&mut self, other: &RunMetrics) {
+        assert_eq!(self.period, other.period, "merge_from: period mismatch");
+        assert_eq!(
+            self.num_classes, other.num_classes,
+            "merge_from: class-count mismatch"
+        );
+        self.response.merge(&other.response);
+        self.response_hist.merge(&other.response_hist);
+        self.response_series.merge(&other.response_series);
+        if other.executed_per_period.len() > self.executed_per_period.len() {
+            self.executed_per_period
+                .resize(other.executed_per_period.len(), 0);
+        }
+        for (i, v) in other.executed_per_period.iter().enumerate() {
+            self.executed_per_period[i] += v;
+        }
+        for (mine, theirs) in self
+            .executed_per_period_class
+            .iter_mut()
+            .zip(&other.executed_per_period_class)
+        {
+            if theirs.len() > mine.len() {
+                mine.resize(theirs.len(), 0);
+            }
+            for (i, v) in theirs.iter().enumerate() {
+                mine[i] += v;
+            }
+        }
+        for (mine, theirs) in self
+            .response_per_class
+            .iter_mut()
+            .zip(&other.response_per_class)
+        {
+            mine.merge(theirs);
+        }
+        if other.response_per_origin.len() > self.response_per_origin.len() {
+            self.response_per_origin
+                .resize_with(other.response_per_origin.len(), Welford::new);
+        }
+        for (mine, theirs) in self
+            .response_per_origin
+            .iter_mut()
+            .zip(&other.response_per_origin)
+        {
+            mine.merge(theirs);
+        }
+        self.messages += other.messages;
+        self.lost_messages += other.lost_messages;
+        self.completed += other.completed;
+        self.unserved += other.unserved;
+        self.retries += other.retries;
+        self.assign_latency.merge(&other.assign_latency);
+        self.chosen_exec_ms.merge(&other.chosen_exec_ms);
+        self.chosen_backlog_ms.merge(&other.chosen_backlog_ms);
+    }
+
     /// Fraction of arrivals that were served.
     pub fn service_rate(&self) -> f64 {
         let total = self.completed + self.unserved;
@@ -375,6 +437,50 @@ mod tests {
         assert_eq!(m.normalized_response_vs(&zero_ref), None);
         // And an empty self against a valid reference.
         assert_eq!(metrics().normalized_response_vs(&m), None);
+    }
+
+    #[test]
+    fn merge_from_equals_sequential_recording() {
+        // Recording completions into one RunMetrics must equal recording
+        // disjoint halves into two and merging.
+        let completions = [
+            (ClassId(0), NodeId(0), 0u64, 400u64),
+            (ClassId(1), NodeId(1), 100, 700),
+            (ClassId(0), NodeId(2), 600, 900),
+            (ClassId(1), NodeId(0), 1200, 1500),
+        ];
+        let mut whole = metrics();
+        for &(c, o, a, f) in &completions {
+            whole.record_completion_from(c, o, SimTime::from_millis(a), SimTime::from_millis(f));
+        }
+        whole.messages = 10;
+        whole.retries = 3;
+        whole.unserved = 1;
+        let (mut left, mut right) = (metrics(), metrics());
+        for (i, &(c, o, a, f)) in completions.iter().enumerate() {
+            let half = if i % 2 == 0 { &mut left } else { &mut right };
+            half.record_completion_from(c, o, SimTime::from_millis(a), SimTime::from_millis(f));
+        }
+        left.messages = 4;
+        right.messages = 6;
+        left.retries = 3;
+        right.unserved = 1;
+        left.merge_from(&right);
+        assert_eq!(left.completed, whole.completed);
+        assert_eq!(left.messages, whole.messages);
+        assert_eq!(left.retries, whole.retries);
+        assert_eq!(left.unserved, whole.unserved);
+        assert_eq!(left.mean_response_ms(), whole.mean_response_ms());
+        assert_eq!(left.executed_per_period(), whole.executed_per_period());
+        assert_eq!(
+            left.executed_per_period_of(ClassId(1)),
+            whole.executed_per_period_of(ClassId(1))
+        );
+        assert_eq!(
+            left.mean_response_ms_of(ClassId(0)),
+            whole.mean_response_ms_of(ClassId(0))
+        );
+        assert_eq!(left.origin_fairness(), whole.origin_fairness());
     }
 
     #[test]

@@ -1,0 +1,545 @@
+//! Sharded federation engine.
+//!
+//! Partitions one federation into `S` shards — contiguous node slices,
+//! each with its own event queue, arrival cursor, market state and
+//! flattened exec/availability matrices — and runs the intra-period hot
+//! loop of every shard in parallel. Cross-shard coordination happens only
+//! at period boundaries, as batched aggregate signals: each shard reports
+//! per-class remaining supply and the log of its geometric-mean price, and
+//! the router uses those aggregates to place the next window's arrivals.
+//! This is the WALRAS-style multicommodity decomposition (see
+//! `PAPERS.md`): sub-markets iterate locally and exchange only aggregated
+//! price/excess-demand signals, never per-query traffic.
+//!
+//! ## Determinism contract
+//!
+//! * `S = 1` is byte-identical to the flat [`Federation::run`]: the single
+//!   shard is the parent scenario itself (same seed, same market jitter
+//!   stream), the window loop replays the flat event order exactly, and
+//!   the boundary signal reads never perturb the market.
+//! * Any `S` is byte-stable across thread budgets: shards share nothing
+//!   within a period, the router is a pure function of the previous
+//!   boundary's signals, and the merge runs in shard-index order.
+//!
+//! ## Thread budget
+//!
+//! The shard layer and the per-shard eq.-4 supply solves share one budget
+//! via [`split_budget`]: `S` shards on a `B`-core budget step on
+//! `min(B, S)` outer workers, each solving with `B / outer` inner threads
+//! — never `S × B` oversubscription.
+
+use crate::federation::{Federation, RunOutcome};
+use crate::scenario::Scenario;
+use qa_core::MechanismKind;
+use qa_simnet::{par_for_each_chunk_mut, split_budget, DetRng, SimTime};
+use qa_workload::dataset::{Dataset, Relation};
+use qa_workload::ids::RelationId;
+use qa_workload::{NodeId, QueryEvent, Trace};
+
+/// One shard: a contiguous node slice `[lo, hi)` of the parent federation
+/// re-packaged as a self-contained scenario with local node ids `0..hi-lo`.
+pub struct ShardSpec {
+    /// First parent node id owned by this shard.
+    pub lo: usize,
+    /// One past the last parent node id owned by this shard.
+    pub hi: usize,
+    /// The shard-local world (remapped dataset, hardware, exec matrix,
+    /// capability lists).
+    pub scenario: Scenario,
+}
+
+/// The static partition of one scenario into shards, plus the per-class
+/// routing table.
+pub struct ShardPlan {
+    shards: Vec<ShardSpec>,
+    /// `home_shards[k]` — shards holding at least one node capable of
+    /// class `k` (possibly empty when the parent itself has none; such
+    /// queries route to shard 0 and count as unservable there, exactly
+    /// like the flat engine's `Impossible` outcome).
+    home_shards: Vec<Vec<usize>>,
+    num_classes: usize,
+}
+
+/// Result of a sharded run: the merged measurements plus the
+/// decomposition's own diagnostics.
+#[derive(Debug)]
+pub struct ShardedOutcome {
+    /// Merged per-shard measurements (shard-index merge order).
+    pub outcome: RunOutcome,
+    /// Shard count the run used.
+    pub num_shards: usize,
+    /// Simulated period boundaries stepped by the window loop.
+    pub periods: usize,
+    /// Cross-shard coordination messages: one report up and one broadcast
+    /// down per shard per boundary. Kept separate from
+    /// `outcome.metrics.messages` (the allocation-protocol count), so the
+    /// `S = 1` output stays byte-identical to the flat engine.
+    pub cross_messages: u64,
+    /// Per-period mean |Δ ln p| over classes (price-signal movement);
+    /// drives [`ShardedOutcome::convergence_period`].
+    pub signal_history: Vec<f64>,
+}
+
+impl ShardedOutcome {
+    /// First period whose mean |Δ ln p| fell below `eps`, if any — the
+    /// sweep's convergence yardstick.
+    pub fn convergence_period(&self, eps: f64) -> Option<usize> {
+        self.signal_history.iter().position(|&d| d < eps)
+    }
+}
+
+impl ShardPlan {
+    /// Partitions `parent` into `num_shards` contiguous node slices
+    /// (clamped to the node count). Shard `s` owns
+    /// `[s·N/S, (s+1)·N/S)`; its sub-scenario keeps the full template
+    /// set and relation schema but filters mirrors, hardware, exec times
+    /// and capability lists to the slice, remapping node ids to
+    /// `0..n_s`. With one shard the parent scenario is used as-is (same
+    /// seed), which is what makes `S = 1` byte-identical to the flat run;
+    /// with more, each shard derives its own market-jitter seed.
+    pub fn build(parent: &Scenario, num_shards: usize) -> ShardPlan {
+        assert!(num_shards >= 1, "need at least one shard");
+        let n = parent.config.num_nodes;
+        let s_count = num_shards.min(n);
+        let k = parent.templates.num_classes();
+        let mut shards = Vec::with_capacity(s_count);
+        if s_count == 1 {
+            shards.push(ShardSpec {
+                lo: 0,
+                hi: n,
+                scenario: parent.clone(),
+            });
+        } else {
+            for s in 0..s_count {
+                let lo = s * n / s_count;
+                let hi = (s + 1) * n / s_count;
+                shards.push(ShardSpec {
+                    lo,
+                    hi,
+                    scenario: slice_scenario(parent, s, lo, hi),
+                });
+            }
+        }
+        let home_shards: Vec<Vec<usize>> = (0..k)
+            .map(|kc| {
+                shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, sh)| !sh.scenario.capable[kc].is_empty())
+                    .map(|(s, _)| s)
+                    .collect()
+            })
+            .collect();
+        ShardPlan {
+            shards,
+            home_shards,
+            num_classes: k,
+        }
+    }
+
+    /// The shards, in node order.
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.shards
+    }
+
+    /// Shards holding at least one node capable of class `k`.
+    pub fn home_shards(&self, k: usize) -> &[usize] {
+        &self.home_shards[k]
+    }
+
+    /// How a total thread budget splits between the shard layer and each
+    /// shard's intra-period solves: `(outer, inner)` with
+    /// `outer × inner ≤ budget` (see [`split_budget`]).
+    pub fn thread_split(&self, budget: usize) -> (usize, usize) {
+        split_budget(budget, self.shards.len())
+    }
+
+    /// Runs the trace through the sharded engine on the ambient
+    /// [`qa_simnet::thread_budget`].
+    pub fn run(&self, trace: &Trace) -> ShardedOutcome {
+        self.run_with_budget(trace, qa_simnet::thread_budget())
+    }
+
+    /// [`ShardPlan::run`] with an explicit total thread budget. The output
+    /// is identical at any budget; the budget only decides how the shard
+    /// stepping and the per-shard supply solves share the machine.
+    pub fn run_with_budget(&self, trace: &Trace, budget: usize) -> ShardedOutcome {
+        let s_count = self.shards.len();
+        let k = self.num_classes;
+        let (outer, inner) = self.thread_split(budget);
+        let empty = Trace::from_events(Vec::new());
+        let mut feds: Vec<Federation> = self
+            .shards
+            .iter()
+            .map(|sh| {
+                let mut f = Federation::new(&sh.scenario, MechanismKind::QaNt, &empty);
+                f.set_intra_threads(inner);
+                f.set_more_arrivals(true);
+                f.begin_run();
+                f
+            })
+            .collect();
+
+        // Boundary signals: per-shard remaining supply and mean ln price
+        // per class, the router's weights/credits over each class's home
+        // shards, and the previous boundary's class-mean ln price for the
+        // convergence series.
+        let mut supply: Vec<Vec<u64>> = vec![vec![0; k]; s_count];
+        let mut lnp: Vec<Vec<f64>> = vec![vec![0.0; k]; s_count];
+        let mut weights: Vec<Vec<f64>> = (0..k)
+            .map(|kc| vec![1.0; self.home_shards[kc].len()])
+            .collect();
+        let mut credits: Vec<Vec<f64>> = (0..k)
+            .map(|kc| vec![0.0; self.home_shards[kc].len()])
+            .collect();
+        let mut prev_mean_lnp = vec![0.0; k];
+        collect_signals(&feds, &mut supply, &mut lnp);
+        // Initial refresh: markets opened their first period during
+        // construction, so weights and the Δ-baseline come from t = 0.
+        update_weights(
+            &self.home_shards,
+            &supply,
+            &lnp,
+            &mut weights,
+            &mut prev_mean_lnp,
+        );
+
+        let events = trace.events();
+        let period = self.shards[0].scenario.config.period;
+        let mut cursor = 0usize;
+        let mut boundary = SimTime::ZERO + period;
+        let mut periods = 0usize;
+        let mut cross_messages = 0u64;
+        let mut signal_history = Vec::new();
+        let mut buffers: Vec<Vec<QueryEvent>> = vec![Vec::new(); s_count];
+        while cursor < events.len() {
+            // The window `(previous boundary, boundary]`: arrivals at
+            // exactly the boundary precede the `PeriodStart` there, same
+            // as the flat engine's arrival-cursor tie rule.
+            let end = cursor + events[cursor..].partition_point(|e| e.at <= boundary);
+            for e in &events[cursor..end] {
+                let kc = e.class.index();
+                let homes = &self.home_shards[kc];
+                let s = match homes.len() {
+                    // Unservable everywhere: park on shard 0, which
+                    // reports it `Impossible` exactly like the flat run.
+                    0 => 0,
+                    1 => homes[0],
+                    _ => pick_home(homes, &weights[kc], &mut credits[kc]),
+                };
+                let sh = &self.shards[s];
+                let n_s = sh.hi - sh.lo;
+                let o = e.origin.index();
+                // Shard-local origin: own clients keep their identity;
+                // remote clients fold onto a local stand-in (the link
+                // model is distance-free, so only the fairness
+                // bookkeeping sees the difference).
+                let origin = if o >= sh.lo && o < sh.hi {
+                    NodeId((o - sh.lo) as u32)
+                } else {
+                    NodeId((o % n_s.max(1)) as u32)
+                };
+                buffers[s].push(QueryEvent { origin, ..*e });
+            }
+            cursor = end;
+            let last_window = cursor == events.len();
+            for (s, fed) in feds.iter_mut().enumerate() {
+                fed.push_arrivals(&buffers[s]);
+                buffers[s].clear();
+                if last_window {
+                    fed.set_more_arrivals(false);
+                }
+            }
+            par_for_each_chunk_mut(outer, &mut feds, |_, chunk| {
+                for fed in chunk {
+                    fed.step_through(boundary);
+                }
+            });
+            collect_signals(&feds, &mut supply, &mut lnp);
+            let delta = update_weights(
+                &self.home_shards,
+                &supply,
+                &lnp,
+                &mut weights,
+                &mut prev_mean_lnp,
+            );
+            signal_history.push(delta);
+            cross_messages += 2 * s_count as u64;
+            periods += 1;
+            boundary += period;
+        }
+        // Epilogue: retries and completions past the last injected
+        // window; each shard's own period chain winds down naturally.
+        par_for_each_chunk_mut(outer, &mut feds, |_, chunk| {
+            for fed in chunk {
+                fed.drain();
+            }
+        });
+
+        let mut outcomes = feds.into_iter().map(Federation::finish);
+        let mut merged = outcomes.next().expect("at least one shard");
+        for o in outcomes {
+            merged.metrics.merge_from(&o.metrics);
+            merged.total_busy += o.total_busy;
+        }
+        ShardedOutcome {
+            outcome: merged,
+            num_shards: s_count,
+            periods,
+            cross_messages,
+            signal_history,
+        }
+    }
+}
+
+/// Builds shard `s`'s sub-scenario: the parent world restricted to nodes
+/// `[lo, hi)` with ids remapped to `0..hi-lo`. The relation schema and
+/// template set are kept whole (class ids stay globally meaningful);
+/// mirrors, hardware, exec rows and capability lists are sliced.
+fn slice_scenario(parent: &Scenario, s: usize, lo: usize, hi: usize) -> Scenario {
+    let n_s = hi - lo;
+    let in_range = |node: NodeId| node.index() >= lo && node.index() < hi;
+    let remap = |node: NodeId| NodeId((node.index() - lo) as u32);
+    let relations: Vec<Relation> = (0..parent.dataset.num_relations())
+        .map(|i| {
+            let r = parent.dataset.relation(RelationId(i as u32));
+            Relation {
+                id: r.id,
+                size_bytes: r.size_bytes,
+                attributes: r.attributes,
+                mirrors: r
+                    .mirrors
+                    .iter()
+                    .copied()
+                    .filter(|&m| in_range(m))
+                    .map(remap)
+                    .collect(),
+            }
+        })
+        .collect();
+    let mut config = parent.config.clone();
+    config.num_nodes = n_s;
+    // Independent market-jitter stream per shard, derived from the parent
+    // seed so the whole plan remains a function of one seed.
+    let mut seed_rng = DetRng::seed_from_u64(parent.config.seed).derive(&format!("shard-{s}"));
+    config.seed = seed_rng.next_u64();
+    let capable: Vec<Vec<NodeId>> = parent
+        .capable
+        .iter()
+        .map(|nodes| {
+            nodes
+                .iter()
+                .copied()
+                .filter(|&node| in_range(node))
+                .map(remap)
+                .collect()
+        })
+        .collect();
+    Scenario {
+        config,
+        templates: parent.templates.clone(),
+        dataset: Dataset::from_relations(n_s, relations),
+        hardware: parent.hardware[lo..hi].to_vec(),
+        exec_times_ms: parent.exec_times_ms[lo..hi].to_vec(),
+        capable,
+    }
+}
+
+/// Stride-credit pick over a class's home shards: every shard accrues
+/// credit proportional to its weight share, the highest-credit shard
+/// (lowest index on ties) takes the query and pays one unit. Long-run
+/// traffic shares converge to the weight shares without any randomness,
+/// so routing is a pure function of the boundary signals.
+fn pick_home(homes: &[usize], weights: &[f64], credits: &mut [f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    for (c, w) in credits.iter_mut().zip(weights) {
+        *c += w / total;
+    }
+    let mut best = 0;
+    for i in 1..credits.len() {
+        if credits[i] > credits[best] {
+            best = i;
+        }
+    }
+    credits[best] -= 1.0;
+    homes[best]
+}
+
+/// Reads every shard's per-class boundary signals (remaining supply
+/// units, mean ln price). Read-only on the markets.
+fn collect_signals(feds: &[Federation<'_>], supply: &mut [Vec<u64>], lnp: &mut [Vec<f64>]) {
+    for (s, fed) in feds.iter().enumerate() {
+        fed.qant_signals_into(&mut supply[s], &mut lnp[s]);
+    }
+}
+
+/// Recomputes the router weights — `(1 + supply) · e^(−ln p)`, i.e.
+/// supply headroom deflated by price — and returns the mean over classes
+/// of |Δ ln p| of the class's cross-shard mean log price since the last
+/// boundary (the convergence signal).
+fn update_weights(
+    home_shards: &[Vec<usize>],
+    supply: &[Vec<u64>],
+    lnp: &[Vec<f64>],
+    weights: &mut [Vec<f64>],
+    prev_mean_lnp: &mut [f64],
+) -> f64 {
+    let k = home_shards.len();
+    let mut delta_sum = 0.0;
+    for kc in 0..k {
+        let homes = &home_shards[kc];
+        if homes.is_empty() {
+            continue;
+        }
+        let mut mean = 0.0;
+        for (i, &s) in homes.iter().enumerate() {
+            if homes.len() > 1 {
+                weights[kc][i] = (1.0 + supply[s][kc] as f64) * (-lnp[s][kc]).exp();
+            }
+            mean += lnp[s][kc];
+        }
+        mean /= homes.len() as f64;
+        delta_sum += (mean - prev_mean_lnp[kc]).abs();
+        prev_mean_lnp[kc] = mean;
+    }
+    delta_sum / k.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::experiments::two_class_trace;
+    use crate::scenario::TwoClassParams;
+
+    fn world(nodes: usize, seed: u64) -> Scenario {
+        let mut cfg = SimConfig::small_test(seed);
+        cfg.num_nodes = nodes;
+        Scenario::two_class(cfg, TwoClassParams::default())
+    }
+
+    fn trace_for(scenario: &Scenario, seconds: u64) -> Trace {
+        two_class_trace(scenario, 0.25, 0.6, seconds)
+    }
+
+    #[test]
+    fn partitioner_keeps_every_class_reachable() {
+        let mut cfg = SimConfig::small_test(3);
+        cfg.num_nodes = 30;
+        let parent = Scenario::table3(cfg);
+        for s_count in [2, 3, 4, 7] {
+            let plan = ShardPlan::build(&parent, s_count);
+            assert_eq!(plan.shards().len(), s_count);
+            // Slices tile [0, N) contiguously.
+            assert_eq!(plan.shards()[0].lo, 0);
+            assert_eq!(plan.shards().last().unwrap().hi, 30);
+            for w in plan.shards().windows(2) {
+                assert_eq!(w[0].hi, w[1].lo);
+            }
+            for k in 0..parent.templates.num_classes() {
+                assert!(
+                    !plan.home_shards(k).is_empty(),
+                    "class {k} lost all capable nodes at S={s_count}"
+                );
+                // The shard-local capability lists partition the parent's.
+                let total: usize = plan
+                    .shards()
+                    .iter()
+                    .map(|sh| sh.scenario.capable[k].len())
+                    .sum();
+                assert_eq!(total, parent.capable[k].len());
+                for sh in plan.shards() {
+                    for node in &sh.scenario.capable[k] {
+                        assert!(node.index() < sh.hi - sh.lo, "unremapped node id");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_flat_engine_exactly() {
+        let parent = world(12, 11);
+        let trace = trace_for(&parent, 30);
+        let flat = Federation::new(&parent, MechanismKind::QaNt, &trace).run(&trace);
+        let plan = ShardPlan::build(&parent, 1);
+        let sharded = plan.run(&trace);
+        assert_eq!(
+            format!("{:?}", sharded.outcome),
+            format!("{flat:?}"),
+            "S=1 must be byte-identical to the flat engine"
+        );
+        assert_eq!(sharded.num_shards, 1);
+        assert!(sharded.periods > 0);
+    }
+
+    #[test]
+    fn sharded_output_is_stable_across_thread_budgets() {
+        let parent = world(16, 23);
+        let trace = trace_for(&parent, 30);
+        let plan = ShardPlan::build(&parent, 4);
+        let base = plan.run_with_budget(&trace, 1);
+        for budget in [2, 3, 8] {
+            let out = plan.run_with_budget(&trace, budget);
+            assert_eq!(
+                format!("{:?}", out.outcome),
+                format!("{:?}", base.outcome),
+                "budget={budget}"
+            );
+            assert_eq!(out.signal_history, base.signal_history);
+            assert_eq!(out.periods, base.periods);
+            assert_eq!(out.cross_messages, base.cross_messages);
+        }
+    }
+
+    #[test]
+    fn sharded_run_serves_the_whole_trace() {
+        let parent = world(16, 5);
+        let trace = trace_for(&parent, 30);
+        let plan = ShardPlan::build(&parent, 4);
+        let out = plan.run(&trace);
+        let m = &out.outcome.metrics;
+        assert_eq!(m.completed + m.unserved, trace.len() as u64);
+        assert!(m.completed > 0, "nothing completed");
+        assert_eq!(out.cross_messages, 2 * 4 * out.periods as u64);
+        assert_eq!(out.signal_history.len(), out.periods);
+    }
+
+    #[test]
+    fn shard_and_solver_layers_share_one_thread_budget() {
+        let parent = world(16, 7);
+        let plan = ShardPlan::build(&parent, 4);
+        // 4 shards on 8 cores: 4 outer workers, 2 solver threads each —
+        // not 4 shards × 8 solvers.
+        assert_eq!(plan.thread_split(8), (4, 2));
+        assert_eq!(plan.thread_split(1), (1, 1));
+        assert_eq!(plan.thread_split(64), (4, 16));
+        let single = ShardPlan::build(&parent, 1);
+        // One shard inherits the whole budget for its solves, exactly the
+        // flat engine's default.
+        assert_eq!(single.thread_split(8), (1, 8));
+    }
+
+    #[test]
+    fn stride_credit_tracks_weight_shares() {
+        let homes = [0usize, 1, 2];
+        let weights = [2.0, 1.0, 1.0];
+        let mut credits = vec![0.0; 3];
+        let mut counts = [0usize; 3];
+        for _ in 0..400 {
+            counts[pick_home(&homes, &weights, &mut credits)] += 1;
+        }
+        assert_eq!(counts, [200, 100, 100]);
+    }
+
+    #[test]
+    fn convergence_period_reads_the_signal_history() {
+        let parent = world(12, 9);
+        let trace = trace_for(&parent, 60);
+        let out = ShardPlan::build(&parent, 2).run(&trace);
+        if let Some(p) = out.convergence_period(1e-2) {
+            assert!(out.signal_history[p] < 1e-2);
+            assert!(out.signal_history[..p].iter().all(|&d| d >= 1e-2));
+        }
+    }
+}

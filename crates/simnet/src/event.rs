@@ -340,6 +340,18 @@ impl<E> EventQueue<E> {
         self.head.map(|(t_us, _)| SimTime::from_micros(t_us))
     }
 
+    /// The earliest pending event without popping it: the clock does not
+    /// advance and the event stays queued. Takes `&mut` because the head
+    /// bucket is lazily sorted in place. Lets a reader merge several
+    /// queues by inspecting their heads (e.g. the sharded engine's
+    /// multi-queue ordering tests).
+    pub fn peek(&mut self) -> Option<&ScheduledEvent<E>> {
+        let (t_us, _) = self.head?;
+        let b = self.bucket_of(t_us);
+        self.buckets[b].make_pop_ready();
+        self.buckets[b].events.last()
+    }
+
     /// Drops every pending event, keeping the clock where it is.
     pub fn clear(&mut self) {
         for b in &mut self.buckets {
@@ -402,6 +414,23 @@ mod tests {
         q.schedule(SimTime::from_millis(3), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
         assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn peek_exposes_head_without_popping() {
+        let mut q = EventQueue::new();
+        assert!(q.peek().is_none());
+        q.schedule(SimTime::from_millis(9), "later");
+        q.schedule(SimTime::from_millis(2), "head");
+        // Two distinct timestamps in one 512 µs slot, out of push order:
+        // peek must surface the lazily-sorted minimum.
+        let head = q.peek().expect("non-empty");
+        assert_eq!(head.payload, "head");
+        assert_eq!(head.time, SimTime::from_millis(2));
+        assert_eq!(q.len(), 2, "peek must not consume");
+        assert_eq!(q.now(), SimTime::ZERO, "peek must not advance the clock");
+        assert_eq!(q.pop().map(|e| e.payload), Some("head"));
+        assert_eq!(q.pop().map(|e| e.payload), Some("later"));
     }
 
     #[test]

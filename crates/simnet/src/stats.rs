@@ -475,11 +475,55 @@ impl TimeSeries {
         }
         acc.mean()
     }
+
+    /// Folds another series into this one, bin by bin (exact Welford
+    /// merge per bin). Both series must be binned on the same period —
+    /// the sharded engine merges per-shard response series this way.
+    ///
+    /// # Panics
+    /// Panics on mismatched periods.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(self.period, other.period, "period mismatch in merge");
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize_with(other.bins.len(), Welford::new);
+        }
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            a.merge(b);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_series_merge_equals_sequential() {
+        use crate::time::{SimDuration, SimTime};
+        let period = SimDuration::from_millis(500);
+        let mut a = TimeSeries::new(period);
+        let mut b = TimeSeries::new(period);
+        let mut all = TimeSeries::new(period);
+        for i in 0..200u64 {
+            let at = SimTime::from_millis(i * 37);
+            let x = (i as f64).cos() * 5.0;
+            if i % 3 == 0 {
+                a.record(at, x);
+            } else {
+                b.record(at, x);
+            }
+            all.record(at, x);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), all.len());
+        assert_eq!(a.counts(), all.counts());
+        for (x, y) in a.means().iter().zip(all.means().iter()) {
+            match (x, y) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+    }
 
     #[test]
     fn welford_matches_direct_computation() {

@@ -120,6 +120,82 @@ fn calendar_queue_matches_reference_heap() {
     }
 }
 
+/// The sharded engine's event store — one [`EventQueue`] per shard,
+/// merged by `(time, global sequence)` — pops the exact sequence of the
+/// single-queue oracle, for any interleaved schedule and any shard
+/// assignment.
+///
+/// Per-shard `seq` counters are *not* globally comparable (two shards
+/// both start at 0), so the merge must order ties by a global sequence
+/// carried in the payload; [`EventQueue::peek`] exposes the head payload
+/// without popping, which is what makes that merge possible.
+#[test]
+fn sharded_multi_queue_merge_matches_single_heap_oracle() {
+    let mut rng = DetRng::seed_from_u64(0x51B1_000A);
+    for case in 0..CASES {
+        let shards = 2 + rng.index(5);
+        let mut queues: Vec<EventQueue<u64>> = (0..shards).map(|_| EventQueue::new()).collect();
+        let mut oracle: BinaryHeap<ScheduledEvent<u64>> = BinaryHeap::new();
+        let mut now = SimTime::ZERO;
+        let mut global_seq = 0u64;
+        let ops = 1 + rng.index(300);
+        for _ in 0..ops {
+            if rng.index(100) < 60 {
+                for _ in 0..1 + rng.index(4) {
+                    let off = match rng.index(10) {
+                        0..=4 => SimDuration::ZERO, // same-time cross-shard burst
+                        5..=8 => SimDuration::from_micros(rng.int_in(1, 2_000)),
+                        _ => SimDuration::from_millis(rng.int_in(1, 800)),
+                    };
+                    let at = now + off;
+                    queues[rng.index(shards)].schedule(at, global_seq);
+                    oracle.push(ScheduledEvent {
+                        time: at,
+                        seq: global_seq,
+                        payload: global_seq,
+                    });
+                    global_seq += 1;
+                }
+            } else {
+                // Merged pop: the queue whose head minimizes
+                // (time, global seq). The local `seq` is deliberately
+                // ignored — it is only unique within one queue.
+                let head = (0..shards)
+                    .filter_map(|s| {
+                        let ev = queues[s].peek()?;
+                        Some(((ev.time, ev.payload), s))
+                    })
+                    .min()
+                    .map(|(_, s)| s);
+                let got = head.and_then(|s| queues[s].pop()).map(|e| {
+                    now = e.time;
+                    (e.time, e.payload)
+                });
+                let want = oracle.pop().map(|e| (e.time, e.payload));
+                assert_eq!(got, want, "case {case}: merged pop diverged");
+            }
+        }
+        // Drain the merge: the tail must agree event for event.
+        loop {
+            let head = (0..shards)
+                .filter_map(|s| {
+                    let ev = queues[s].peek()?;
+                    Some(((ev.time, ev.payload), s))
+                })
+                .min()
+                .map(|(_, s)| s);
+            let got = head
+                .and_then(|s| queues[s].pop())
+                .map(|e| (e.time, e.payload));
+            let want = oracle.pop().map(|e| (e.time, e.payload));
+            assert_eq!(got, want, "case {case}: merged drain diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}
+
 /// Parallel Welford merge equals sequential accumulation.
 #[test]
 fn welford_merge_matches_sequential() {

@@ -15,6 +15,18 @@ cd "$(dirname "$0")/.."
 
 PINNED=bench_results/pinned/perf_baseline.json
 
+# Generated bench_results/*.json must never be committed: only the pinned
+# reference under bench_results/pinned/ is tracked. A tracked generated
+# artifact would silently shadow fresh runs in diffs and re-pin noise, so
+# refuse to run until it is removed from the index.
+TRACKED_GENERATED=$(git ls-files 'bench_results/*.json' | grep -v '^bench_results/pinned/' || true)
+if [ -n "$TRACKED_GENERATED" ]; then
+  echo "error: generated bench artifacts are tracked by git:" >&2
+  echo "$TRACKED_GENERATED" | sed 's/^/  /' >&2
+  echo "remove them (git rm --cached <file>) — only bench_results/pinned/ is committed" >&2
+  exit 1
+fi
+
 case "${1:-}" in
   --quick)
     export QA_SCALE=ci

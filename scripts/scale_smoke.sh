@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# CI smoke of the sharded federation engine's scaling sweep:
+#
+#   1. build and run `fig_scale --quick` (small sizes, seconds not
+#      minutes) at QA_THREADS=1 and QA_THREADS=8 and require the
+#      timing-free determinism artifact to be byte-identical — the
+#      sharded engine's output must not depend on how the shard and
+#      solver layers share the machine;
+#   2. diff the S=1 rows of the artifact against a flat-engine rerun via
+#      the library test (`sharded_single_shard_is_byte_identical_to_flat
+#      _engine`), covered by the determinism suite the perf-smoke job
+#      runs — here we only re-check artifact stability across shard
+#      layouts, which `--quick` sweeps (S=1 vs S=4/S=8) in one run.
+#
+# The timed artifact (bench_results/fig_scale.json) is left in place for
+# upload; the determinism artifact is the compared one.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p qa-bench --bin fig_scale
+
+echo "scale-smoke: fig_scale --quick at QA_THREADS=1"
+QA_THREADS=1 ./target/release/fig_scale --quick
+cp bench_results/fig_scale_determinism.json bench_results/fig_scale_determinism.t1.json
+
+echo "scale-smoke: fig_scale --quick at QA_THREADS=8"
+QA_THREADS=8 ./target/release/fig_scale --quick
+
+if ! cmp -s bench_results/fig_scale_determinism.json bench_results/fig_scale_determinism.t1.json; then
+  echo "scale-smoke: FAIL — determinism artifact differs between QA_THREADS=1 and 8" >&2
+  diff bench_results/fig_scale_determinism.t1.json bench_results/fig_scale_determinism.json >&2 || true
+  exit 1
+fi
+rm -f bench_results/fig_scale_determinism.t1.json
+echo "scale-smoke: determinism artifact byte-identical across thread budgets"
