@@ -1,0 +1,213 @@
+//! `fig_hier`: the hierarchical two-tier market vs the flat engine and
+//! the raw-signal router.
+//!
+//! Sweeps the federation size (1 000 → 10 000 nodes at full scale, the
+//! largest cell sized to ~10 M queries) and runs the same trace through
+//! every [`HierMode`] column: the flat engine, the PR 9 weight-
+//! proportional router, and the broker market under each parent mechanism
+//! (QA-NT, WALRAS). Reported per cell: wall-clock throughput, mean
+//! response, market convergence period, cross-tier messages, escalated
+//! demand and inter-shard allocation efficiency.
+//!
+//! Artifacts:
+//! * `bench_results/fig_hier.json` — full points, timings included;
+//! * `bench_results/fig_hier_determinism.json` — the timing-free
+//!   projection, byte-identical at any `QA_THREADS` (the CI `hier-smoke`
+//!   job diffs it across 1 vs 8 threads);
+//! * `bench_results/fig_hier_trace.jsonl` (with `--trace`) — the broker
+//!   telemetry of a small two-tier cell (`broker_bid`, `parent_cleared`,
+//!   `demand_escalated`), byte-deterministic.
+//!
+//! `--quick` shrinks the sweep for CI (seconds, not minutes). The flat
+//! column is skipped above 3 000 nodes at full scale — the single-market
+//! engine is the thing the sweep shows being outgrown.
+
+use qa_bench::{fmt_ms, render_table, write_json, Scale};
+use qa_sim::experiments::{hier_point, scale_trace, scale_world, HierMode, HierPoint};
+use qa_simnet::telemetry::Telemetry;
+use std::time::Instant;
+
+/// Horizon of one sweep cell: fixed seconds, or sized so the trace holds
+/// roughly this many arrivals (derived from a deterministic probe trace,
+/// so the resulting horizon is machine-independent).
+enum Horizon {
+    Secs(u64),
+    Queries(u64),
+}
+
+struct Cell {
+    nodes: usize,
+    shards: usize,
+    horizon: Horizon,
+    modes: &'static [HierMode],
+}
+
+const ALL: &[HierMode] = &HierMode::ALL;
+/// Sharded columns only — the flat baseline is dropped where it would
+/// dominate the wall-clock without adding information.
+const SHARDED: &[HierMode] = &[
+    HierMode::Router,
+    HierMode::BrokerQant,
+    HierMode::BrokerWalras,
+];
+
+fn cells(quick: bool) -> Vec<Cell> {
+    if quick {
+        vec![
+            Cell {
+                nodes: 60,
+                shards: 4,
+                horizon: Horizon::Secs(10),
+                modes: ALL,
+            },
+            Cell {
+                nodes: 200,
+                shards: 8,
+                horizon: Horizon::Secs(10),
+                modes: ALL,
+            },
+        ]
+    } else {
+        vec![
+            Cell {
+                nodes: 1_000,
+                shards: 16,
+                horizon: Horizon::Secs(120),
+                modes: ALL,
+            },
+            Cell {
+                nodes: 3_000,
+                shards: 16,
+                horizon: Horizon::Secs(60),
+                modes: ALL,
+            },
+            Cell {
+                nodes: 10_000,
+                shards: 32,
+                horizon: Horizon::Queries(10_000_000),
+                modes: SHARDED,
+            },
+        ]
+    }
+}
+
+/// Seconds of sinusoid needed for at least `target` arrivals at this
+/// world's offered load, derived from a probe trace spanning exactly two
+/// full cycles of the 0.05 Hz waveform — whole cycles, or the probe would
+/// catch only the crest and bias the rate estimate. The probe rate is
+/// unbiased but discrete, so a 2 % pad makes `target` a floor rather
+/// than a coin flip.
+fn horizon_for_queries(scenario: &qa_sim::Scenario, target: u64) -> u64 {
+    const PROBE_SECS: u64 = 40;
+    let probe = scale_trace(scenario, PROBE_SECS);
+    let qps = probe.len() as f64 / PROBE_SECS as f64;
+    ((target as f64 * 1.02 / qps.max(1.0)).ceil() as u64).max(PROBE_SECS)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick") || qa_bench::scale() == Scale::Ci;
+    let want_trace = args.iter().any(|a| a == "--trace");
+    let seed = 2007;
+
+    let mut points: Vec<HierPoint> = Vec::new();
+    for cell in cells(quick) {
+        let scenario = scale_world(cell.nodes, seed);
+        let secs = match cell.horizon {
+            Horizon::Secs(s) => s,
+            Horizon::Queries(q) => horizon_for_queries(&scenario, q),
+        };
+        let trace = scale_trace(&scenario, secs);
+        for &mode in cell.modes {
+            let start = Instant::now();
+            let mut p = hier_point(&scenario, &trace, cell.shards, mode, Telemetry::disabled());
+            let elapsed = start.elapsed().as_secs_f64();
+            p.elapsed_s = elapsed;
+            p.periods_per_s = p.periods as f64 / elapsed.max(1e-9);
+            p.queries_per_s = p.queries as f64 / elapsed.max(1e-9);
+            eprintln!(
+                "  {} nodes x S={} [{}]: {} queries in {:.2}s",
+                cell.nodes,
+                p.shards,
+                mode.label(),
+                p.queries,
+                elapsed
+            );
+            points.push(p);
+        }
+    }
+
+    println!("fig_hier — two-tier broker market vs flat engine and raw-signal router\n");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.nodes.to_string(),
+                p.shards.to_string(),
+                p.mode.clone(),
+                p.queries.to_string(),
+                format!("{:.2}", p.elapsed_s),
+                format!("{:.0}", p.queries_per_s),
+                fmt_ms(p.mean_response_ms),
+                if p.convergence_period < 0 {
+                    "-".into()
+                } else {
+                    p.convergence_period.to_string()
+                },
+                p.cross_messages.to_string(),
+                p.escalated_units.to_string(),
+                format!("{:.4}", p.alloc_efficiency),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "nodes",
+                "shards",
+                "mode",
+                "queries",
+                "wall (s)",
+                "queries/s",
+                "response",
+                "conv. period",
+                "x-tier msgs",
+                "escalated",
+                "alloc eff."
+            ],
+            &rows
+        )
+    );
+
+    let path = write_json("fig_hier", &points).expect("write result");
+    println!("wrote {}", path.display());
+
+    // Timing-free projection: what the CI byte-identity check compares
+    // across thread budgets.
+    let det: Vec<HierPoint> = points
+        .iter()
+        .map(|p| HierPoint {
+            elapsed_s: 0.0,
+            periods_per_s: 0.0,
+            queries_per_s: 0.0,
+            ..p.clone()
+        })
+        .collect();
+    let path = write_json("fig_hier_determinism", &det).expect("write determinism artifact");
+    println!("wrote {}", path.display());
+
+    // Optional broker-tier trace of a small two-tier cell — sim-time
+    // stamped and boundary-serial, hence byte-deterministic.
+    if want_trace {
+        let scenario = scale_world(60, seed);
+        let trace = scale_trace(&scenario, 10);
+        let (telemetry, buffer) = Telemetry::buffered();
+        let _ = hier_point(&scenario, &trace, 4, HierMode::BrokerQant, telemetry);
+        let dir = std::path::PathBuf::from("bench_results");
+        std::fs::create_dir_all(&dir).expect("create bench_results/");
+        let trace_path = dir.join("fig_hier_trace.jsonl");
+        std::fs::write(&trace_path, buffer.to_jsonl()).expect("write broker trace");
+        println!("wrote {} ({} events)", trace_path.display(), buffer.len());
+    }
+}

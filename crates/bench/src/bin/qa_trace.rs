@@ -53,6 +53,9 @@ fn event_node(e: &TelemetryEvent) -> Option<u32> {
         | TelemetryEvent::ConnectRetried { node, .. }
         | TelemetryEvent::FrameDropped { node, .. }
         | TelemetryEvent::PeerDied { node, .. } => Some(*node),
+        // Brokers are shard-level actors; their index shares the `--node`
+        // filter slot so one shard's bids can be followed through a trace.
+        TelemetryEvent::BrokerBid { broker, .. } => Some(*broker),
         _ => None,
     }
 }
@@ -64,7 +67,8 @@ fn event_class(e: &TelemetryEvent) -> Option<u32> {
         | TelemetryEvent::RequestRejected { class, .. }
         | TelemetryEvent::QueryAssigned { class, .. }
         | TelemetryEvent::QueryCompleted { class, .. }
-        | TelemetryEvent::QueryUnserved { class, .. } => Some(*class),
+        | TelemetryEvent::QueryUnserved { class, .. }
+        | TelemetryEvent::DemandEscalated { class, .. } => Some(*class),
         _ => None,
     }
 }
@@ -393,6 +397,14 @@ fn cmd_convergence(args: &Args) -> Result<(), String> {
         report.dropped_messages,
         report.crashes
     );
+    if report.broker_bids > 0 || report.parent_clearings > 0 {
+        outln!(
+            "broker tier: {} bids, {} parent clearings, {} units escalated",
+            report.broker_bids,
+            report.parent_clearings,
+            report.escalated_units
+        );
+    }
     for c in &report.per_class {
         let settled = match c.stabilized_at_period {
             Some(p) => format!("stabilized at period {p}"),

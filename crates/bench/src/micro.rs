@@ -26,12 +26,13 @@ use qa_economics::{
     solve_supply_greedy, solve_supply_greedy_cached, solve_supply_optimal, DensityOrderCache,
     LinearCapacitySet, NonTatonnementPricer, PriceVector, PricerConfig, QuantityVector,
 };
-use qa_sim::config::SimConfig;
+use qa_sim::config::{BrokerConfig, SimConfig};
 use qa_sim::experiments::two_class_trace;
 use qa_sim::federation::Federation;
 use qa_sim::metrics::RunMetrics;
 use qa_sim::scenario::{Scenario, TwoClassParams};
-use qa_sim::sharded::ShardPlan;
+use qa_sim::sharded::{ShardPlan, ShardRunOptions};
+use qa_sim::BrokerTier;
 use qa_simnet::{EventQueue, SimTime};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -235,6 +236,19 @@ fn bench_sharded(out: &mut Vec<MicroResult>) {
         PERIODS,
         || plan.run(black_box(&trace)),
     );
+    // Same world with the broker tier on top: the marginal cost of the
+    // two-tier market over the raw-signal router must stay small — the
+    // parent clears once per boundary, not per query.
+    let broker_opts = ShardRunOptions {
+        broker: Some(BrokerConfig::qant()),
+        ..ShardRunOptions::default()
+    };
+    bench_scaled(
+        out,
+        "federation/single_period_1000_nodes_broker",
+        PERIODS,
+        || plan.run_with_options(black_box(&trace), &broker_opts),
+    );
     // The epilogue's shard-index-order metrics merge, isolated: 8 shards'
     // worth of per-period series, per-class stats and origin Welfords
     // folded into one.
@@ -259,6 +273,41 @@ fn bench_sharded(out: &mut Vec<MicroResult>) {
             acc.merge_from(black_box(m));
         }
         acc
+    });
+}
+
+fn bench_broker(out: &mut Vec<MicroResult>) {
+    // One parent-market boundary clearing at realistic width: 16 broker
+    // bids over 8 classes, demand sized to leave some excess so both the
+    // fill loop and the price adjustment run. The tier persists across
+    // iterations — steady-state clearing, the shape the sharded window
+    // loop pays once per period.
+    let mut tier = BrokerTier::new(
+        8,
+        &BrokerConfig::qant(),
+        qa_simnet::telemetry::Telemetry::disabled(),
+    );
+    let home_shards: Vec<Vec<usize>> = (0..8).map(|_| (0..16).collect()).collect();
+    let supply: Vec<Vec<u64>> = (0..16u64)
+        .map(|s| (0..8u64).map(|k| 3 + (s * 7 + k) % 20).collect())
+        .collect();
+    let lnp: Vec<Vec<f64>> = (0..16)
+        .map(|s| {
+            (0..8)
+                .map(|k| ((s * 13 + k * 5) % 17) as f64 / 8.0 - 1.0)
+                .collect()
+        })
+        .collect();
+    let demand: Vec<u64> = (0..8u64).map(|k| 150 + k * 10).collect();
+    let mut weights: Vec<Vec<f64>> = (0..8).map(|_| vec![1.0; 16]).collect();
+    bench(out, "broker/parent_clear_16_shards", || {
+        tier.clear_window(
+            black_box(&home_shards),
+            black_box(&supply),
+            black_box(&lnp),
+            black_box(&demand),
+            &mut weights,
+        )
     });
 }
 
@@ -381,6 +430,7 @@ pub fn run_all() -> Vec<MicroResult> {
     bench_event_queue(&mut out);
     bench_federation_period(&mut out);
     bench_sharded(&mut out);
+    bench_broker(&mut out);
     bench_allocation(&mut out);
     bench_telemetry(&mut out);
     bench_minidb(&mut out);

@@ -1,0 +1,178 @@
+//! Hierarchical market signal types — the vocabulary spoken between a
+//! shard's broker and the parent market.
+//!
+//! A two-tier federation (DESIGN.md §12) runs one complete QA-NT market per
+//! shard and a price-clearing parent market over the shards. The only
+//! things that cross the tier boundary are small per-class aggregates:
+//!
+//! * **up** — each shard's broker reports a [`ShardSignal`]: the shard's
+//!   aggregate supply per class and the mean ln-price across its nodes
+//!   (the geometric-mean price, taken in the log domain where it is an
+//!   arithmetic mean). The signal becomes the broker's sealed
+//!   [`BrokerBid`] on the parent market.
+//! * **down** — the parent's clearing prices and per-broker quotas, which
+//!   bias the router's per-shard credits for the next window.
+//! * **up again** — demand the parent could not place
+//!   ([`escalation_cap`]-bounded) re-enters the next window's clearing.
+//!
+//! Keeping these types in `qa-core` (not `qa-sim`) mirrors the paper's
+//! layering: the signal vocabulary is mechanism substance, the simulator
+//! is just one driver of it.
+
+use qa_economics::parent::BrokerBid;
+
+/// One shard's aggregated per-class market state for one period window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSignal {
+    /// The reporting shard's index.
+    pub shard: u32,
+    /// Aggregate remaining supply per class across the shard's live nodes.
+    pub supply: Vec<u64>,
+    /// Mean ln-price per class across the shard's live nodes — the log of
+    /// the geometric-mean price, the shard's reservation price signal.
+    pub mean_ln_price: Vec<f64>,
+}
+
+impl ShardSignal {
+    /// An empty signal for shard `shard` over `k` classes.
+    pub fn new(shard: u32, k: usize) -> Self {
+        ShardSignal {
+            shard,
+            supply: vec![0; k],
+            mean_ln_price: vec![0.0; k],
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.supply.len()
+    }
+
+    /// Checks internal consistency: matching class counts and finite
+    /// prices (a non-finite mean would poison the parent's sort order).
+    ///
+    /// # Panics
+    /// Panics when the vectors disagree in length or a price is not finite.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.supply.len(),
+            self.mean_ln_price.len(),
+            "shard {}: supply/price class count mismatch",
+            self.shard
+        );
+        for (k, p) in self.mean_ln_price.iter().enumerate() {
+            assert!(
+                p.is_finite(),
+                "shard {} class {k}: non-finite mean ln-price {p}",
+                self.shard
+            );
+        }
+    }
+
+    /// The broker's sealed bid for this window: capacity = the shard's
+    /// aggregate supply, reservation = the shard's mean ln-price.
+    pub fn to_bid(&self) -> BrokerBid {
+        BrokerBid {
+            capacity: self.supply.clone(),
+            reservation_ln: self.mean_ln_price.clone(),
+        }
+    }
+}
+
+/// Bounds escalated demand at the tier's reported capacity: demand the
+/// parent could not place re-enters the *next* window's clearing, but only
+/// up to what the brokers collectively reported this window — anything
+/// beyond that could never clear and would compound into an unbounded
+/// carry under sustained overload (the excess stays queued at the shards,
+/// which is where QA-NT's own back-pressure handles it).
+pub fn escalation_cap(unserved: &[u64], signals: &[ShardSignal]) -> Vec<u64> {
+    let mut capped = unserved.to_vec();
+    for (k, u) in capped.iter_mut().enumerate() {
+        let tier_supply: u64 = signals
+            .iter()
+            .map(|s| s.supply.get(k).copied().unwrap_or(0))
+            .sum();
+        *u = (*u).min(tier_supply);
+    }
+    capped
+}
+
+/// Mean |Δ ln p| between two per-class price snapshots — the convergence
+/// signal both tiers report (a window counts as converged once this falls
+/// below the experiment's ε). Shared by the router and broker paths so
+/// their convergence periods are measured identically.
+///
+/// # Panics
+/// Panics when the snapshots differ in length.
+pub fn mean_abs_delta_ln(prev: &[f64], next: &[f64]) -> f64 {
+    assert_eq!(prev.len(), next.len(), "class count mismatch");
+    if prev.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = prev.iter().zip(next).map(|(a, b)| (b - a).abs()).sum();
+    sum / prev.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_round_trips_into_a_bid() {
+        let sig = ShardSignal {
+            shard: 3,
+            supply: vec![7, 0, 12],
+            mean_ln_price: vec![0.5, -1.2, 3.0],
+        };
+        sig.validate();
+        let bid = sig.to_bid();
+        assert_eq!(bid.capacity, vec![7, 0, 12]);
+        assert_eq!(bid.reservation_ln, vec![0.5, -1.2, 3.0]);
+    }
+
+    #[test]
+    fn empty_signal_is_valid() {
+        let sig = ShardSignal::new(0, 4);
+        sig.validate();
+        assert_eq!(sig.num_classes(), 4);
+        assert_eq!(sig.to_bid().capacity, vec![0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn validation_rejects_nan_prices() {
+        let sig = ShardSignal {
+            shard: 1,
+            supply: vec![1],
+            mean_ln_price: vec![f64::NAN],
+        };
+        sig.validate();
+    }
+
+    #[test]
+    fn escalation_is_capped_at_tier_supply() {
+        let signals = vec![
+            ShardSignal {
+                shard: 0,
+                supply: vec![3, 10],
+                mean_ln_price: vec![0.0, 0.0],
+            },
+            ShardSignal {
+                shard: 1,
+                supply: vec![2, 0],
+                mean_ln_price: vec![0.0, 0.0],
+            },
+        ];
+        // Class 0: tier supply 5 caps the carry; class 1: carry fits.
+        assert_eq!(escalation_cap(&[100, 4], &signals), vec![5, 4]);
+        // No signals at all: nothing can be escalated.
+        assert_eq!(escalation_cap(&[9], &[]), vec![0]);
+    }
+
+    #[test]
+    fn mean_abs_delta_ln_averages_per_class_motion() {
+        let d = mean_abs_delta_ln(&[0.0, 1.0], &[0.5, 0.0]);
+        assert!((d - 0.75).abs() < 1e-12);
+        assert_eq!(mean_abs_delta_ln(&[], &[]), 0.0);
+    }
+}

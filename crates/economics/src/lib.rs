@@ -21,6 +21,9 @@
 //! * [`non_tatonnement`] — the decentralized per-node price adjustment used
 //!   by the QA-NT algorithm (reject ⇒ raise, leftover supply ⇒ lower) and
 //!   the Definition-4 trading-rule checks,
+//! * [`parent`] — the hierarchical tier: a parent market that clears shard
+//!   broker bids (QA-NT at the broker tier, or a WALRAS-style tâtonnement
+//!   over aggregate supply curves),
 //! * [`welfare`] — empirical First-Theorem-of-Welfare-Economics checks used
 //!   by the test suite.
 //!
@@ -30,6 +33,7 @@
 
 pub mod market;
 pub mod non_tatonnement;
+pub mod parent;
 pub mod pareto;
 pub mod preference;
 pub mod supply;
@@ -40,6 +44,7 @@ pub mod welfare;
 pub use market::{excess_demand, is_equilibrium, ExcessVector};
 pub use non_tatonnement::{trade_exhausts_pair, trade_is_feasible};
 pub use non_tatonnement::{NonTatonnementPricer, PricerConfig};
+pub use parent::{BrokerBid, ClearingOutcome, ParentMarket, ParentMarketConfig, ParentMechanism};
 pub use pareto::{dominates, enumerate_solutions, is_pareto_optimal, Solution};
 pub use preference::{EquitablePreference, Preference, ThroughputPreference, WeightedPreference};
 pub use supply::{

@@ -1,6 +1,8 @@
-//! Simulation configuration (Table 3).
+//! Simulation configuration (Table 3), plus the hierarchical-market
+//! broker-tier configuration (DESIGN.md §12).
 
 use qa_core::QantConfig;
+use qa_economics::parent::{ParentMarketConfig, ParentMechanism};
 use qa_simnet::{LinkSpec, SimDuration};
 
 /// Federation-level simulation parameters.
@@ -93,9 +95,71 @@ impl SimConfig {
     }
 }
 
+/// Two-tier market configuration: when installed on a sharded run, every
+/// shard gets a broker that bids its aggregate supply/ln-price signals on
+/// a parent market, and the clearing result (quotas + clearing prices)
+/// drives the cross-shard router instead of the raw weight-proportional
+/// signals. `None` (the default everywhere) is the degenerate one-level
+/// case — the PR 9 router, byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrokerConfig {
+    /// The parent market's mechanism and price dynamics.
+    pub market: ParentMarketConfig,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig::qant()
+    }
+}
+
+impl BrokerConfig {
+    /// QA-NT at the broker tier: one greedy cheapest-first clearing per
+    /// window, parent prices adjusted from unmet demand / unsold capacity.
+    pub fn qant() -> BrokerConfig {
+        BrokerConfig {
+            market: ParentMarketConfig {
+                mechanism: ParentMechanism::QaNt,
+                ..ParentMarketConfig::default()
+            },
+        }
+    }
+
+    /// WALRAS-style tâtonnement at the broker tier: the parent iterates
+    /// its ln-price against the brokers' aggregate supply curves until the
+    /// window clears within tolerance.
+    pub fn walras() -> BrokerConfig {
+        BrokerConfig {
+            market: ParentMarketConfig {
+                mechanism: ParentMechanism::Walras,
+                ..ParentMarketConfig::default()
+            },
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on out-of-range market parameters.
+    pub fn validate(&self) {
+        self.market.validate();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn broker_presets_pick_their_mechanism() {
+        let q = BrokerConfig::qant();
+        q.validate();
+        assert_eq!(q.market.mechanism, ParentMechanism::QaNt);
+        let w = BrokerConfig::walras();
+        w.validate();
+        assert_eq!(w.market.mechanism, ParentMechanism::Walras);
+        assert_eq!(BrokerConfig::default(), q);
+    }
 
     #[test]
     fn paper_defaults_match_table3() {

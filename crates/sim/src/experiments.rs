@@ -5,12 +5,13 @@
 //! full 100-node, paper-scale sweeps. All results implement `ToJson` so
 //! the harness can emit machine-readable series.
 
-use crate::config::SimConfig;
+use crate::config::{BrokerConfig, SimConfig};
 use crate::federation::{Federation, RunOutcome};
 use crate::metrics::MechanismSummary;
 use crate::scenario::{Scenario, TwoClassParams};
-use crate::sharded::ShardPlan;
+use crate::sharded::{ShardPlan, ShardRunOptions};
 use qa_core::MechanismKind;
+use qa_simnet::telemetry::Telemetry;
 use qa_simnet::{DetRng, SimTime};
 use qa_workload::arrival::{ArrivalProcess, SinusoidProcess, ZipfProcess};
 use qa_workload::{ClassId, Trace};
@@ -408,6 +409,175 @@ pub fn scale_point(scenario: &Scenario, trace: &Trace, shards: usize) -> ScalePo
     }
 }
 
+// -------------------------------------------------------------- fig_hier
+
+/// Engine variants compared by the hierarchical-market sweep (`fig_hier`),
+/// in column order: the flat engine, the PR 9 raw-signal router, and the
+/// two-tier broker market under each parent mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HierMode {
+    /// One shard, no cross-shard coordination — the flat engine baseline.
+    Flat,
+    /// Sharded with the weight-proportional router over raw signals.
+    Router,
+    /// Sharded with the broker tier clearing on a QA-NT parent market.
+    BrokerQant,
+    /// Sharded with the broker tier clearing via WALRAS tâtonnement.
+    BrokerWalras,
+}
+
+impl HierMode {
+    /// Every mode, in sweep column order.
+    pub const ALL: [HierMode; 4] = [
+        HierMode::Flat,
+        HierMode::Router,
+        HierMode::BrokerQant,
+        HierMode::BrokerWalras,
+    ];
+
+    /// Stable table/JSON label.
+    pub fn label(self) -> &'static str {
+        match self {
+            HierMode::Flat => "flat",
+            HierMode::Router => "router",
+            HierMode::BrokerQant => "broker_qant",
+            HierMode::BrokerWalras => "broker_walras",
+        }
+    }
+
+    /// The broker configuration this mode installs on the run, if any.
+    pub fn broker(self) -> Option<BrokerConfig> {
+        match self {
+            HierMode::Flat | HierMode::Router => None,
+            HierMode::BrokerQant => Some(BrokerConfig::qant()),
+            HierMode::BrokerWalras => Some(BrokerConfig::walras()),
+        }
+    }
+
+    /// The shard count this mode runs at when the sweep asks for
+    /// `preferred` shards (the flat baseline pins itself to one).
+    pub fn shards(self, preferred: usize) -> usize {
+        match self {
+            HierMode::Flat => 1,
+            _ => preferred.max(1),
+        }
+    }
+}
+
+/// One cell of the hierarchical-market sweep: a [`HierMode`] engine
+/// variant over the scaling world. Timing fields are harness-filled, like
+/// [`ScalePoint`]; the timing-free projection is deterministic.
+#[derive(Debug, Clone)]
+pub struct HierPoint {
+    /// Federation size.
+    pub nodes: u64,
+    /// Shard count the engine used.
+    pub shards: u64,
+    /// Engine variant ([`HierMode::label`]).
+    pub mode: String,
+    /// Arrivals in the trace.
+    pub queries: u64,
+    /// Period boundaries stepped.
+    pub periods: u64,
+    /// Completed queries.
+    pub completed: u64,
+    /// Unserved queries.
+    pub unserved: u64,
+    /// QA-NT resubmissions — each is a placement some node rejected.
+    pub retries: u64,
+    /// Mean response (ms).
+    pub mean_response_ms: f64,
+    /// First period whose mean |Δ ln p| fell below
+    /// [`SCALE_CONVERGENCE_EPS`]; −1 when the run never settled.
+    pub convergence_period: i64,
+    /// Cross-tier signal messages (2 per shard per boundary in every
+    /// sharded mode — broker bids ride the same channel the raw signals
+    /// did).
+    pub cross_messages: u64,
+    /// Demand units the parent market escalated across windows (broker
+    /// modes only).
+    pub escalated_units: u64,
+    /// Price-adjustment rounds the parent market spent (broker modes
+    /// only; parent-local, not messages).
+    pub parent_rounds: u64,
+    /// Inter-shard allocation efficiency: completed placements per
+    /// placement attempt, `completed / (completed + retries)`.
+    pub alloc_efficiency: f64,
+    /// Wall-clock seconds (harness-filled; 0 in determinism artifacts).
+    pub elapsed_s: f64,
+    /// Simulated periods per wall-clock second (harness-filled).
+    pub periods_per_s: f64,
+    /// Queries per wall-clock second (harness-filled).
+    pub queries_per_s: f64,
+}
+
+qa_simnet::impl_to_json!(HierPoint {
+    nodes,
+    shards,
+    mode,
+    queries,
+    periods,
+    completed,
+    unserved,
+    retries,
+    mean_response_ms,
+    convergence_period,
+    cross_messages,
+    escalated_units,
+    parent_rounds,
+    alloc_efficiency,
+    elapsed_s,
+    periods_per_s,
+    queries_per_s
+});
+
+/// Runs one hierarchical-market cell and folds it into a [`HierPoint`]
+/// (timing fields zeroed — the harness stamps them). `telemetry` receives
+/// the broker-tier events when the mode has a broker; pass
+/// [`Telemetry::disabled`] otherwise.
+pub fn hier_point(
+    scenario: &Scenario,
+    trace: &Trace,
+    shards: usize,
+    mode: HierMode,
+    telemetry: Telemetry,
+) -> HierPoint {
+    let plan = ShardPlan::build(scenario, mode.shards(shards));
+    let options = ShardRunOptions {
+        broker: mode.broker(),
+        telemetry,
+        ..ShardRunOptions::default()
+    };
+    let out = plan.run_with_options(trace, &options);
+    let m = &out.outcome.metrics;
+    let attempts = m.completed + m.retries;
+    HierPoint {
+        nodes: scenario.config.num_nodes as u64,
+        shards: out.num_shards as u64,
+        mode: mode.label().to_string(),
+        queries: trace.len() as u64,
+        periods: out.periods as u64,
+        completed: m.completed,
+        unserved: m.unserved,
+        retries: m.retries,
+        mean_response_ms: m.mean_response_ms().unwrap_or(f64::NAN),
+        convergence_period: out
+            .convergence_period(SCALE_CONVERGENCE_EPS)
+            .map_or(-1, |p| p as i64),
+        cross_messages: out.cross_messages,
+        escalated_units: out.escalated_units,
+        parent_rounds: out.parent_rounds,
+        alloc_efficiency: if attempts > 0 {
+            m.completed as f64 / attempts as f64
+        } else {
+            0.0
+        },
+        elapsed_s: 0.0,
+        periods_per_s: 0.0,
+        queries_per_s: 0.0,
+    }
+}
+
 /// `SimTime` lacks a public fractional-seconds constructor; adapter trait
 /// to keep the call site readable.
 trait SimTimeExt {
@@ -489,5 +659,69 @@ mod tests {
         for p in &pts {
             assert!(p.qant_ms.is_finite() && p.qant_ms > 0.0, "{p:?}");
         }
+    }
+
+    #[test]
+    fn hier_point_covers_every_mode_and_conserves_queries() {
+        let scenario = scale_world(20, 2007);
+        let trace = scale_trace(&scenario, 10);
+        for mode in HierMode::ALL {
+            let p = hier_point(&scenario, &trace, 4, mode, Telemetry::disabled());
+            assert_eq!(p.mode, mode.label());
+            assert_eq!(
+                p.completed + p.unserved,
+                p.queries,
+                "{}: every arrival completes or is unserved exactly once",
+                mode.label()
+            );
+            assert!(p.completed > 0, "{}: nothing ran", mode.label());
+            assert!(
+                p.alloc_efficiency > 0.0 && p.alloc_efficiency <= 1.0,
+                "{}: alloc_efficiency {}",
+                mode.label(),
+                p.alloc_efficiency
+            );
+            match mode {
+                HierMode::Flat => {
+                    assert_eq!(p.shards, 1);
+                    assert_eq!(p.cross_messages, 2 * p.periods);
+                    assert_eq!(p.escalated_units, 0);
+                    assert_eq!(p.parent_rounds, 0);
+                }
+                HierMode::Router => {
+                    assert_eq!(p.shards, 4);
+                    assert_eq!(p.cross_messages, 2 * 4 * p.periods);
+                    assert_eq!(p.escalated_units, 0);
+                    assert_eq!(p.parent_rounds, 0);
+                }
+                HierMode::BrokerQant | HierMode::BrokerWalras => {
+                    assert_eq!(p.shards, 4);
+                    assert_eq!(
+                        p.cross_messages,
+                        2 * 4 * p.periods,
+                        "{}: broker mode must keep the router's O(S) traffic",
+                        mode.label()
+                    );
+                    assert!(p.parent_rounds > 0, "{}: parent never priced", mode.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hier_point_json_carries_the_mode_label() {
+        let scenario = scale_world(12, 7);
+        let trace = scale_trace(&scenario, 6);
+        let p = hier_point(
+            &scenario,
+            &trace,
+            2,
+            HierMode::BrokerQant,
+            Telemetry::disabled(),
+        );
+        let json = qa_simnet::ToJson::to_json(&p).dump();
+        assert!(json.contains("\"mode\":\"broker_qant\""), "{json}");
+        assert!(json.contains("\"alloc_efficiency\":"), "{json}");
+        assert!(json.contains("\"escalated_units\":"), "{json}");
     }
 }

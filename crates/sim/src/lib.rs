@@ -23,6 +23,7 @@
 //! * [`tracedump`] — seeded full-telemetry replay producing a
 //!   byte-deterministic JSONL market trace plus convergence diagnostics.
 
+pub mod broker;
 pub mod config;
 pub mod experiments;
 pub mod federation;
@@ -33,7 +34,8 @@ pub mod scenario;
 pub mod sharded;
 pub mod tracedump;
 
-pub use config::SimConfig;
+pub use broker::BrokerTier;
+pub use config::{BrokerConfig, SimConfig};
 pub use federation::{Federation, RunOutcome};
 pub use metrics::RunMetrics;
 pub use replay::{
@@ -41,5 +43,5 @@ pub use replay::{
     GOLDEN_PATH, GOLDEN_SEED,
 };
 pub use scenario::{Scenario, TwoClassParams};
-pub use sharded::{ShardPlan, ShardSpec, ShardedOutcome};
+pub use sharded::{ShardPlan, ShardRunOptions, ShardSpec, ShardedOutcome};
 pub use tracedump::{run_trace_dump, TraceDump, TraceDumpSpec};

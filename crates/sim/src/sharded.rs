@@ -28,9 +28,13 @@
 //! `min(B, S)` outer workers, each solving with `B / outer` inner threads
 //! — never `S × B` oversubscription.
 
+use crate::broker::BrokerTier;
+use crate::config::BrokerConfig;
 use crate::federation::{Federation, RunOutcome};
 use crate::scenario::Scenario;
+use qa_core::hier::mean_abs_delta_ln;
 use qa_core::MechanismKind;
+use qa_simnet::telemetry::Telemetry;
 use qa_simnet::{par_for_each_chunk_mut, split_budget, DetRng, SimTime};
 use qa_workload::dataset::{Dataset, Relation};
 use qa_workload::ids::RelationId;
@@ -60,6 +64,44 @@ pub struct ShardPlan {
     num_classes: usize,
 }
 
+/// Per-run knobs of the sharded engine beyond the trace itself. The
+/// default — ambient thread budget, no broker, no faults, telemetry off —
+/// reproduces [`ShardPlan::run`] exactly.
+#[derive(Clone)]
+pub struct ShardRunOptions {
+    /// Total thread budget shared by the shard layer and the per-shard
+    /// supply solves (see [`ShardPlan::thread_split`]).
+    pub budget: usize,
+    /// Two-tier market: when set, a [`BrokerTier`] clears each window on
+    /// the parent market and drives the router weights; when `None` the
+    /// raw-signal weight-proportional router runs (the degenerate
+    /// one-level case, byte-identical to PR 9).
+    pub broker: Option<BrokerConfig>,
+    /// Node crashes to schedule, in *parent* node ids (remapped onto the
+    /// owning shard before the run starts).
+    pub kills: Vec<(NodeId, SimTime)>,
+    /// Node recoveries to schedule, in parent node ids.
+    pub recoveries: Vec<(NodeId, SimTime)>,
+    /// Event sink for the broker tier (`broker_bid`, `parent_cleared`,
+    /// `demand_escalated`), stamped with sim-time at each boundary. The
+    /// shard federations themselves stay silent — boundary-serial
+    /// emission is what keeps broker traces byte-deterministic at any
+    /// thread budget.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ShardRunOptions {
+    fn default() -> Self {
+        ShardRunOptions {
+            budget: qa_simnet::thread_budget(),
+            broker: None,
+            kills: Vec::new(),
+            recoveries: Vec::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
 /// Result of a sharded run: the merged measurements plus the
 /// decomposition's own diagnostics.
 #[derive(Debug)]
@@ -78,6 +120,12 @@ pub struct ShardedOutcome {
     /// Per-period mean |Δ ln p| over classes (price-signal movement);
     /// drives [`ShardedOutcome::convergence_period`].
     pub signal_history: Vec<f64>,
+    /// Units of demand the parent market escalated across windows
+    /// (broker mode only; 0 under the raw router).
+    pub escalated_units: u64,
+    /// Price-adjustment rounds the parent market spent (broker mode
+    /// only; internal to the parent, not cross-tier messages).
+    pub parent_rounds: u64,
 }
 
 impl ShardedOutcome {
@@ -157,16 +205,42 @@ impl ShardPlan {
     /// Runs the trace through the sharded engine on the ambient
     /// [`qa_simnet::thread_budget`].
     pub fn run(&self, trace: &Trace) -> ShardedOutcome {
-        self.run_with_budget(trace, qa_simnet::thread_budget())
+        self.run_with_options(trace, &ShardRunOptions::default())
     }
 
     /// [`ShardPlan::run`] with an explicit total thread budget. The output
     /// is identical at any budget; the budget only decides how the shard
     /// stepping and the per-shard supply solves share the machine.
     pub fn run_with_budget(&self, trace: &Trace, budget: usize) -> ShardedOutcome {
+        self.run_with_options(
+            trace,
+            &ShardRunOptions {
+                budget,
+                ..ShardRunOptions::default()
+            },
+        )
+    }
+
+    /// Maps a parent node id onto its owning shard and shard-local id.
+    ///
+    /// # Panics
+    /// Panics when the id lies outside the plan's node range.
+    fn locate(&self, node: NodeId) -> (usize, NodeId) {
+        let idx = node.index();
+        let s = self
+            .shards
+            .iter()
+            .position(|sh| idx >= sh.lo && idx < sh.hi)
+            .unwrap_or_else(|| panic!("node {idx} outside the shard plan"));
+        (s, NodeId((idx - self.shards[s].lo) as u32))
+    }
+
+    /// [`ShardPlan::run`] with full per-run options: thread budget, the
+    /// two-tier broker market, fault schedules, and broker telemetry.
+    pub fn run_with_options(&self, trace: &Trace, options: &ShardRunOptions) -> ShardedOutcome {
         let s_count = self.shards.len();
         let k = self.num_classes;
-        let (outer, inner) = self.thread_split(budget);
+        let (outer, inner) = self.thread_split(options.budget);
         let empty = Trace::from_events(Vec::new());
         let mut feds: Vec<Federation> = self
             .shards
@@ -175,10 +249,22 @@ impl ShardPlan {
                 let mut f = Federation::new(&sh.scenario, MechanismKind::QaNt, &empty);
                 f.set_intra_threads(inner);
                 f.set_more_arrivals(true);
-                f.begin_run();
                 f
             })
             .collect();
+        // Fault schedules arrive in parent node ids; each lands on its
+        // owning shard's federation (before `begin_run` arms the timers).
+        for &(node, at) in &options.kills {
+            let (s, local) = self.locate(node);
+            feds[s].kill_node_at(local, at);
+        }
+        for &(node, at) in &options.recoveries {
+            let (s, local) = self.locate(node);
+            feds[s].recover_node_at(local, at);
+        }
+        for f in &mut feds {
+            f.begin_run();
+        }
 
         // Boundary signals: per-shard remaining supply and mean ln price
         // per class, the router's weights/credits over each class's home
@@ -193,16 +279,36 @@ impl ShardPlan {
             .map(|kc| vec![0.0; self.home_shards[kc].len()])
             .collect();
         let mut prev_mean_lnp = vec![0.0; k];
+        let mut broker = options
+            .broker
+            .as_ref()
+            .map(|cfg| BrokerTier::new(k, cfg, options.telemetry.clone()));
+        let mut window_demand = vec![0u64; k];
         collect_signals(&feds, &mut supply, &mut lnp);
         // Initial refresh: markets opened their first period during
         // construction, so weights and the Δ-baseline come from t = 0.
-        update_weights(
-            &self.home_shards,
-            &supply,
-            &lnp,
-            &mut weights,
-            &mut prev_mean_lnp,
-        );
+        match broker.as_mut() {
+            None => {
+                update_weights(
+                    &self.home_shards,
+                    &supply,
+                    &lnp,
+                    &mut weights,
+                    &mut prev_mean_lnp,
+                );
+            }
+            Some(tier) => {
+                class_mean_lnp(&self.home_shards, &lnp, &mut prev_mean_lnp);
+                options.telemetry.set_now_us(0);
+                tier.clear_window(
+                    &self.home_shards,
+                    &supply,
+                    &lnp,
+                    &window_demand,
+                    &mut weights,
+                );
+            }
+        }
 
         let events = trace.events();
         let period = self.shards[0].scenario.config.period;
@@ -219,6 +325,7 @@ impl ShardPlan {
             let end = cursor + events[cursor..].partition_point(|e| e.at <= boundary);
             for e in &events[cursor..end] {
                 let kc = e.class.index();
+                window_demand[kc] += 1;
                 let homes = &self.home_shards[kc];
                 let s = match homes.len() {
                     // Unservable everywhere: park on shard 0, which
@@ -256,13 +363,35 @@ impl ShardPlan {
                 }
             });
             collect_signals(&feds, &mut supply, &mut lnp);
-            let delta = update_weights(
-                &self.home_shards,
-                &supply,
-                &lnp,
-                &mut weights,
-                &mut prev_mean_lnp,
-            );
+            let delta = match broker.as_mut() {
+                None => update_weights(
+                    &self.home_shards,
+                    &supply,
+                    &lnp,
+                    &mut weights,
+                    &mut prev_mean_lnp,
+                ),
+                Some(tier) => {
+                    // Same convergence yardstick as the raw router — the
+                    // motion of the cross-shard mean ln-price — so the
+                    // fig_hier columns are directly comparable; only the
+                    // weight rule differs (parent clearing vs raw signal).
+                    let mut means = prev_mean_lnp.clone();
+                    class_mean_lnp(&self.home_shards, &lnp, &mut means);
+                    let delta = mean_abs_delta_ln(&prev_mean_lnp, &means);
+                    prev_mean_lnp.copy_from_slice(&means);
+                    options.telemetry.set_now_us(boundary.as_micros());
+                    tier.clear_window(
+                        &self.home_shards,
+                        &supply,
+                        &lnp,
+                        &window_demand,
+                        &mut weights,
+                    );
+                    delta
+                }
+            };
+            window_demand.iter_mut().for_each(|d| *d = 0);
             signal_history.push(delta);
             cross_messages += 2 * s_count as u64;
             periods += 1;
@@ -282,12 +411,17 @@ impl ShardPlan {
             merged.metrics.merge_from(&o.metrics);
             merged.total_busy += o.total_busy;
         }
+        let (escalated_units, parent_rounds) = broker
+            .map(|t| (t.total_escalated, t.total_rounds))
+            .unwrap_or((0, 0));
         ShardedOutcome {
             outcome: merged,
             num_shards: s_count,
             periods,
             cross_messages,
             signal_history,
+            escalated_units,
+            parent_rounds,
         }
     }
 }
@@ -352,8 +486,20 @@ fn slice_scenario(parent: &Scenario, s: usize, lo: usize, hi: usize) -> Scenario
 /// so routing is a pure function of the boundary signals.
 fn pick_home(homes: &[usize], weights: &[f64], credits: &mut [f64]) -> usize {
     let total: f64 = weights.iter().sum();
-    for (c, w) in credits.iter_mut().zip(weights) {
-        *c += w / total;
+    if total > 0.0 && total.is_finite() {
+        for (c, w) in credits.iter_mut().zip(weights) {
+            *c += w / total;
+        }
+    } else {
+        // Starvation guard: when every weight is zero (a class the parent
+        // awarded no quota this window) the shares would be 0/0 = NaN,
+        // and NaN credits never win another argmax — the class would be
+        // silently parked on homes[0] forever. Accrue uniform shares
+        // instead so queued arrivals still round-robin across homes.
+        let share = 1.0 / credits.len() as f64;
+        for c in credits.iter_mut() {
+            *c += share;
+        }
     }
     let mut best = 0;
     for i in 1..credits.len() {
@@ -370,6 +516,23 @@ fn pick_home(homes: &[usize], weights: &[f64], credits: &mut [f64]) -> usize {
 fn collect_signals(feds: &[Federation<'_>], supply: &mut [Vec<u64>], lnp: &mut [Vec<f64>]) {
     for (s, fed) in feds.iter().enumerate() {
         fed.qant_signals_into(&mut supply[s], &mut lnp[s]);
+    }
+}
+
+/// Cross-shard mean ln-price per class over the class's home shards,
+/// written into `means`; classes with no home shard keep their previous
+/// value (mirroring [`update_weights`]' skip). Same accumulation order as
+/// the router path, so both modes measure convergence bit-identically.
+fn class_mean_lnp(home_shards: &[Vec<usize>], lnp: &[Vec<f64>], means: &mut [f64]) {
+    for (kc, homes) in home_shards.iter().enumerate() {
+        if homes.is_empty() {
+            continue;
+        }
+        let mut mean = 0.0;
+        for &s in homes {
+            mean += lnp[s][kc];
+        }
+        means[kc] = mean / homes.len() as f64;
     }
 }
 
@@ -530,6 +693,129 @@ mod tests {
             counts[pick_home(&homes, &weights, &mut credits)] += 1;
         }
         assert_eq!(counts, [200, 100, 100]);
+    }
+
+    #[test]
+    fn zero_weight_window_still_routes_and_recovers() {
+        // Starvation regression: a window where every weight is 0 (e.g. a
+        // class the parent awarded no quota) must still route — uniformly
+        // — and must not NaN-poison the credits for later windows.
+        let homes = [0usize, 1];
+        let mut credits = vec![0.0; 2];
+        let mut counts = [0usize; 2];
+        for _ in 0..10 {
+            counts[pick_home(&homes, &[0.0, 0.0], &mut credits)] += 1;
+        }
+        assert_eq!(counts, [5, 5], "all-zero weights must round-robin");
+        assert!(credits.iter().all(|c| c.is_finite()));
+        // Weights recover next window: proportional routing resumes.
+        let mut counts = [0usize; 2];
+        for _ in 0..400 {
+            counts[pick_home(&homes, &[3.0, 1.0], &mut credits)] += 1;
+        }
+        assert_eq!(counts, [300, 100], "credits must not stay poisoned");
+    }
+
+    #[test]
+    fn extreme_weight_skew_starves_no_class() {
+        // End-to-end starvation check at extreme skew: tiny-but-nonzero
+        // weights (the legitimate floor is ~e^-27.6 from the price
+        // ceiling) and exact zeros both keep every arrival routed.
+        let homes = [0usize, 1, 2];
+        let weights = [1e-320, 0.0, 1e308];
+        let mut credits = vec![0.0; 3];
+        let mut routed = 0usize;
+        for _ in 0..1_000 {
+            let s = pick_home(&homes, &weights, &mut credits);
+            assert!(s < 3);
+            routed += 1;
+        }
+        assert_eq!(routed, 1_000);
+        assert!(credits.iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn broker_mode_output_is_stable_across_thread_budgets() {
+        let parent = world(16, 23);
+        let trace = trace_for(&parent, 30);
+        let plan = ShardPlan::build(&parent, 4);
+        for cfg in [BrokerConfig::qant(), BrokerConfig::walras()] {
+            let opts = |budget: usize| ShardRunOptions {
+                budget,
+                broker: Some(cfg),
+                ..ShardRunOptions::default()
+            };
+            let base = plan.run_with_options(&trace, &opts(1));
+            for budget in [2, 3, 8] {
+                let out = plan.run_with_options(&trace, &opts(budget));
+                assert_eq!(
+                    format!("{:?}", out.outcome),
+                    format!("{:?}", base.outcome),
+                    "broker {cfg:?} budget={budget}"
+                );
+                assert_eq!(out.signal_history, base.signal_history);
+                assert_eq!(out.escalated_units, base.escalated_units);
+                assert_eq!(out.parent_rounds, base.parent_rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn broker_mode_serves_the_whole_trace() {
+        let parent = world(16, 5);
+        let trace = trace_for(&parent, 30);
+        let plan = ShardPlan::build(&parent, 4);
+        let out = plan.run_with_options(
+            &trace,
+            &ShardRunOptions {
+                broker: Some(BrokerConfig::qant()),
+                ..ShardRunOptions::default()
+            },
+        );
+        let m = &out.outcome.metrics;
+        assert_eq!(m.completed + m.unserved, trace.len() as u64);
+        assert!(m.completed > 0, "nothing completed under the broker");
+        // Cross-tier traffic stays O(S): bids up, quotas/prices down.
+        assert_eq!(out.cross_messages, 2 * 4 * out.periods as u64);
+    }
+
+    #[test]
+    fn broker_off_options_match_the_plain_run_byte_for_byte() {
+        let parent = world(16, 31);
+        let trace = trace_for(&parent, 30);
+        let plan = ShardPlan::build(&parent, 4);
+        let plain = plan.run(&trace);
+        let via_options = plan.run_with_options(&trace, &ShardRunOptions::default());
+        assert_eq!(
+            format!("{:?}", via_options.outcome),
+            format!("{:?}", plain.outcome)
+        );
+        assert_eq!(via_options.signal_history, plain.signal_history);
+        assert_eq!(via_options.escalated_units, 0);
+        assert_eq!(via_options.parent_rounds, 0);
+    }
+
+    #[test]
+    fn fault_schedules_land_on_the_owning_shard() {
+        let parent = world(16, 13);
+        let trace = trace_for(&parent, 30);
+        let plan = ShardPlan::build(&parent, 4);
+        // Kill one node in shard 2's range [8, 12) mid-run, recover later.
+        let out = plan.run_with_options(
+            &trace,
+            &ShardRunOptions {
+                kills: vec![(NodeId(9), SimTime::from_secs(5))],
+                recoveries: vec![(NodeId(9), SimTime::from_secs(15))],
+                ..ShardRunOptions::default()
+            },
+        );
+        let m = &out.outcome.metrics;
+        assert_eq!(
+            m.completed + m.unserved,
+            trace.len() as u64,
+            "crash re-entry must conserve queries"
+        );
+        assert!(m.completed > 0);
     }
 
     #[test]

@@ -269,6 +269,34 @@ pub enum TelemetryEvent {
         /// What was observed, plus the choice trail for replay.
         detail: String,
     },
+    /// A shard broker submitted its sealed bid for the next parent-market
+    /// clearing (hierarchical tier, DESIGN.md §12).
+    BrokerBid {
+        /// The bidding broker (= its shard index).
+        broker: u32,
+        /// Aggregate remaining supply per class across the shard.
+        supply: Vec<u64>,
+        /// Mean ln-price per class across the shard's live nodes.
+        mean_ln_price: Vec<f64>,
+    },
+    /// The parent market cleared one window over the broker bids.
+    ParentCleared {
+        /// Price-adjustment rounds the clearing spent (internal to the
+        /// parent — not cross-tier messages).
+        rounds: u32,
+        /// Clearing ln-price per class after the window.
+        ln_prices: Vec<f64>,
+        /// Demand per class the market could not place this window.
+        unserved: Vec<u64>,
+    },
+    /// Unplaced parent-tier demand was escalated into the next window's
+    /// clearing (excess demand flowing up).
+    DemandEscalated {
+        /// The class whose demand is carried over.
+        class: u32,
+        /// Units carried into the next window.
+        units: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -293,6 +321,9 @@ impl TelemetryEvent {
             TelemetryEvent::PeerDied { .. } => "peer_died",
             TelemetryEvent::ScheduleStarted { .. } => "schedule_started",
             TelemetryEvent::InvariantViolated { .. } => "invariant_violated",
+            TelemetryEvent::BrokerBid { .. } => "broker_bid",
+            TelemetryEvent::ParentCleared { .. } => "parent_cleared",
+            TelemetryEvent::DemandEscalated { .. } => "demand_escalated",
         }
     }
 }
@@ -426,6 +457,31 @@ impl ToJson for TraceRecord {
                 pairs.push(("invariant".into(), Json::Str(invariant.clone())));
                 pairs.push(("detail".into(), Json::Str(detail.clone())));
             }
+            TelemetryEvent::BrokerBid {
+                broker,
+                supply,
+                mean_ln_price,
+            } => {
+                pairs.push(("broker".into(), broker.to_json()));
+                pairs.push(("supply".into(), Json::array(supply.iter().copied())));
+                pairs.push((
+                    "mean_ln_price".into(),
+                    Json::array(mean_ln_price.iter().copied()),
+                ));
+            }
+            TelemetryEvent::ParentCleared {
+                rounds,
+                ln_prices,
+                unserved,
+            } => {
+                pairs.push(("rounds".into(), rounds.to_json()));
+                pairs.push(("ln_prices".into(), Json::array(ln_prices.iter().copied())));
+                pairs.push(("unserved".into(), Json::array(unserved.iter().copied())));
+            }
+            TelemetryEvent::DemandEscalated { class, units } => {
+                pairs.push(("class".into(), class.to_json()));
+                pairs.push(("units".into(), units.to_json()));
+            }
         }
         Json::Obj(pairs)
     }
@@ -468,6 +524,18 @@ fn u64_array_field(v: &Json, key: &str) -> Result<Vec<u64>, String> {
         .map(|x| {
             x.as_u64()
                 .ok_or_else(|| format!("field {key:?} has a non-integer element"))
+        })
+        .collect()
+}
+
+fn f64_array_field(v: &Json, key: &str) -> Result<Vec<f64>, String> {
+    req(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field {key:?} is not an array"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("field {key:?} has a non-numeric element"))
         })
         .collect()
 }
@@ -557,6 +625,20 @@ impl TraceRecord {
             "invariant_violated" => TelemetryEvent::InvariantViolated {
                 invariant: str_field(v, "invariant")?.to_string(),
                 detail: str_field(v, "detail")?.to_string(),
+            },
+            "broker_bid" => TelemetryEvent::BrokerBid {
+                broker: u32_field(v, "broker")?,
+                supply: u64_array_field(v, "supply")?,
+                mean_ln_price: f64_array_field(v, "mean_ln_price")?,
+            },
+            "parent_cleared" => TelemetryEvent::ParentCleared {
+                rounds: u32_field(v, "rounds")?,
+                ln_prices: f64_array_field(v, "ln_prices")?,
+                unserved: u64_array_field(v, "unserved")?,
+            },
+            "demand_escalated" => TelemetryEvent::DemandEscalated {
+                class: u32_field(v, "class")?,
+                units: u64_field(v, "units")?,
             },
             other => return Err(format!("unknown event type {other:?}")),
         };
@@ -1197,6 +1279,12 @@ pub struct ConvergenceReport {
     pub dropped_messages: u64,
     /// Total node-crash events.
     pub crashes: u64,
+    /// Total broker-bid events (hierarchical tier).
+    pub broker_bids: u64,
+    /// Total parent-market clearings (hierarchical tier).
+    pub parent_clearings: u64,
+    /// Total units of demand escalated across clearing windows.
+    pub escalated_units: u64,
     /// Per-class series, sorted by class id.
     pub per_class: Vec<ClassConvergence>,
 }
@@ -1212,6 +1300,9 @@ impl ToJson for ConvergenceReport {
             "supply_events": self.supply_events,
             "dropped_messages": self.dropped_messages,
             "crashes": self.crashes,
+            "broker_bids": self.broker_bids,
+            "parent_clearings": self.parent_clearings,
+            "escalated_units": self.escalated_units,
             "per_class": self.per_class,
         }
     }
@@ -1267,6 +1358,9 @@ impl ConvergenceReport {
         let mut supply_events = 0u64;
         let mut dropped_messages = 0u64;
         let mut crashes = 0u64;
+        let mut broker_bids = 0u64;
+        let mut parent_clearings = 0u64;
+        let mut escalated_units = 0u64;
         let mut adjustments: BTreeMap<u32, u64> = BTreeMap::new();
 
         let mut cur_period = 0u64;
@@ -1322,6 +1416,9 @@ impl ConvergenceReport {
                 }
                 TelemetryEvent::MessageDropped { .. } => dropped_messages += 1,
                 TelemetryEvent::NodeCrashed { .. } => crashes += 1,
+                TelemetryEvent::BrokerBid { .. } => broker_bids += 1,
+                TelemetryEvent::ParentCleared { .. } => parent_clearings += 1,
+                TelemetryEvent::DemandEscalated { units, .. } => escalated_units += units,
                 _ => {}
             }
         }
@@ -1374,6 +1471,9 @@ impl ConvergenceReport {
             supply_events,
             dropped_messages,
             crashes,
+            broker_bids,
+            parent_clearings,
+            escalated_units,
             per_class,
         }
     }
@@ -1455,6 +1555,20 @@ mod tests {
             TelemetryEvent::InvariantViolated {
                 invariant: "conservation".to_string(),
                 detail: "query 3 committed twice; trail deliver:1/3".to_string(),
+            },
+            TelemetryEvent::BrokerBid {
+                broker: 2,
+                supply: vec![14, 0, 3],
+                mean_ln_price: vec![0.25, -1.5, 3.0],
+            },
+            TelemetryEvent::ParentCleared {
+                rounds: 6,
+                ln_prices: vec![0.5, -0.125],
+                unserved: vec![0, 11],
+            },
+            TelemetryEvent::DemandEscalated {
+                class: 1,
+                units: 11,
             },
         ]
     }
@@ -1716,6 +1830,50 @@ mod tests {
         // Final prices 2.5 and 1.5 → mean 2.0, nonzero dispersion.
         assert!((c0.final_mean_price - 2.0).abs() < 1e-12);
         assert!(c0.log_price_variance[3] > 0.0);
+    }
+
+    #[test]
+    fn convergence_report_counts_broker_tier_events() {
+        let records = vec![
+            TraceRecord {
+                t_us: 0,
+                event: TelemetryEvent::BrokerBid {
+                    broker: 0,
+                    supply: vec![4],
+                    mean_ln_price: vec![0.0],
+                },
+            },
+            TraceRecord {
+                t_us: 1,
+                event: TelemetryEvent::BrokerBid {
+                    broker: 1,
+                    supply: vec![2],
+                    mean_ln_price: vec![0.5],
+                },
+            },
+            TraceRecord {
+                t_us: 2,
+                event: TelemetryEvent::ParentCleared {
+                    rounds: 1,
+                    ln_prices: vec![0.1],
+                    unserved: vec![3],
+                },
+            },
+            TraceRecord {
+                t_us: 3,
+                event: TelemetryEvent::DemandEscalated { class: 0, units: 3 },
+            },
+            TraceRecord {
+                t_us: 1_200,
+                event: TelemetryEvent::DemandEscalated { class: 0, units: 2 },
+            },
+        ];
+        let report = ConvergenceReport::from_records(&records, 1_000, 1e-3);
+        assert_eq!(report.broker_bids, 2);
+        assert_eq!(report.parent_clearings, 1);
+        assert_eq!(report.escalated_units, 5);
+        let dump = report.to_json().dump();
+        assert!(dump.contains("\"broker_bids\":2"));
     }
 
     #[test]

@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# CI smoke of the hierarchical two-tier market:
+#
+#   1. build and run `fig_hier --quick --trace` (small sizes, seconds not
+#      minutes) at QA_THREADS=1 and QA_THREADS=8 and require both the
+#      timing-free determinism artifact and the broker telemetry trace to
+#      be byte-identical — broker clearing is boundary-serial, so neither
+#      may depend on how the shard and solver layers share the machine;
+#   2. hold the broker trace to the strict telemetry contract
+#      (check_trace: canonical re-dump, monotone clocks) and require the
+#      broker-tier event taxonomy to actually appear.
+#
+# The timed artifact (bench_results/fig_hier.json) is left in place for
+# upload; the determinism artifact and the trace are the compared ones.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p qa-bench --bin fig_hier --bin check_trace
+
+echo "hier-smoke: fig_hier --quick --trace at QA_THREADS=1"
+QA_THREADS=1 ./target/release/fig_hier --quick --trace
+cp bench_results/fig_hier_determinism.json bench_results/fig_hier_determinism.t1.json
+cp bench_results/fig_hier_trace.jsonl bench_results/fig_hier_trace.t1.jsonl
+
+echo "hier-smoke: fig_hier --quick --trace at QA_THREADS=8"
+QA_THREADS=8 ./target/release/fig_hier --quick --trace
+
+if ! cmp -s bench_results/fig_hier_determinism.json bench_results/fig_hier_determinism.t1.json; then
+  echo "hier-smoke: FAIL — determinism artifact differs between QA_THREADS=1 and 8" >&2
+  diff bench_results/fig_hier_determinism.t1.json bench_results/fig_hier_determinism.json >&2 || true
+  exit 1
+fi
+if ! cmp -s bench_results/fig_hier_trace.jsonl bench_results/fig_hier_trace.t1.jsonl; then
+  echo "hier-smoke: FAIL — broker trace differs between QA_THREADS=1 and 8" >&2
+  exit 1
+fi
+rm -f bench_results/fig_hier_determinism.t1.json bench_results/fig_hier_trace.t1.jsonl
+echo "hier-smoke: artifacts byte-identical across thread budgets"
+
+./target/release/check_trace bench_results/fig_hier_trace.jsonl \
+  --require broker_bid,parent_cleared,demand_escalated
+echo "hier-smoke: broker trace passes the strict telemetry contract"
